@@ -1,0 +1,193 @@
+// Command pts runs one parallel tabu search for VLSI standard-cell
+// placement and prints the outcome.
+//
+// Usage:
+//
+//	pts -circuit c532                          # defaults: 4 TSWs, 1 CLW
+//	pts -circuit c3540 -tsws 4 -clws 4 -het=false
+//	pts -circuit highway -mode real            # wall-clock goroutine run
+//	pts -netlist my.net                        # search a custom circuit
+//	pts -netlist s1494.bench                   # a real ISCAS-89 .bench file
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pts/internal/cluster"
+	"pts/internal/core"
+	"pts/internal/netlist"
+	"pts/internal/placement"
+	"pts/internal/timing"
+	"pts/internal/viz"
+)
+
+func main() {
+	var (
+		circuit  = flag.String("circuit", "c532", "benchmark circuit (highway, c532, c1355, c3540)")
+		nlPath   = flag.String("netlist", "", "path to a netlist file (overrides -circuit)")
+		tsws     = flag.Int("tsws", 4, "number of tabu search workers")
+		clws     = flag.Int("clws", 1, "candidate-list workers per TSW")
+		gIters   = flag.Int("global", 10, "global iterations")
+		lIters   = flag.Int("local", 40, "local iterations per global iteration")
+		trials   = flag.Int("trials", 12, "trial pairs per compound-move step (m)")
+		depth    = flag.Int("depth", 4, "compound move depth (d)")
+		tenure   = flag.Int("tenure", 10, "tabu tenure")
+		div      = flag.Int("diversify", 12, "diversification depth (0 = off)")
+		het      = flag.Bool("het", true, "half-sync heterogeneous collection")
+		mode     = flag.String("mode", "virtual", "runtime: virtual or real")
+		seed     = flag.Uint64("seed", 1, "run seed")
+		loadSeed = flag.Uint64("cluster-seed", 12, "testbed load-trace seed (0 = idle machines)")
+		trace    = flag.Bool("trace", false, "print the best-cost trace")
+		path     = flag.Bool("path", false, "print the critical path of the best placement")
+		jsonOut  = flag.String("json", "", "write the full result as JSON to this file ('-' = stdout)")
+		svgOut   = flag.String("svg", "", "write a congestion heat map of the best placement to this SVG file")
+	)
+	flag.Parse()
+
+	nl, err := loadCircuit(*nlPath, *circuit)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.TSWs, cfg.CLWs = *tsws, *clws
+	cfg.GlobalIters, cfg.LocalIters = *gIters, *lIters
+	cfg.Trials, cfg.Depth, cfg.Tenure = *trials, *depth, *tenure
+	cfg.DiversifyDepth = *div
+	cfg.HalfSync = *het
+	cfg.Seed = *seed
+
+	var m core.Mode
+	switch *mode {
+	case "virtual":
+		m = core.Virtual
+	case "real":
+		m = core.Real
+		cfg.WorkPerTrial = 0 // real compute is the cost
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	st := nl.ComputeStats()
+	fmt.Printf("circuit %s: %s\n", nl.Name, st)
+	fmt.Printf("running %d TSWs x %d CLWs, %d global x %d local iterations (%s mode, half-sync=%v)\n",
+		cfg.TSWs, cfg.CLWs, cfg.GlobalIters, cfg.LocalIters, *mode, cfg.HalfSync)
+
+	res, err := core.Run(nl, cluster.Testbed12(*loadSeed), cfg, m)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("\ninitial cost   %.4f\n", res.InitialCost)
+	fmt.Printf("best cost      %.4f  (%.1f%% better)\n", res.BestCost,
+		100*(res.InitialCost-res.BestCost)/res.InitialCost)
+	fmt.Printf("wirelength     %.0f\n", res.Objectives.Wirelength)
+	fmt.Printf("critical path  %.2f ns\n", res.CriticalPath)
+	fmt.Printf("area (row w)   %.0f\n", res.Objectives.Area)
+	fmt.Printf("elapsed        %.3f s (%s)\n", res.Elapsed, *mode)
+	fmt.Printf("stats          %+v\n", res.Stats)
+	fmt.Printf("runtime        %d tasks, %d messages\n", res.Runtime.Spawns, res.Runtime.Sends)
+
+	if *trace {
+		fmt.Println("\ntime(s)   best cost")
+		for _, p := range res.Trace.Points {
+			fmt.Printf("%8.3f  %.4f\n", p.Time, p.Cost)
+		}
+	}
+	if *path {
+		if err := printCriticalPath(nl, res.BestPerm); err != nil {
+			fatal(err)
+		}
+	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, res); err != nil {
+			fatal(err)
+		}
+	}
+	if *svgOut != "" {
+		if err := writeSVG(*svgOut, nl, res.BestPerm); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgOut)
+	}
+}
+
+// writeSVG renders the best placement's congestion heat map.
+func writeSVG(path string, nl *netlist.Netlist, perm []int32) error {
+	p, err := placement.New(nl, placement.AutoLayout(nl, 0.9))
+	if err != nil {
+		return err
+	}
+	if err := p.Import(perm); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := viz.WritePlacementSVG(f, p); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printCriticalPath rebuilds the best placement and reports its
+// critical path hop by hop.
+func printCriticalPath(nl *netlist.Netlist, perm []int32) error {
+	p, err := placement.New(nl, placement.AutoLayout(nl, 0.9))
+	if err != nil {
+		return err
+	}
+	if err := p.Import(perm); err != nil {
+		return err
+	}
+	an := timing.New(nl, timing.DefaultConfig())
+	an.Analyze(p)
+	fmt.Println("\ncritical path:")
+	fmt.Print(timing.FormatPath(nl, an.CriticalPathCells(p)))
+	return nil
+}
+
+// writeJSON dumps the result for downstream tooling.
+func writeJSON(path string, res *core.Result) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// loadCircuit resolves the circuit: a named synthetic benchmark, a
+// netlist in this repository's text format, or a real ISCAS-89 .bench
+// file (detected by extension).
+func loadCircuit(path, name string) (*netlist.Netlist, error) {
+	if path == "" {
+		return netlist.Benchmark(name)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bench") {
+		base := strings.TrimSuffix(filepath.Base(path), ".bench")
+		return netlist.ReadBench(f, base, 1)
+	}
+	return netlist.Read(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pts:", err)
+	os.Exit(1)
+}

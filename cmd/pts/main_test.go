@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pts/internal/netlist"
+)
+
+func TestLoadCircuitBenchmarkName(t *testing.T) {
+	nl, err := loadCircuit("", "highway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.NumCells() != 56 {
+		t.Errorf("cells = %d", nl.NumCells())
+	}
+	if _, err := loadCircuit("", "nonexistent"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestLoadCircuitTextFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "c.net")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := netlist.MustGenerate(netlist.GenConfig{Name: "file", Cells: 40, Seed: 1})
+	if err := netlist.Write(f, src); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	nl, err := loadCircuit(path, "ignored")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.NumCells() != 40 || nl.Name != "file" {
+		t.Errorf("loaded %s with %d cells", nl.Name, nl.NumCells())
+	}
+}
+
+func TestLoadCircuitBenchFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny.bench")
+	src := `INPUT(A)
+INPUT(B)
+OUTPUT(Z)
+Z = NAND(A, B)
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	nl, err := loadCircuit(path, "ignored")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Name != "tiny" {
+		t.Errorf("name = %q, want base of file", nl.Name)
+	}
+	if nl.NumCells() != 3 {
+		t.Errorf("cells = %d, want 3", nl.NumCells())
+	}
+}
+
+func TestLoadCircuitMissingFile(t *testing.T) {
+	if _, err := loadCircuit("/nonexistent/x.net", ""); err == nil {
+		t.Error("missing file accepted")
+	}
+}

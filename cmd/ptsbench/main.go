@@ -1,0 +1,93 @@
+// Command ptsbench regenerates the paper's evaluation figures
+// (Figures 5–11) on the virtual heterogeneous cluster and writes ASCII
+// charts to stdout and CSV files to an output directory.
+//
+// Usage:
+//
+//	ptsbench                     # all figures at full scale
+//	ptsbench -fig 11 -v          # one figure, with per-run progress
+//	ptsbench -scale 0.25         # quarter iteration budgets (quick look)
+//	ptsbench -circuits highway,c532 -out results
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pts/internal/bench"
+)
+
+func main() {
+	var (
+		fig         = flag.String("fig", "all", "figure to regenerate: 5..11 or 'all'")
+		scale       = flag.Float64("scale", 1.0, "iteration budget multiplier (1.0 = paper scale)")
+		repeats     = flag.Int("repeats", 0, "seeds per data point (0 = default)")
+		seed        = flag.Uint64("seed", 0, "master experiment seed (0 = default)")
+		clusterSeed = flag.Uint64("cluster-seed", 0, "testbed load-trace seed (0 = default)")
+		circuits    = flag.String("circuits", "", "comma-separated circuit subset (default: all four)")
+		out         = flag.String("out", "results", "directory for CSV output")
+		verbose     = flag.Bool("v", false, "print one line per completed run")
+	)
+	flag.Parse()
+
+	opts := bench.Opts{
+		Scale:       *scale,
+		Repeats:     *repeats,
+		Seed:        *seed,
+		ClusterSeed: *clusterSeed,
+	}
+	if *circuits != "" {
+		opts.Circuits = strings.Split(*circuits, ",")
+	}
+	if *verbose {
+		opts.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	drivers := map[string]func(bench.Opts) (*bench.Figure, error){
+		"5": bench.Fig5, "6": bench.Fig6, "7": bench.Fig7, "8": bench.Fig8,
+		"9": bench.Fig9, "10": bench.Fig10, "11": bench.Fig11,
+		// Ablations beyond the paper (see DESIGN.md §6).
+		"assign": bench.ExtraAssignment,
+		"corr":   bench.ExtraCorrelation,
+		"mpds":   bench.ExtraMPDS,
+	}
+
+	var figs []*bench.Figure
+	if *fig == "all" {
+		all, err := bench.All(opts)
+		if err != nil {
+			fatal(err)
+		}
+		figs = all
+	} else {
+		d, ok := drivers[*fig]
+		if !ok {
+			fatal(fmt.Errorf("unknown figure %q (want 5..11, assign, corr, mpds, or all)", *fig))
+		}
+		f, err := d(opts)
+		if err != nil {
+			fatal(err)
+		}
+		figs = append(figs, f)
+	}
+
+	for _, f := range figs {
+		fmt.Println(bench.RenderASCII(f))
+		csvPath, err := bench.WriteCSV(f, *out)
+		if err != nil {
+			fatal(err)
+		}
+		svgPath, err := bench.WriteSVG(f, *out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s and %s\n\n", csvPath, svgPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptsbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,11 @@
+// Package pts reproduces "Parallel Tabu Search in a Heterogeneous
+// Environment" (Al-Yamani, Sait, Barada, Youssef — IPDPS 2003): a
+// two-level parallel tabu search for VLSI standard-cell placement with
+// a fuzzy multi-objective cost, running on a PVM-like message-passing
+// substrate over a simulated heterogeneous cluster.
+//
+// The implementation lives under internal/ (see DESIGN.md for the
+// system inventory); cmd/ holds the executables and examples/ the
+// runnable walkthroughs. The root package exists to carry the
+// per-figure benchmark harness (bench_test.go).
+package pts

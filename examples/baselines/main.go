@@ -1,0 +1,102 @@
+// Baselines: the same placement instance attacked three ways at a
+// comparable move-evaluation budget — memoryless simulated annealing,
+// sequential tabu search, and the paper's parallel tabu search — and
+// what each costs in (virtual) wall-clock time on one reference
+// machine versus the 12-machine cluster.
+//
+// The point the numbers make: on a single machine the sequential
+// methods pay for every evaluation in wall-clock time, while the
+// parallel search reaches comparable quality several times sooner —
+// the paper's goal was exactly this time-to-quality advantage.
+//
+//	go run ./examples/baselines
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pts/internal/anneal"
+	"pts/internal/cluster"
+	"pts/internal/core"
+	"pts/internal/cost"
+	"pts/internal/netlist"
+	"pts/internal/placement"
+	"pts/internal/rng"
+	"pts/internal/sevo"
+	"pts/internal/tabu"
+)
+
+func main() {
+	nl := netlist.MustBenchmark("c532")
+	const seed = 7
+
+	// One shared initial solution so costs are directly comparable.
+	mkProb := func() cost.Problem {
+		p, err := placement.New(nl, placement.AutoLayout(nl, 0.9))
+		if err != nil {
+			log.Fatal(err)
+		}
+		p.Randomize(rng.New(rng.Derive(seed, "core.initial", nl.Name)))
+		ev, err := cost.NewEvaluator(p, cost.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return cost.Problem{Ev: ev}
+	}
+	initial := mkProb().Cost()
+	// The virtual cost of one trial evaluation on the reference
+	// machine; the same constant the cluster model charges.
+	workPerTrial := core.DefaultConfig().WorkPerTrial
+	fmt.Printf("circuit %s, initial cost %.4f\n\n", nl.Name, initial)
+	fmt.Printf("%-28s %-11s %-13s %-12s\n", "method", "best cost", "improvement", "time-to-run")
+
+	// Simulated annealing (the memoryless baseline of the paper's intro).
+	saProb := mkProb()
+	sa, err := anneal.Minimize(saProb, anneal.Config{Seed: seed, MovesPerTemp: 8 * nl.NumCells(), Alpha: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	report := func(name string, best, seconds float64) {
+		fmt.Printf("%-28s %-11.4f %-13s %.2f s\n", name, best,
+			fmt.Sprintf("%.1f%%", 100*(initial-best)/initial), seconds)
+	}
+	report("simulated annealing", sa.BestCost, float64(sa.Steps)*workPerTrial)
+
+	// Simulated evolution (the paper's reference [5], where the fuzzy
+	// cost formulation originates).
+	seProb := mkProb()
+	se, err := sevo.Minimize(seProb.Ev, sevo.Config{Iterations: 60, Seed: seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// SimE evaluates ~Candidates trials per ripup.
+	seEvals := float64(se.Ripups * 8)
+	report("simulated evolution", se.BestCost, seEvals*workPerTrial)
+
+	// Sequential tabu search at a matching evaluation budget.
+	tsProb := mkProb()
+	params := tabu.DefaultParams()
+	params.Trials, params.Depth, params.Seed = 12, 4, seed
+	ts := tabu.NewSearch(tsProb, params)
+	tsIters := int(sa.Steps) / (params.Trials * params.Depth)
+	ts.Run(tsIters)
+	report("sequential tabu search", ts.BestCost(),
+		float64(tsIters*params.Trials*params.Depth)*workPerTrial)
+
+	// The paper's parallel tabu search (4 TSWs x 2 CLWs, half-sync).
+	cfg := core.DefaultConfig()
+	cfg.TSWs, cfg.CLWs = 4, 2
+	cfg.Seed = seed
+	pts, err := core.Run(nl, cluster.Testbed12(12), cfg, core.Virtual)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("parallel tabu search (4x2)", pts.BestCost, pts.Elapsed)
+
+	fmt.Printf("\nSA evaluated %d moves, TS %d, PTS %d — but PTS spreads them over 12 machines:\n",
+		sa.Steps, int64(tsIters*params.Trials*params.Depth), pts.Stats.TrialsCharged)
+	fmt.Printf("it reaches %.4f while the single-machine methods are still mid-schedule.\n", pts.BestCost)
+	fmt.Println("(Memoryless SA is a strong opponent on this smooth fuzzy landscape when")
+	fmt.Println("given the same evaluation count; the parallel search's edge is time.)")
+}

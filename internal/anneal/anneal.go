@@ -1,0 +1,163 @@
+// Package anneal implements simulated annealing over the same Problem
+// interface the tabu engine uses.
+//
+// The paper's introduction positions tabu search against the memoryless
+// stochastic heuristics — simulated annealing first among them [2,3] —
+// so the repository ships SA as the reference baseline: identical cost
+// model, identical swap neighborhood, only the acceptance rule differs
+// (Metropolis instead of best-of-candidate-list with memory).
+package anneal
+
+import (
+	"fmt"
+	"math"
+
+	"pts/internal/rng"
+	"pts/internal/stats"
+	"pts/internal/tabu"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// InitialTemp is the starting temperature; 0 auto-calibrates so
+	// that about 80% of uphill moves are initially accepted (the
+	// classic Kirkpatrick-style warm start).
+	InitialTemp float64
+	// FinalTemp stops the schedule (default: InitialTemp/1e4).
+	FinalTemp float64
+	// Alpha is the geometric cooling rate in (0,1); default 0.95.
+	Alpha float64
+	// MovesPerTemp is the number of proposed swaps per temperature;
+	// default 16 x problem size.
+	MovesPerTemp int
+	// Seed drives proposals and acceptance.
+	Seed uint64
+}
+
+// withDefaults fills the documented defaults for problem size n.
+func (c Config) withDefaults(n int32) Config {
+	if c.Alpha <= 0 || c.Alpha >= 1 {
+		c.Alpha = 0.95
+	}
+	if c.MovesPerTemp <= 0 {
+		c.MovesPerTemp = 16 * int(n)
+	}
+	return c
+}
+
+// Validate reports nonsensical parameters.
+func (c Config) Validate() error {
+	if c.InitialTemp < 0 || c.FinalTemp < 0 {
+		return fmt.Errorf("anneal: negative temperature")
+	}
+	if c.Alpha != 0 && (c.Alpha <= 0 || c.Alpha >= 1) {
+		return fmt.Errorf("anneal: alpha %v outside (0,1)", c.Alpha)
+	}
+	return nil
+}
+
+// Result reports a run's outcome.
+type Result struct {
+	BestCost  float64
+	BestSnap  []int32
+	Steps     int64
+	Accepted  int64
+	Uphill    int64 // accepted strictly-worsening moves
+	FinalTemp float64
+	// Trace records (temperature index, best cost) per temperature.
+	Trace stats.Trace
+}
+
+// Minimize runs simulated annealing on prob and returns the best
+// solution found. prob is left at the last visited solution; restore
+// Result.BestSnap for the best one.
+func Minimize(prob tabu.Problem, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := prob.Size()
+	cfg = cfg.withDefaults(n)
+	r := rng.New(rng.Derive(cfg.Seed, "anneal"))
+	res := &Result{
+		BestCost: prob.Cost(),
+		BestSnap: prob.Snapshot(),
+	}
+	if n < 2 {
+		return res, nil
+	}
+
+	propose := func() (int32, int32) {
+		a := int32(r.Intn(int(n)))
+		b := int32(r.Intn(int(n) - 1))
+		if b >= a {
+			b++
+		}
+		return a, b
+	}
+
+	temp := cfg.InitialTemp
+	if temp <= 0 {
+		temp = calibrate(prob, r, propose)
+	}
+	final := cfg.FinalTemp
+	if final <= 0 {
+		final = temp / 1e4
+	}
+	if final > temp {
+		return nil, fmt.Errorf("anneal: FinalTemp %v above InitialTemp %v", final, temp)
+	}
+
+	for ti := 0; temp > final; ti++ {
+		for m := 0; m < cfg.MovesPerTemp; m++ {
+			a, b := propose()
+			delta := prob.DeltaSwap(a, b)
+			res.Steps++
+			accept := delta <= 0
+			if !accept {
+				accept = r.Float64() < math.Exp(-delta/temp)
+				if accept {
+					res.Uphill++
+				}
+			}
+			if !accept {
+				continue
+			}
+			prob.ApplySwap(a, b)
+			res.Accepted++
+			if c := prob.Cost(); c < res.BestCost {
+				res.BestCost = c
+				res.BestSnap = prob.Snapshot()
+			}
+		}
+		if rf, ok := prob.(tabu.Refresher); ok {
+			rf.Refresh()
+			if c := prob.Cost(); c < res.BestCost {
+				res.BestCost = c
+				res.BestSnap = prob.Snapshot()
+			}
+		}
+		res.Trace.Record(float64(ti), res.BestCost)
+		temp *= cfg.Alpha
+	}
+	res.FinalTemp = temp
+	return res, nil
+}
+
+// calibrate samples uphill deltas from the initial solution and returns
+// the temperature at which ~80% of them would be accepted.
+func calibrate(prob tabu.Problem, r interface{ Intn(int) int }, propose func() (int32, int32)) float64 {
+	const samples = 200
+	sumUp, nUp := 0.0, 0
+	for i := 0; i < samples; i++ {
+		a, b := propose()
+		if d := prob.DeltaSwap(a, b); d > 0 {
+			sumUp += d
+			nUp++
+		}
+	}
+	if nUp == 0 {
+		return 1 // degenerate landscape: any positive temperature works
+	}
+	mean := sumUp / float64(nUp)
+	return -mean / math.Log(0.8)
+}

@@ -1,0 +1,188 @@
+package anneal
+
+import (
+	"math"
+	"testing"
+
+	"pts/internal/cost"
+	"pts/internal/netlist"
+	"pts/internal/placement"
+	"pts/internal/qap"
+	"pts/internal/rng"
+	"pts/internal/tabu"
+)
+
+func qapProb(t testing.TB, n int, seed uint64) *qap.State {
+	t.Helper()
+	return qap.NewState(qap.Random(n, seed), seed+1)
+}
+
+func placementProb(t testing.TB, cells int, seed uint64) cost.Problem {
+	t.Helper()
+	nl := netlist.MustGenerate(netlist.GenConfig{Name: "sa", Cells: cells, Seed: seed})
+	p, err := placement.New(nl, placement.AutoLayout(nl, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Randomize(rng.New(seed + 3))
+	ev, err := cost.NewEvaluator(p, cost.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cost.Problem{Ev: ev}
+}
+
+func TestMinimizeImprovesQAP(t *testing.T) {
+	prob := qapProb(t, 25, 1)
+	start := prob.Cost()
+	res, err := Minimize(prob, Config{Seed: 2, MovesPerTemp: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost >= start {
+		t.Fatalf("SA did not improve: %v -> %v", start, res.BestCost)
+	}
+	if res.Steps == 0 || res.Accepted == 0 {
+		t.Fatalf("no movement: %+v", res)
+	}
+	// The best snapshot must evaluate to the best cost.
+	if err := prob.Restore(res.BestSnap); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(prob.Cost()-res.BestCost) > 1e-6 {
+		t.Fatalf("snapshot cost %v != recorded %v", prob.Cost(), res.BestCost)
+	}
+}
+
+func TestMinimizeImprovesPlacement(t *testing.T) {
+	prob := placementProb(t, 80, 4)
+	start := prob.Cost()
+	res, err := Minimize(prob, Config{Seed: 5, MovesPerTemp: 300, Alpha: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost >= start {
+		t.Fatalf("SA did not improve placement: %v -> %v", start, res.BestCost)
+	}
+}
+
+func TestMinimizeDeterministic(t *testing.T) {
+	run := func() float64 {
+		prob := qapProb(t, 20, 9)
+		res, err := Minimize(prob, Config{Seed: 7, MovesPerTemp: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BestCost
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("runs with equal seed diverged: %v vs %v", a, b)
+	}
+}
+
+func TestUphillAcceptanceCoolsDown(t *testing.T) {
+	// At a scorching fixed temperature nearly every uphill move is
+	// accepted; near zero none are. Check the Metropolis rule through
+	// the Uphill counter across two short schedules.
+	hot := Config{InitialTemp: 1e9, FinalTemp: 1e8, Alpha: 0.5, MovesPerTemp: 300, Seed: 11}
+	cold := Config{InitialTemp: 1e-9, FinalTemp: 1e-10, Alpha: 0.5, MovesPerTemp: 300, Seed: 11}
+
+	probHot := qapProb(t, 20, 12)
+	resHot, err := Minimize(probHot, hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probCold := qapProb(t, 20, 12)
+	resCold, err := Minimize(probCold, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resHot.Uphill == 0 {
+		t.Error("hot schedule accepted no uphill moves")
+	}
+	if resCold.Uphill != 0 {
+		t.Errorf("cold schedule accepted %d uphill moves", resCold.Uphill)
+	}
+}
+
+func TestAutoCalibration(t *testing.T) {
+	prob := qapProb(t, 20, 14)
+	res, err := Minimize(prob, Config{Seed: 15, MovesPerTemp: 50, Alpha: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Auto-calibrated start must actually accept uphill moves early.
+	if res.Uphill == 0 {
+		t.Error("auto-calibrated temperature accepted no uphill moves")
+	}
+	if res.FinalTemp <= 0 {
+		t.Error("final temperature not recorded")
+	}
+	if res.Trace.Len() == 0 {
+		t.Error("no trace recorded")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	prob := qapProb(t, 10, 16)
+	if _, err := Minimize(prob, Config{InitialTemp: -1}); err == nil {
+		t.Error("negative temperature accepted")
+	}
+	if _, err := Minimize(prob, Config{Alpha: 1.5}); err == nil {
+		t.Error("alpha > 1 accepted")
+	}
+	if _, err := Minimize(prob, Config{InitialTemp: 1, FinalTemp: 10}); err == nil {
+		t.Error("final above initial accepted")
+	}
+}
+
+func TestDegenerateProblem(t *testing.T) {
+	prob := qap.NewState(qap.Random(1, 17), 18)
+	res, err := Minimize(prob, Config{Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 0 {
+		t.Error("size-1 problem should not step")
+	}
+}
+
+// TestTabuBeatsOrMatchesSAAtEqualBudget is the engine-level sanity the
+// paper's premise rests on: with memory, the search should not lose to
+// the memoryless baseline at an equal move-evaluation budget (averaged
+// over seeds to damp luck).
+func TestTabuBeatsOrMatchesSAAtEqualBudget(t *testing.T) {
+	var tsTotal, saTotal float64
+	const reps = 3
+	for s := uint64(0); s < reps; s++ {
+		// Budget: SA ~ temps x MovesPerTemp evals; TS ~ iters x m x d.
+		saProb := qapProb(t, 30, 20+s)
+		saRes, err := Minimize(saProb, Config{Seed: s, MovesPerTemp: 600, Alpha: 0.85})
+		if err != nil {
+			t.Fatal(err)
+		}
+		saTotal += saRes.BestCost
+
+		tsProb := qapProb(t, 30, 20+s)
+		search := tabu.NewSearch(tsProb, tabu.Params{Tenure: 10, Trials: 12, Depth: 3, Seed: s})
+		iters := int(saRes.Steps / int64(12*3))
+		search.Run(iters)
+		tsTotal += search.BestCost()
+	}
+	if tsTotal > saTotal*1.05 {
+		t.Fatalf("tabu (%.0f) lost to SA (%.0f) by more than 5%% at equal budget",
+			tsTotal/reps, saTotal/reps)
+	}
+}
+
+func BenchmarkSAPlacementC532(b *testing.B) {
+	prob := placementProb(b, 395, 1)
+	cfg := Config{Seed: 1, MovesPerTemp: 395, Alpha: 0.8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		if _, err := Minimize(prob, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

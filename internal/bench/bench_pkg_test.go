@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pts/internal/stats"
+)
+
+// tinyOpts keeps driver tests fast: the smallest circuit, minimal
+// budgets, one repeat.
+func tinyOpts() Opts {
+	return Opts{
+		Scale:    0.1,
+		Repeats:  1,
+		Seed:     5,
+		Circuits: []string{"highway"},
+	}
+}
+
+func TestOptsDefaults(t *testing.T) {
+	o := Opts{}.withDefaults()
+	if o.Scale != 1 || o.Repeats != 3 || o.Seed == 0 || len(o.Circuits) != 4 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	small := Opts{Scale: 0.1}.withDefaults()
+	if small.Repeats != 1 {
+		t.Errorf("small scale should reduce repeats, got %d", small.Repeats)
+	}
+	if got := o.scaled(100, 5); got != 100 {
+		t.Errorf("scaled(100) = %d", got)
+	}
+	if got := small.scaled(100, 5); got != 10 {
+		t.Errorf("scaled(100) at 0.1 = %d", got)
+	}
+	if got := small.scaled(10, 5); got != 5 {
+		t.Errorf("scaled floor broken: %d", got)
+	}
+}
+
+func TestSeedForDistinct(t *testing.T) {
+	o := tinyOpts().withDefaults()
+	seen := map[uint64]bool{}
+	for _, fig := range []string{"fig5", "fig7"} {
+		for _, c := range []string{"highway", "c532"} {
+			for rep := 0; rep < 3; rep++ {
+				s := o.seedFor(fig, c, rep)
+				if seen[s] {
+					t.Fatalf("seed collision at %s/%s/%d", fig, c, rep)
+				}
+				seen[s] = true
+			}
+		}
+	}
+}
+
+func TestFig5Shape(t *testing.T) {
+	f, err := Fig5(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != "fig05" || len(f.Series) != 1 {
+		t.Fatalf("figure shape wrong: %s, %d series", f.ID, len(f.Series))
+	}
+	s := f.Series[0]
+	if len(s.Points) != 4 {
+		t.Fatalf("want 4 CLW points, got %d", len(s.Points))
+	}
+	for i, p := range s.Points {
+		if p.X != float64(i+1) {
+			t.Errorf("x[%d] = %v", i, p.X)
+		}
+		if p.Y <= 0 || p.Y >= 1 {
+			t.Errorf("quality %v outside (0,1)", p.Y)
+		}
+	}
+}
+
+func TestFig6SpeedupBaseline(t *testing.T) {
+	o := tinyOpts()
+	o.Circuits = []string{"highway"} // intersect falls back to it
+	f, err := Fig6(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range f.Series {
+		if len(s.Points) != 4 {
+			t.Fatalf("want 4 points, got %d", len(s.Points))
+		}
+		// n=1 compares the baseline against itself: speedup exactly 1.
+		if s.Points[0].X != 1 || s.Points[0].Y != 1 {
+			t.Errorf("baseline speedup should be 1 at n=1, got %+v", s.Points[0])
+		}
+		for _, p := range s.Points {
+			if p.Y <= 0 {
+				t.Errorf("nonpositive speedup %v", p.Y)
+			}
+		}
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	f, err := Fig7(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 1 || len(f.Series[0].Points) != 8 {
+		t.Fatalf("want 1 series with 8 points, got %d/%d",
+			len(f.Series), len(f.Series[0].Points))
+	}
+}
+
+func TestFig9TracePairs(t *testing.T) {
+	f, err := Fig9(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 2 {
+		t.Fatalf("want div+nodiv series, got %d", len(f.Series))
+	}
+	names := f.Series[0].Name + " " + f.Series[1].Name
+	if !strings.Contains(names, "/div") || !strings.Contains(names, "/nodiv") {
+		t.Fatalf("series misnamed: %s", names)
+	}
+	for _, s := range f.Series {
+		if len(s.Points) < 2 {
+			t.Fatalf("trace too short: %d points", len(s.Points))
+		}
+	}
+}
+
+func TestFig10BudgetSweep(t *testing.T) {
+	f, err := Fig10(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Series[0]
+	if len(s.Points) < 3 {
+		t.Fatalf("too few budget splits: %d", len(s.Points))
+	}
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].X <= s.Points[i-1].X {
+			t.Fatal("local-iteration axis not increasing")
+		}
+	}
+}
+
+func TestFig11HetVsHom(t *testing.T) {
+	f, err := Fig11(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Series) != 2 {
+		t.Fatalf("want het+hom, got %d series", len(f.Series))
+	}
+	var het, hom *stats.Series
+	for i := range f.Series {
+		if strings.HasSuffix(f.Series[i].Name, "/het") {
+			het = &f.Series[i]
+		}
+		if strings.HasSuffix(f.Series[i].Name, "/hom") {
+			hom = &f.Series[i]
+		}
+	}
+	if het == nil || hom == nil {
+		t.Fatal("missing series")
+	}
+	// The paper's claim: het finishes earlier (same iteration budget).
+	hetEnd := het.Points[len(het.Points)-1].X
+	homEnd := hom.Points[len(hom.Points)-1].X
+	if hetEnd >= homEnd {
+		t.Fatalf("het end %v not earlier than hom end %v", hetEnd, homEnd)
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	o := tinyOpts()
+	var lines []string
+	o.Progress = func(s string) { lines = append(lines, s) }
+	if _, err := Fig5(o); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 4 { // 4 CLW settings x 1 repeat x 1 circuit
+		t.Fatalf("progress lines = %d, want 4", len(lines))
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	f, err := Fig5(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderASCII(f)
+	for _, want := range []string{"fig05", "highway", "legend:", "note:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ASCII output missing %q", want)
+		}
+	}
+	// Trace-style figures use the summary table.
+	f9, err := Fig9(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out9 := RenderASCII(f9)
+	if !strings.Contains(out9, "final") {
+		t.Errorf("trace figure should use the summary table:\n%s", out9)
+	}
+}
+
+func TestRenderEmptyFigure(t *testing.T) {
+	f := &Figure{ID: "x", Title: "empty"}
+	if out := RenderASCII(f); !strings.Contains(out, "(no data)") {
+		t.Errorf("empty figure render: %q", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	f, err := Fig5(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path, err := WriteCSV(f, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "fig05.csv" {
+		t.Errorf("path = %s", path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "series,x,y" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 1+4 {
+		t.Errorf("want 5 lines, got %d", len(lines))
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	if got := intersect([]string{"a", "b", "c"}, []string{"c", "a"}); len(got) != 2 || got[0] != "c" {
+		t.Errorf("intersect = %v", got)
+	}
+	if got := intersect([]string{"a"}, []string{"z"}); len(got) != 1 || got[0] != "a" {
+		t.Errorf("fallback broken: %v", got)
+	}
+}

@@ -1,0 +1,146 @@
+package bench
+
+import (
+	"fmt"
+
+	"pts/internal/core"
+	"pts/internal/netlist"
+	"pts/internal/stats"
+)
+
+// The extras are ablations beyond the paper's figures, probing the
+// design choices DESIGN.md §6 calls out. They are reachable via
+// `ptsbench -fig assign|corr|mpds`.
+
+// ExtraAssignment compares the two task-to-machine policies on the idle
+// heterogeneous testbed (pure speed classes, no load noise): runtime and
+// quality per circuit for interleaved versus blocked groups.
+func ExtraAssignment(o Opts) (*Figure, error) {
+	o = o.withDefaults()
+	fig := &Figure{
+		ID:     "extra-assign",
+		Title:  "Ablation: task placement policy (interleaved vs blocked groups)",
+		XLabel: "policy (0=interleaved, 1=blocked)",
+		YLabel: "virtual runtime (s)",
+	}
+	clus := o.testbed()
+	for _, name := range o.Circuits {
+		nl, err := netlist.Benchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		timeSeries := stats.Series{Name: name + "/time"}
+		for pi, asg := range []core.Assignment{core.AssignInterleaved, core.AssignBlocked} {
+			var timeAcc, costAcc stats.Accumulator
+			for rep := 0; rep < o.Repeats; rep++ {
+				cfg := baseConfig(o)
+				cfg.TSWs, cfg.CLWs = 4, 2
+				cfg.Assignment = asg
+				cfg.Seed = o.seedFor("extra-assign", name, rep)
+				res, err := runOne(o, fmt.Sprintf("assign %s p=%d rep=%d", name, pi, rep), nl, clus, cfg)
+				if err != nil {
+					return nil, err
+				}
+				timeAcc.Add(res.Elapsed)
+				costAcc.Add(res.BestCost)
+			}
+			timeSeries.Add(float64(pi), timeAcc.Mean())
+			fig.Notes = append(fig.Notes, fmt.Sprintf("%s policy=%d: time %.3fs cost %.4f",
+				name, pi, timeAcc.Mean(), costAcc.Mean()))
+		}
+		fig.Series = append(fig.Series, timeSeries)
+	}
+	fig.Notes = append(fig.Notes,
+		"blocked groups concentrate slow machines in whole TSWs; half-sync absorbs them at the master level")
+	return fig, nil
+}
+
+// ExtraCorrelation measures what independent worker random streams are
+// worth: redundant (correlated) versus independent workers, with and
+// without diversification — the Fig. 9 mechanism isolated.
+func ExtraCorrelation(o Opts) (*Figure, error) {
+	o = o.withDefaults()
+	fig := &Figure{
+		ID:     "extra-corr",
+		Title:  "Ablation: correlated vs independent worker streams, with/without diversification",
+		XLabel: "variant (0=corr/nodiv 1=corr/div 2=indep/nodiv 3=indep/div)",
+		YLabel: "best fuzzy cost",
+	}
+	clus := o.testbed()
+	variants := []struct {
+		corr bool
+		div  int
+	}{{true, 0}, {true, 12}, {false, 0}, {false, 12}}
+	for _, name := range o.Circuits {
+		nl, err := netlist.Benchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		s := stats.Series{Name: name}
+		for vi, v := range variants {
+			var acc stats.Accumulator
+			for rep := 0; rep < o.Repeats; rep++ {
+				cfg := baseConfig(o)
+				cfg.TSWs, cfg.CLWs = 4, 1
+				cfg.CorrelatedWorkers = v.corr
+				cfg.DiversifyDepth = v.div
+				cfg.Seed = o.seedFor("extra-corr", name, rep)
+				res, err := runOne(o, fmt.Sprintf("corr %s v=%d rep=%d", name, vi, rep), nl, clus, cfg)
+				if err != nil {
+					return nil, err
+				}
+				acc.Add(res.BestCost)
+			}
+			s.Add(float64(vi), acc.Mean())
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = append(fig.Notes,
+		"with correlated streams, diversification is the only decorrelator — the regime the paper's Figure 9 describes")
+	return fig, nil
+}
+
+// ExtraMPDS compares the paper's MPSS (one strategy everywhere) against
+// the MPDS extension (each TSW with a different strategy) its taxonomy
+// section points at.
+func ExtraMPDS(o Opts) (*Figure, error) {
+	o = o.withDefaults()
+	fig := &Figure{
+		ID:     "extra-mpds",
+		Title:  "Extension: MPSS vs MPDS (per-TSW strategies)",
+		XLabel: "variant (0=MPSS, 1=MPDS)",
+		YLabel: "best fuzzy cost",
+	}
+	clus := o.testbed()
+	mpds := []core.Tuning{
+		{Trials: 6, Depth: 2},            // light and shallow
+		{Trials: 18, Depth: 3},           // heavy sampling
+		{Depth: 6, Tenure: 5},            // deep compounds, short memory
+		{Tenure: 30, DiversifyDepth: 20}, // long memory, strong kicks
+	}
+	for _, name := range o.Circuits {
+		nl, err := netlist.Benchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		s := stats.Series{Name: name}
+		for vi, per := range [][]core.Tuning{nil, mpds} {
+			var acc stats.Accumulator
+			for rep := 0; rep < o.Repeats; rep++ {
+				cfg := baseConfig(o)
+				cfg.TSWs, cfg.CLWs = 4, 1
+				cfg.PerTSW = per
+				cfg.Seed = o.seedFor("extra-mpds", name, rep)
+				res, err := runOne(o, fmt.Sprintf("mpds %s v=%d rep=%d", name, vi, rep), nl, clus, cfg)
+				if err != nil {
+					return nil, err
+				}
+				acc.Add(res.BestCost)
+			}
+			s.Add(float64(vi), acc.Mean())
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = append(fig.Notes, "MPDS diversifies by construction; MPSS relies on random streams and kicks")
+	return fig, nil
+}

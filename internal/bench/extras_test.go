@@ -1,0 +1,56 @@
+package bench
+
+import "testing"
+
+func TestExtraAssignment(t *testing.T) {
+	f, err := ExtraAssignment(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != "extra-assign" || len(f.Series) != 1 {
+		t.Fatalf("figure shape wrong: %s %d", f.ID, len(f.Series))
+	}
+	if len(f.Series[0].Points) != 2 {
+		t.Fatalf("want 2 policies, got %d", len(f.Series[0].Points))
+	}
+	for _, p := range f.Series[0].Points {
+		if p.Y <= 0 {
+			t.Fatal("nonpositive runtime")
+		}
+	}
+	if len(f.Notes) < 3 {
+		t.Error("missing per-policy notes")
+	}
+}
+
+func TestExtraCorrelation(t *testing.T) {
+	f, err := ExtraCorrelation(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Series[0]
+	if len(s.Points) != 4 {
+		t.Fatalf("want 4 variants, got %d", len(s.Points))
+	}
+	for _, p := range s.Points {
+		if p.Y <= 0 || p.Y >= 1 {
+			t.Fatalf("cost %v out of range", p.Y)
+		}
+	}
+}
+
+func TestExtraMPDS(t *testing.T) {
+	f, err := ExtraMPDS(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := f.Series[0]
+	if len(s.Points) != 2 {
+		t.Fatalf("want MPSS+MPDS, got %d points", len(s.Points))
+	}
+	for _, p := range s.Points {
+		if p.Y <= 0 || p.Y >= 1 {
+			t.Fatalf("cost %v out of range", p.Y)
+		}
+	}
+}

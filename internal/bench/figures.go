@@ -1,0 +1,372 @@
+package bench
+
+import (
+	"fmt"
+
+	"pts/internal/core"
+	"pts/internal/netlist"
+	"pts/internal/stats"
+)
+
+// Fig5 reproduces Figure 5: effect of the number of CLWs (low-level
+// parallelization) on the best solution quality, with 4 TSWs, for every
+// circuit. One series per circuit: x = #CLWs, y = mean best cost.
+func Fig5(o Opts) (*Figure, error) {
+	o = o.withDefaults()
+	fig := &Figure{
+		ID:     "fig05",
+		Title:  "Effect of number of CLWs on solution quality (TSWs=4)",
+		XLabel: "CLWs per TSW",
+		YLabel: "best fuzzy cost (lower is better)",
+	}
+	clus := o.testbed()
+	for _, name := range o.Circuits {
+		nl, err := netlist.Benchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		s := stats.Series{Name: name}
+		for clws := 1; clws <= 4; clws++ {
+			var acc stats.Accumulator
+			for rep := 0; rep < o.Repeats; rep++ {
+				cfg := baseConfig(o)
+				cfg.TSWs, cfg.CLWs = 4, clws
+				cfg.Seed = o.seedFor("fig5", name, rep)
+				res, err := runOne(o, fmt.Sprintf("fig5 %s clw=%d rep=%d", name, clws, rep), nl, clus, cfg)
+				if err != nil {
+					return nil, err
+				}
+				acc.Add(res.BestCost)
+			}
+			s.Add(float64(clws), acc.Mean())
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = append(fig.Notes,
+		"paper: more CLWs improve quality; tiny 'highway' saturates around 2 CLWs")
+	return fig, nil
+}
+
+// speedupFigure is the shared engine of Figures 6 and 8: sweep a worker
+// axis, define the quality target x per (circuit, repeat) as the final
+// best of the 1-worker baseline, and report mean speedup
+// t(1,x)/t(n,x).
+func speedupFigure(o Opts, id, title, xlabel, figKey string, circuits []string,
+	ns []int, configure func(cfg *core.Config, n int)) (*Figure, error) {
+
+	fig := &Figure{
+		ID:     id,
+		Title:  title,
+		XLabel: xlabel,
+		YLabel: "speedup t(1,x)/t(n,x)",
+	}
+	clus := o.testbed()
+	unreached := 0
+	for _, name := range circuits {
+		nl, err := netlist.Benchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		// Per repeat: run the whole sweep with one seed, using the n=1
+		// run as both the baseline trace and the target definition.
+		speedups := make([][]float64, len(ns))
+		for rep := 0; rep < o.Repeats; rep++ {
+			seed := o.seedFor(figKey, name, rep)
+			var base *core.Result
+			results := make([]*core.Result, len(ns))
+			for i, n := range ns {
+				cfg := baseConfig(o)
+				cfg.Seed = seed
+				configure(&cfg, n)
+				res, err := runOne(o, fmt.Sprintf("%s %s n=%d rep=%d", figKey, name, n, rep), nl, clus, cfg)
+				if err != nil {
+					return nil, err
+				}
+				results[i] = res
+				if n == 1 {
+					base = res
+				}
+			}
+			if base == nil {
+				return nil, fmt.Errorf("bench: %s: sweep lacks the n=1 baseline", figKey)
+			}
+			x := base.BestCost // quality target: what one worker achieved
+			for i := range ns {
+				sp, reached := stats.Speedup(&base.Trace, &results[i].Trace, x)
+				if !reached {
+					unreached++
+				}
+				speedups[i] = append(speedups[i], sp)
+			}
+		}
+		s := stats.Series{Name: name}
+		for i, n := range ns {
+			s.Add(float64(n), stats.Mean(speedups[i]))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	if unreached > 0 {
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"%d run(s) did not reach the baseline quality; their speedup is a lower bound (end-of-run time used)", unreached))
+	}
+	return fig, nil
+}
+
+// Fig6 reproduces Figure 6: speedup in reaching a fixed solution
+// quality for 1..4 CLWs (TSWs=4), on the two circuits the paper plots.
+func Fig6(o Opts) (*Figure, error) {
+	o = o.withDefaults()
+	circuits := intersect(o.Circuits, []string{"c532", "c3540"})
+	fig, err := speedupFigure(o, "fig06",
+		"Speedup to reach cost < x vs number of CLWs (TSWs=4)",
+		"CLWs per TSW", "fig6", circuits, []int{1, 2, 3, 4},
+		func(cfg *core.Config, n int) { cfg.TSWs, cfg.CLWs = 4, n })
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes, "paper: speedup grows with CLWs, steeper for larger circuits")
+	return fig, nil
+}
+
+// Fig7 reproduces Figure 7: effect of the number of TSWs (high-level
+// parallelization) on the best solution quality, with 1 CLW per TSW.
+func Fig7(o Opts) (*Figure, error) {
+	o = o.withDefaults()
+	fig := &Figure{
+		ID:     "fig07",
+		Title:  "Effect of number of TSWs on solution quality (CLWs=1)",
+		XLabel: "TSWs",
+		YLabel: "best fuzzy cost (lower is better)",
+	}
+	clus := o.testbed()
+	for _, name := range o.Circuits {
+		nl, err := netlist.Benchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		s := stats.Series{Name: name}
+		for tsws := 1; tsws <= 8; tsws++ {
+			var acc stats.Accumulator
+			for rep := 0; rep < o.Repeats; rep++ {
+				cfg := baseConfig(o)
+				cfg.TSWs, cfg.CLWs = tsws, 1
+				cfg.Seed = o.seedFor("fig7", name, rep)
+				res, err := runOne(o, fmt.Sprintf("fig7 %s tsw=%d rep=%d", name, tsws, rep), nl, clus, cfg)
+				if err != nil {
+					return nil, err
+				}
+				acc.Add(res.BestCost)
+			}
+			s.Add(float64(tsws), acc.Mean())
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = append(fig.Notes, "paper: adding TSWs beyond 4 is not useful")
+	return fig, nil
+}
+
+// Fig8 reproduces Figure 8: speedup in reaching a fixed solution
+// quality for 1..8 TSWs (CLWs=1), on the two circuits the paper plots.
+func Fig8(o Opts) (*Figure, error) {
+	o = o.withDefaults()
+	circuits := intersect(o.Circuits, []string{"c532", "c3540"})
+	fig, err := speedupFigure(o, "fig08",
+		"Speedup to reach cost < x vs number of TSWs (CLWs=1)",
+		"TSWs", "fig8", circuits, []int{1, 2, 3, 4, 5, 6, 7, 8},
+		func(cfg *core.Config, n int) { cfg.TSWs, cfg.CLWs = n, 1 })
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes, "paper: speedup peaks near 4 TSWs (critical point), degrades beyond")
+	return fig, nil
+}
+
+// Fig9 reproduces Figure 9: effect of the TSW diversification step.
+// Two best-cost traces per circuit (4 TSWs, 1 CLW): diversified vs
+// non-diversified. The x axis is virtual time.
+func Fig9(o Opts) (*Figure, error) {
+	o = o.withDefaults()
+	fig := &Figure{
+		ID:     "fig09",
+		Title:  "Effect of diversification (TSWs=4, CLWs=1)",
+		XLabel: "virtual time (s)",
+		YLabel: "best fuzzy cost",
+	}
+	clus := o.testbed()
+	for _, name := range o.Circuits {
+		nl, err := netlist.Benchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		finals := map[string][]float64{}
+		for _, div := range []bool{true, false} {
+			label := "div"
+			if !div {
+				label = "nodiv"
+			}
+			// Traces from different seeds cannot be averaged pointwise:
+			// plot the repeat with the median final cost and report the
+			// mean finals in the notes.
+			results := make([]*core.Result, 0, o.Repeats)
+			for rep := 0; rep < o.Repeats; rep++ {
+				cfg := baseConfig(o)
+				cfg.TSWs, cfg.CLWs = 4, 1
+				cfg.GlobalIters = 10
+				if !div {
+					cfg.DiversifyDepth = 0
+				}
+				cfg.Seed = o.seedFor("fig9", name, rep)
+				res, err := runOne(o, fmt.Sprintf("fig9 %s %s rep=%d", name, label, rep), nl, clus, cfg)
+				if err != nil {
+					return nil, err
+				}
+				results = append(results, res)
+				finals[label] = append(finals[label], res.BestCost)
+			}
+			med := medianResult(results)
+			s := stats.Series{Name: name + "/" + label}
+			for _, p := range med.Trace.Points {
+				s.Add(p.Time, p.Cost)
+			}
+			fig.Series = append(fig.Series, s)
+		}
+		fig.Notes = append(fig.Notes, fmt.Sprintf("%s: mean final cost div=%.4f nodiv=%.4f over %d seed(s)",
+			name, stats.Mean(finals["div"]), stats.Mean(finals["nodiv"]), o.Repeats))
+	}
+	fig.Notes = append(fig.Notes, "paper: the diversified run significantly outperforms the non-diversified run")
+	return fig, nil
+}
+
+// medianResult returns the run whose final best cost is the median of
+// the set (ties broken by order).
+func medianResult(rs []*core.Result) *core.Result {
+	best := append([]*core.Result(nil), rs...)
+	for i := 1; i < len(best); i++ {
+		for j := i; j > 0 && best[j].BestCost < best[j-1].BestCost; j-- {
+			best[j], best[j-1] = best[j-1], best[j]
+		}
+	}
+	return best[(len(best)-1)/2]
+}
+
+// Fig10 reproduces Figure 10: trading global iterations (more
+// diversification) against local iterations (more local investigation)
+// at a fixed total budget. x = local iterations per global iteration,
+// y = mean best cost; one series per circuit.
+func Fig10(o Opts) (*Figure, error) {
+	o = o.withDefaults()
+	fig := &Figure{
+		ID:     "fig10",
+		Title:  "Local versus global iterations at fixed budget",
+		XLabel: "local iterations per global iteration",
+		YLabel: "best fuzzy cost",
+	}
+	// Budget = G*L constant; the paper decreases G while increasing L.
+	// The extremes bracket the sweet spot: G=64 leaves only a handful of
+	// local iterations per round, G=2 almost never synchronizes or
+	// diversifies.
+	budget := o.scaled(320, 64)
+	splits := [][2]int{
+		{64, budget / 64}, {32, budget / 32}, {16, budget / 16},
+		{8, budget / 8}, {4, budget / 4}, {2, budget / 2},
+	}
+	clus := o.testbed()
+	for _, name := range o.Circuits {
+		nl, err := netlist.Benchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		s := stats.Series{Name: name}
+		for _, gl := range splits {
+			g, l := gl[0], gl[1]
+			if l < 1 {
+				continue
+			}
+			var acc stats.Accumulator
+			for rep := 0; rep < o.Repeats; rep++ {
+				cfg := baseConfig(o)
+				cfg.TSWs, cfg.CLWs = 4, 1
+				cfg.GlobalIters, cfg.LocalIters = g, l
+				cfg.Seed = o.seedFor("fig10", name, rep)
+				res, err := runOne(o, fmt.Sprintf("fig10 %s G=%d L=%d rep=%d", name, g, l, rep), nl, clus, cfg)
+				if err != nil {
+					return nil, err
+				}
+				acc.Add(res.BestCost)
+			}
+			s.Add(float64(l), acc.Mean())
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Notes = append(fig.Notes, "paper: no general conclusion — the best split is instance-dependent")
+	return fig, nil
+}
+
+// Fig11 reproduces Figure 11: best cost versus runtime for the
+// heterogeneous (half-sync) and homogeneous (full barrier) collection
+// modes, 4 TSWs x 4 CLWs on the 12-machine testbed.
+func Fig11(o Opts) (*Figure, error) {
+	o = o.withDefaults()
+	fig := &Figure{
+		ID:     "fig11",
+		Title:  "Best cost vs runtime: heterogeneous (half-sync) vs homogeneous collection (TSWs=4, CLWs=4)",
+		XLabel: "virtual time (s)",
+		YLabel: "best fuzzy cost",
+	}
+	clus := o.testbed()
+	for _, name := range o.Circuits {
+		nl, err := netlist.Benchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, half := range []bool{true, false} {
+			cfg := baseConfig(o)
+			cfg.TSWs, cfg.CLWs = 4, 4
+			cfg.GlobalIters = 10
+			// Below ~16 local iterations every compound move still finds
+			// an improving first step and early-accepts, so forced
+			// reports never land mid-move and the two modes coincide.
+			if cfg.LocalIters < 16 {
+				cfg.LocalIters = 16
+			}
+			cfg.HalfSync = half
+			cfg.Seed = o.seedFor("fig11", name, 0)
+			label := "het"
+			if !half {
+				label = "hom"
+			}
+			res, err := runOne(o, fmt.Sprintf("fig11 %s %s", name, label), nl, clus, cfg)
+			if err != nil {
+				return nil, err
+			}
+			s := stats.Series{Name: name + "/" + label}
+			for _, p := range res.Trace.Points {
+				s.Add(p.Time, p.Cost)
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	fig.Notes = append(fig.Notes,
+		"paper: same final quality, heterogeneous run finishes markedly earlier and is never worse at the end")
+	return fig, nil
+}
+
+// intersect keeps the elements of want that are present in have,
+// preserving want's order; if the intersection is empty it falls back to
+// have (so restricted test circuit sets still exercise the driver).
+func intersect(have, want []string) []string {
+	set := map[string]bool{}
+	for _, h := range have {
+		set[h] = true
+	}
+	var out []string
+	for _, w := range want {
+		if set[w] {
+			out = append(out, w)
+		}
+	}
+	if len(out) == 0 {
+		return have
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pts/internal/cost"
+	"pts/internal/netlist"
+	"pts/internal/pvm"
+	"pts/internal/rng"
+	"pts/internal/tabu"
+)
+
+// clwRun is the candidate-list worker body (paper Fig. 4). It owns a
+// private copy of the solution, kept in lockstep with its parent TSW via
+// TagSync/TagNewState, and produces one compound move per TagSearch.
+// The first cell of every trial swap comes from the worker's range —
+// the probabilistic domain decomposition of §4.1 — and the second from
+// the whole cell space.
+func clwRun(env pvm.Env, nl *netlist.Netlist, cfg Config, tune Tuning, goals cost.Goals, parent pvm.TaskID) {
+	init := env.Recv(TagInit).Data.(initMsg)
+	ev := mustEvaluator(env, nl, cfg, goals, init.Perm)
+	prob := cost.Problem{Ev: ev}
+	r := workerRand(env, cfg, "clw")
+	params := tabu.CompoundParams{
+		Trials:  tune.Trials,
+		Depth:   tune.Depth,
+		RangeLo: init.RangeLo,
+		RangeHi: init.RangeHi,
+	}
+	stepWork := float64(tune.Trials) * cfg.WorkPerTrial
+	staWork := workSTA(cfg, nl)
+
+	var stats WorkerStats
+	var tentative tabu.CompoundMove // applied locally, awaiting TagSync
+
+	for {
+		m := env.Recv(TagSearch, TagSync, TagNewState, TagStop, TagReportNow)
+		switch m.Tag {
+		case TagSearch:
+			forced := false
+			move := tabu.BuildCompound(prob, r, params, func() bool {
+				env.Work(stepWork)
+				stats.TrialsCharged += int64(tune.Trials)
+				if _, ok := env.TryRecv(TagReportNow); ok {
+					forced = true
+					return true
+				}
+				return false
+			})
+			tentative = move
+			stats.CandidatesBuilt++
+			if forced {
+				stats.ForcedReports++
+			}
+			env.Send(parent, TagCandidate, candMsg{Move: move, Forced: forced})
+
+		case TagSync:
+			chosen := m.Data.(syncMsg).Chosen
+			tentative.Undo(prob)
+			chosen.Apply(prob)
+			tentative = tabu.CompoundMove{}
+			env.Work(float64(len(chosen.Swaps)) * cfg.WorkPerTrial)
+
+		case TagNewState:
+			perm := m.Data.(stateMsg).Perm
+			if err := ev.ImportPerm(perm); err != nil {
+				panic(fmt.Sprintf("core: clw %s: %v", env.Name(), err))
+			}
+			tentative = tabu.CompoundMove{}
+			env.Work(staWork)
+
+		case TagReportNow:
+			// Stale force (our candidate was already in flight): ignore.
+
+		case TagStop:
+			env.Send(parent, TagStats, stats)
+			return
+		}
+	}
+}
+
+// workerRand returns the worker's random stream: independent per task
+// by default, or shared among siblings of the same class when
+// Config.CorrelatedWorkers emulates identically-seeded processes.
+func workerRand(env pvm.Env, cfg Config, class string) *rand.Rand {
+	if cfg.CorrelatedWorkers {
+		return rng.NewChild(cfg.Seed, "core.correlated", class)
+	}
+	return env.Rand()
+}
+
+// mustEvaluator builds a worker evaluator over an imported solution with
+// the run's shared goals; construction failures are protocol bugs.
+func mustEvaluator(env pvm.Env, nl *netlist.Netlist, cfg Config, goals cost.Goals, perm []int32) *cost.Evaluator {
+	p := newLayoutPlacement(nl, cfg)
+	if err := p.Import(perm); err != nil {
+		panic(fmt.Sprintf("core: %s: import: %v", env.Name(), err))
+	}
+	ev, err := cost.NewEvaluatorWithGoals(p, cfg.Cost.Timing, goals)
+	if err != nil {
+		panic(fmt.Sprintf("core: %s: evaluator: %v", env.Name(), err))
+	}
+	return ev
+}

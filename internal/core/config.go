@@ -1,0 +1,225 @@
+// Package core implements the paper's contribution: the two-level
+// parallel tabu search (PTS) for VLSI standard-cell placement in a
+// heterogeneous environment.
+//
+// Three process kinds cooperate over the PVM-like substrate
+// (pts/internal/pvm):
+//
+//   - the master spawns TSWs, hands every one the same initial solution,
+//     collects their bests each global iteration, and broadcasts the
+//     winner (solution plus its tabu list);
+//   - Tabu Search Workers (TSWs) each run their own tabu search
+//     (multi-search threads, p-control): per global iteration they first
+//     diversify with respect to their own cell range, then drive
+//     LocalIters tabu iterations using their candidate-list workers;
+//   - Candidate-list Workers (CLWs) build the candidate list in parallel
+//     (functional decomposition, 1-control): each owns a cell range
+//     (probabilistic domain decomposition) and produces one compound
+//     move of depth Depth per request, keeping the best of Trials pair
+//     swaps per step and accepting early when the cost improves.
+//
+// Heterogeneity adaptation (Config.HalfSync): a parent collects results
+// until half of its children reported, then forces the rest to report
+// their best-so-far immediately — at both parallelization levels,
+// exactly as in the paper's §4.2.
+package core
+
+import (
+	"fmt"
+
+	"pts/internal/cost"
+	"pts/internal/netlist"
+)
+
+// Config parameterizes one parallel tabu search run.
+type Config struct {
+	// TSWs is the number of tabu search workers (high-level
+	// parallelization degree).
+	TSWs int
+	// CLWs is the number of candidate-list workers per TSW (low-level
+	// parallelization degree).
+	CLWs int
+	// GlobalIters is the number of master synchronization rounds.
+	GlobalIters int
+	// LocalIters is the number of tabu iterations per TSW per global
+	// iteration.
+	LocalIters int
+	// Trials is m: candidate pairs per compound-move step.
+	Trials int
+	// Depth is d: maximum swaps per compound move.
+	Depth int
+	// Tenure is the tabu tenure in TSW iterations.
+	Tenure int
+	// DiversifyDepth is the number of forced diversification swaps each
+	// TSW performs at the start of every global iteration; 0 disables
+	// diversification.
+	DiversifyDepth int
+	// HalfSync enables the heterogeneous collection mode: parents force
+	// stragglers to report once half their children finished. When
+	// false, parents wait for every child (the paper's homogeneous run).
+	HalfSync bool
+	// RefreshEvery re-runs timing analysis on a TSW's evaluator every
+	// that many accepted moves (0 = only at global sync).
+	RefreshEvery int
+	// Utilization is the slot-grid fill ratio for the layout.
+	Utilization float64
+	// Cost configures objectives and fuzzy goals.
+	Cost cost.Config
+	// WorkPerTrial is the modeled compute cost, in reference seconds, of
+	// evaluating one trial swap; it is what the virtual runtime charges.
+	WorkPerTrial float64
+	// Seed drives the initial solution and every worker's sampling.
+	Seed uint64
+	// RecordTrace keeps the best-cost-versus-time trace in the result.
+	RecordTrace bool
+	// CorrelatedWorkers gives all sibling workers the same random
+	// stream instead of independent ones. This emulates the classic
+	// unseeded-PRNG deployment of the paper's era, where every PVM
+	// process drew the same numbers: without diversification the TSWs
+	// then perform identical redundant searches, which is precisely the
+	// situation the paper's diversification step (Fig. 9) repairs.
+	CorrelatedWorkers bool
+	// Assignment selects how tasks map onto cluster machines.
+	Assignment Assignment
+	// PerTSW optionally overrides search parameters per TSW, turning
+	// the algorithm from the paper's MPSS (multiple points, single
+	// strategy) into MPDS (multiple points, different strategies) in
+	// the Crainic taxonomy — the natural extension the paper's §4
+	// classification points at. Index i tunes TSW i; missing entries
+	// keep the global parameters.
+	PerTSW []Tuning
+}
+
+// Tuning is a per-TSW strategy override; zero fields inherit the
+// global Config value.
+type Tuning struct {
+	Trials         int
+	Depth          int
+	Tenure         int
+	DiversifyDepth int
+}
+
+// tuningFor resolves the effective parameters of TSW i.
+func (c Config) tuningFor(i int) Tuning {
+	t := Tuning{
+		Trials:         c.Trials,
+		Depth:          c.Depth,
+		Tenure:         c.Tenure,
+		DiversifyDepth: c.DiversifyDepth,
+	}
+	if i < len(c.PerTSW) {
+		o := c.PerTSW[i]
+		if o.Trials > 0 {
+			t.Trials = o.Trials
+		}
+		if o.Depth > 0 {
+			t.Depth = o.Depth
+		}
+		if o.Tenure > 0 {
+			t.Tenure = o.Tenure
+		}
+		if o.DiversifyDepth > 0 {
+			t.DiversifyDepth = o.DiversifyDepth
+		}
+	}
+	return t
+}
+
+// Assignment is the task-to-machine placement policy.
+type Assignment int
+
+const (
+	// AssignInterleaved emulates PVM's global round-robin: master on
+	// machine 0, TSW i on 1+i, CLW j of TSW i on 1+TSWs+i·CLWs+j (all
+	// modulo the cluster size). Every TSW group mixes machine speeds.
+	AssignInterleaved Assignment = iota
+	// AssignBlocked gives each TSW group (the TSW plus its CLWs) a
+	// contiguous machine window, so whole groups are fast or slow — the
+	// regime where the master-level half-sync matters most.
+	AssignBlocked
+)
+
+// tswMachine returns the machine index of TSW i.
+func (c Config) tswMachine(i int) int {
+	if c.Assignment == AssignBlocked {
+		return 1 + i*(1+c.CLWs)
+	}
+	return 1 + i
+}
+
+// clwMachine returns the machine index of CLW j of TSW i.
+func (c Config) clwMachine(i, j int) int {
+	if c.Assignment == AssignBlocked {
+		return 1 + i*(1+c.CLWs) + 1 + j
+	}
+	return 1 + c.TSWs + i*c.CLWs + j
+}
+
+// DefaultConfig returns the parameter set used by the experiments
+// unless a figure says otherwise.
+func DefaultConfig() Config {
+	return Config{
+		TSWs:           4,
+		CLWs:           1,
+		GlobalIters:    10,
+		LocalIters:     60,
+		Trials:         12,
+		Depth:          4,
+		Tenure:         10,
+		DiversifyDepth: 12,
+		HalfSync:       true,
+		RefreshEvery:   64,
+		Utilization:    0.9,
+		Cost:           cost.DefaultConfig(),
+		// 20 µs per trial evaluation reproduces the paper's 2003-era
+		// compute/communication ratio against the ~250 µs LAN latency:
+		// one compound move costs ~1 ms, so collection order actually
+		// depends on machine speed and load.
+		WorkPerTrial: 20e-6,
+		Seed:         1,
+		RecordTrace:  true,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.TSWs < 1:
+		return fmt.Errorf("core: TSWs %d < 1", c.TSWs)
+	case c.CLWs < 1:
+		return fmt.Errorf("core: CLWs %d < 1", c.CLWs)
+	case c.GlobalIters < 1:
+		return fmt.Errorf("core: GlobalIters %d < 1", c.GlobalIters)
+	case c.LocalIters < 1:
+		return fmt.Errorf("core: LocalIters %d < 1", c.LocalIters)
+	case c.Trials < 1:
+		return fmt.Errorf("core: Trials %d < 1", c.Trials)
+	case c.Depth < 1:
+		return fmt.Errorf("core: Depth %d < 1", c.Depth)
+	case c.Tenure < 1:
+		return fmt.Errorf("core: Tenure %d < 1", c.Tenure)
+	case c.DiversifyDepth < 0:
+		return fmt.Errorf("core: DiversifyDepth %d < 0", c.DiversifyDepth)
+	case c.WorkPerTrial < 0:
+		return fmt.Errorf("core: WorkPerTrial %v < 0", c.WorkPerTrial)
+	}
+	return nil
+}
+
+// ranges partitions [0, n) into k nearly equal half-open ranges, the
+// cell subsets assigned to workers.
+func ranges(n int32, k int) [][2]int32 {
+	out := make([][2]int32, k)
+	for i := 0; i < k; i++ {
+		lo := int32(int64(n) * int64(i) / int64(k))
+		hi := int32(int64(n) * int64(i+1) / int64(k))
+		out[i] = [2]int32{lo, hi}
+	}
+	return out
+}
+
+// workSTA is the modeled compute cost of one full timing analysis,
+// scaling with circuit size: roughly n/8 trial-evaluation equivalents.
+func workSTA(cfg Config, nl *netlist.Netlist) float64 {
+	return cfg.WorkPerTrial * float64(nl.NumCells()) / 8
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"pts/internal/cluster"
+	"pts/internal/netlist"
+)
+
+// TestCorrelatedWorkersAreRedundant verifies the emulation that
+// motivates the paper's diversification step: with shared random
+// streams, no diversification, and full-barrier collection, four TSWs
+// perform the identical search — the run's best equals a single TSW's.
+func TestCorrelatedWorkersAreRedundant(t *testing.T) {
+	nl := netlist.MustBenchmark("highway")
+	clus := cluster.Homogeneous(12, 1)
+	mk := func(tsws int) Config {
+		cfg := quickCfg()
+		cfg.TSWs, cfg.CLWs = tsws, 1
+		cfg.DiversifyDepth = 0
+		cfg.HalfSync = false // forcing would truncate workers differently
+		cfg.CorrelatedWorkers = true
+		return cfg
+	}
+	four, err := Run(nl, clus, mk(4), Virtual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Run(nl, clus, mk(1), Virtual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if four.BestCost != one.BestCost {
+		t.Fatalf("correlated TSWs should be redundant: 4 workers %v != 1 worker %v",
+			four.BestCost, one.BestCost)
+	}
+}
+
+// TestDiversificationDecorrelatesWorkers: with correlated streams,
+// diversification is the only thing distinguishing the TSWs, so the
+// diversified 4-worker run must beat (or match) the redundant one —
+// the mechanism behind the paper's Figure 9.
+func TestDiversificationDecorrelatesWorkers(t *testing.T) {
+	nl := netlist.MustBenchmark("c532")
+	clus := cluster.Homogeneous(12, 1)
+	mk := func(div int) Config {
+		cfg := quickCfg()
+		cfg.TSWs, cfg.CLWs = 4, 1
+		cfg.GlobalIters, cfg.LocalIters = 5, 25
+		cfg.DiversifyDepth = div
+		cfg.HalfSync = false
+		cfg.CorrelatedWorkers = true
+		return cfg
+	}
+	// Average over a few seeds: single runs are noisy.
+	var withDiv, noDiv float64
+	const reps = 3
+	for s := uint64(0); s < reps; s++ {
+		cfg := mk(12)
+		cfg.Seed = 100 + s
+		a, err := Run(nl, clus, cfg, Virtual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withDiv += a.BestCost
+		cfg = mk(0)
+		cfg.Seed = 100 + s
+		b, err := Run(nl, clus, cfg, Virtual)
+		if err != nil {
+			t.Fatal(err)
+		}
+		noDiv += b.BestCost
+	}
+	withDiv /= reps
+	noDiv /= reps
+	// Allow a whisker of noise, but diversification must not lose
+	// ground when it is the only decorrelator.
+	if withDiv > noDiv+0.02 {
+		t.Fatalf("diversified mean %v worse than redundant mean %v", withDiv, noDiv)
+	}
+}

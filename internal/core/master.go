@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pts/internal/cost"
+	"pts/internal/netlist"
+	"pts/internal/pvm"
+	"pts/internal/stats"
+	"pts/internal/tabu"
+)
+
+// masterState is what the master process writes back to Run.
+type masterState struct {
+	bestCost float64
+	bestPerm []int32
+	trace    stats.Trace
+	stats    WorkerStats
+	rounds   int
+}
+
+// masterRun is the master process body (paper Fig. 2): spawn the TSWs,
+// give every one the same initial solution, then per global iteration
+// collect their bests (half-sync in heterogeneous mode), select the
+// overall best and broadcast it together with its tabu list.
+func masterRun(env pvm.Env, nl *netlist.Netlist, cfg Config, goals cost.Goals,
+	initPerm []int32, initCost float64, out *masterState) {
+
+	out.bestCost = initCost
+	out.bestPerm = append([]int32(nil), initPerm...)
+	// raw gathers every incumbent improvement any TSW observed; the
+	// monotone envelope becomes the run's trace at the end.
+	var raw []improvement
+	raw = append(raw, improvement{Time: env.Now(), Cost: initCost})
+
+	// The master occupies machine 0; workers go where the assignment
+	// policy says.
+	tswIDs := make([]pvm.TaskID, cfg.TSWs)
+	for i := 0; i < cfg.TSWs; i++ {
+		i := i
+		tswIDs[i] = env.Spawn(fmt.Sprintf("tsw%d", i), cfg.tswMachine(i), func(e pvm.Env) {
+			tswRun(e, nl, cfg, goals, env.Self())
+		})
+	}
+	divRanges := ranges(int32(nl.NumCells()), cfg.TSWs)
+	for i, id := range tswIDs {
+		env.Send(id, TagInit, initMsg{
+			Perm:      initPerm,
+			RangeLo:   divRanges[i][0],
+			RangeHi:   divRanges[i][1],
+			WorkerIdx: i,
+		})
+	}
+
+	var bestTabu []tabu.Entry
+	for g := 0; g < cfg.GlobalIters; g++ {
+		reports := collectBests(env, tswIDs, cfg.HalfSync)
+		env.Work(float64(len(reports)) * cfg.WorkPerTrial)
+		for _, r := range reports {
+			raw = append(raw, r.Points...)
+			if r.Cost < out.bestCost {
+				out.bestCost = r.Cost
+				out.bestPerm = append(out.bestPerm[:0], r.Perm...)
+				bestTabu = r.Tabu
+			}
+		}
+		out.rounds++
+		// The round-end observation keeps the trace's time axis spanning
+		// the full run even when no TSW improved this round.
+		raw = append(raw, improvement{Time: env.Now(), Cost: out.bestCost})
+		// Broadcast the global best (solution + its tabu list) so every
+		// TSW restarts the next round from it.
+		gm := globalMsg{Perm: out.bestPerm, Tabu: bestTabu}
+		for _, id := range tswIDs {
+			env.Send(id, TagGlobal, gm)
+		}
+	}
+
+	// Shut down and gather counters.
+	for _, id := range tswIDs {
+		env.Send(id, TagStop, nil)
+	}
+	for range tswIDs {
+		m := env.Recv(TagStats)
+		out.stats.add(m.Data.(WorkerStats))
+	}
+
+	if cfg.RecordTrace {
+		out.trace = envelope(raw)
+	}
+}
+
+// envelope turns raw improvement observations from many workers into
+// the monotone best-cost-versus-time trace: sorted by time, keeping
+// only points that improve on everything earlier.
+func envelope(raw []improvement) stats.Trace {
+	sort.SliceStable(raw, func(i, j int) bool {
+		if raw[i].Time != raw[j].Time {
+			return raw[i].Time < raw[j].Time
+		}
+		return raw[i].Cost < raw[j].Cost
+	})
+	var tr stats.Trace
+	best := 0.0
+	for i, p := range raw {
+		if i == 0 || p.Cost < best {
+			best = p.Cost
+			tr.Record(p.Time, best)
+		} else if i == len(raw)-1 {
+			// Keep the final observation so End() reflects the real
+			// make-span of the search phase.
+			tr.Record(p.Time, best)
+		}
+	}
+	return tr
+}
+
+// collectBests gathers one bestMsg per TSW; in half-sync mode it forces
+// the stragglers once half have reported.
+func collectBests(env pvm.Env, tswIDs []pvm.TaskID, halfSync bool) []bestMsg {
+	n := len(tswIDs)
+	out := make([]bestMsg, 0, n)
+	reported := make(map[pvm.TaskID]bool, n)
+	take := func() {
+		m := env.Recv(TagBest)
+		reported[m.From] = true
+		out = append(out, m.Data.(bestMsg))
+	}
+	if halfSync && n > 1 {
+		half := (n + 1) / 2
+		for len(out) < half {
+			take()
+		}
+		for _, id := range tswIDs {
+			if !reported[id] {
+				env.Send(id, TagReportNow, nil)
+			}
+		}
+	}
+	for len(out) < n {
+		take()
+	}
+	return out
+}

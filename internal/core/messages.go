@@ -1,0 +1,127 @@
+package core
+
+import (
+	"pts/internal/pvm"
+	"pts/internal/tabu"
+)
+
+// Message tags of the PTS protocol.
+const (
+	// TagInit carries the initial solution and worker range
+	// (master→TSW, TSW→CLW).
+	TagInit pvm.Tag = iota + 1
+	// TagSearch asks a CLW to build one compound move (TSW→CLW).
+	TagSearch
+	// TagCandidate returns a CLW's compound move (CLW→TSW).
+	TagCandidate
+	// TagSync tells CLWs which move won this iteration so they undo
+	// their tentative move and apply the winner (TSW→CLW).
+	TagSync
+	// TagNewState replaces a CLW's whole solution at a global
+	// synchronization (TSW→CLW).
+	TagNewState
+	// TagBest reports a TSW's best solution, cost and tabu list
+	// (TSW→master).
+	TagBest
+	// TagGlobal broadcasts the global best solution and its tabu list
+	// (master→TSW).
+	TagGlobal
+	// TagReportNow forces a child to report its best immediately — the
+	// heterogeneity adaptation (master→TSW, TSW→CLW).
+	TagReportNow
+	// TagStop shuts a worker down (parent→child).
+	TagStop
+	// TagStats returns a worker's counters at shutdown (child→parent).
+	TagStats
+)
+
+// initMsg is the TagInit payload.
+type initMsg struct {
+	Perm             []int32
+	RangeLo, RangeHi int32
+	WorkerIdx        int
+}
+
+// PVMItems models the message size for latency purposes.
+func (m initMsg) PVMItems() int { return len(m.Perm) + 4 }
+
+// candMsg is the TagCandidate payload.
+type candMsg struct {
+	Move   tabu.CompoundMove
+	Forced bool // the move was truncated by TagReportNow
+}
+
+func (m candMsg) PVMItems() int { return 2*len(m.Move.Swaps) + 3 }
+
+// syncMsg is the TagSync payload: the winning move of the iteration
+// (possibly empty when no move was taken).
+type syncMsg struct {
+	Chosen tabu.CompoundMove
+}
+
+func (m syncMsg) PVMItems() int { return 2*len(m.Chosen.Swaps) + 3 }
+
+// stateMsg is the TagNewState payload.
+type stateMsg struct {
+	Perm []int32
+}
+
+func (m stateMsg) PVMItems() int { return len(m.Perm) }
+
+// improvement is one incumbent improvement a TSW observed locally:
+// the virtual time and the new best cost.
+type improvement struct {
+	Time float64
+	Cost float64
+}
+
+// bestMsg is the TagBest payload: the paper's TSW→master exchange is
+// the best solution plus the associated tabu list. Points carries the
+// TSW's incumbent improvements since its previous report, so the master
+// can build a fine-grained best-cost-versus-time envelope.
+type bestMsg struct {
+	Cost   float64
+	Perm   []int32
+	Tabu   []tabu.Entry
+	Points []improvement
+	Forced bool
+}
+
+func (m bestMsg) PVMItems() int { return len(m.Perm) + 3*len(m.Tabu) + 4*len(m.Points) + 4 }
+
+// globalMsg is the TagGlobal payload.
+type globalMsg struct {
+	Perm []int32
+	Tabu []tabu.Entry
+}
+
+func (m globalMsg) PVMItems() int { return len(m.Perm) + 3*len(m.Tabu) }
+
+// WorkerStats counts one worker's search events; workers aggregate
+// their children's stats into their own before reporting.
+type WorkerStats struct {
+	LocalIters       int64
+	CandidatesBuilt  int64
+	TrialsCharged    int64
+	MovesAccepted    int64
+	TabuRejected     int64
+	Aspirations      int64
+	Fallbacks        int64
+	ForcedReports    int64
+	Diversifications int64
+}
+
+// add accumulates other into s.
+func (s *WorkerStats) add(other WorkerStats) {
+	s.LocalIters += other.LocalIters
+	s.CandidatesBuilt += other.CandidatesBuilt
+	s.TrialsCharged += other.TrialsCharged
+	s.MovesAccepted += other.MovesAccepted
+	s.TabuRejected += other.TabuRejected
+	s.Aspirations += other.Aspirations
+	s.Fallbacks += other.Fallbacks
+	s.ForcedReports += other.ForcedReports
+	s.Diversifications += other.Diversifications
+}
+
+func (s WorkerStats) PVMItems() int { return 9 }

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+
+	"pts/internal/cluster"
+	"pts/internal/cost"
+	"pts/internal/netlist"
+	"pts/internal/placement"
+	"pts/internal/pvm"
+	"pts/internal/rng"
+	"pts/internal/stats"
+)
+
+// Mode selects the execution runtime.
+type Mode int
+
+const (
+	// Virtual runs on the deterministic discrete-event kernel with
+	// modeled machine speeds, loads and message latencies. All
+	// experiment figures use it.
+	Virtual Mode = iota
+	// Real runs on goroutines with wall-clock timing.
+	Real
+)
+
+// Result is the outcome of one parallel tabu search run.
+type Result struct {
+	// BestCost is the best fuzzy cost found (lower is better, in [0,1]).
+	BestCost float64
+	// BestPerm is the best placement as a slot permutation.
+	BestPerm []int32
+	// Objectives are the exact objective values of BestPerm.
+	Objectives cost.Objectives
+	// CriticalPath is the exact critical path delay (ns) of BestPerm.
+	CriticalPath float64
+	// InitialCost is the fuzzy cost of the shared initial solution.
+	InitialCost float64
+	// Elapsed is the run's make-span in seconds (virtual or wall).
+	Elapsed float64
+	// Rounds is the number of completed global iterations.
+	Rounds int
+	// Trace is the best-cost-versus-time curve (one point per global
+	// iteration, plus the initial point) when Config.RecordTrace is set.
+	Trace stats.Trace
+	// Stats aggregates every worker's counters.
+	Stats WorkerStats
+	// Runtime reports the communication volume of the run.
+	Runtime pvm.Counters
+}
+
+// Run executes the parallel tabu search over circuit nl on the given
+// cluster. The returned result is deterministic in cfg.Seed when mode is
+// Virtual.
+func Run(nl *netlist.Netlist, clus cluster.Cluster, cfg Config, mode Mode) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := clus.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Shared initial solution and the run's fuzzy goals, derived once
+	// so every worker's costs are comparable (paper: the master provides
+	// each TSW with the same initial solution).
+	p0 := newLayoutPlacement(nl, cfg)
+	p0.Randomize(rng.New(rng.Derive(cfg.Seed, "core.initial", nl.Name)))
+	ev0, err := cost.NewEvaluator(p0, cfg.Cost)
+	if err != nil {
+		return nil, err
+	}
+	goals := ev0.GoalSet()
+	initPerm := ev0.ExportPerm()
+	initCost := ev0.Cost()
+
+	var ms masterState
+	root := func(env pvm.Env) {
+		masterRun(env, nl, cfg, goals, initPerm, initCost, &ms)
+	}
+	var counters pvm.Counters
+	opts := pvm.Options{Cluster: clus, Seed: cfg.Seed, Counters: &counters}
+	var elapsed float64
+	switch mode {
+	case Virtual:
+		elapsed, err = pvm.RunVirtual(opts, root)
+	case Real:
+		elapsed, err = pvm.RunReal(opts, root)
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	// Score the returned best exactly (full timing analysis).
+	if err := ev0.ImportPerm(ms.bestPerm); err != nil {
+		return nil, fmt.Errorf("core: best solution invalid: %w", err)
+	}
+	res := &Result{
+		BestCost:     ms.bestCost,
+		BestPerm:     ms.bestPerm,
+		Objectives:   ev0.Objectives(),
+		CriticalPath: ev0.CriticalPath(),
+		InitialCost:  initCost,
+		Elapsed:      elapsed,
+		Rounds:       ms.rounds,
+		Trace:        ms.trace,
+		Stats:        ms.stats,
+		Runtime:      counters,
+	}
+	return res, nil
+}
+
+// newLayoutPlacement builds the slot grid every worker uses; all
+// workers must agree on it for permutations to be interchangeable.
+func newLayoutPlacement(nl *netlist.Netlist, cfg Config) *placement.Placement {
+	p, err := placement.New(nl, placement.AutoLayout(nl, cfg.Utilization))
+	if err != nil {
+		// AutoLayout always allocates enough slots; a failure here is a
+		// programming error, not an input error.
+		panic(fmt.Sprintf("core: layout: %v", err))
+	}
+	return p
+}

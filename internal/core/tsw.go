@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pts/internal/cost"
+	"pts/internal/netlist"
+	"pts/internal/pvm"
+	"pts/internal/tabu"
+)
+
+// tswRun is the tabu search worker body (paper Fig. 3). Per global
+// iteration it diversifies with respect to its own cell range, runs
+// LocalIters tabu iterations driven by its CLWs, reports its best
+// (solution + tabu list) to the master, and adopts the broadcast global
+// best.
+func tswRun(env pvm.Env, nl *netlist.Netlist, cfg Config, goals cost.Goals, master pvm.TaskID) {
+	init := env.Recv(TagInit).Data.(initMsg)
+	ev := mustEvaluator(env, nl, cfg, goals, init.Perm)
+	prob := cost.Problem{Ev: ev}
+	tune := cfg.tuningFor(init.WorkerIdx)
+
+	list := tabu.NewList()
+	freq := tabu.NewFrequency(prob.Size())
+	tswRand := workerRand(env, cfg, "tsw")
+	var iter int64
+	var stats WorkerStats
+
+	best := prob.Cost()
+	bestPerm := prob.Snapshot()
+	staWork := workSTA(cfg, nl)
+	var pending []improvement // incumbent improvements since the last report
+
+	// Spawn this worker's CLWs once; they live for the whole run and
+	// sit on the machines the assignment policy dictates.
+	clwIDs := make([]pvm.TaskID, cfg.CLWs)
+	clwRanges := ranges(prob.Size(), cfg.CLWs)
+	for j := 0; j < cfg.CLWs; j++ {
+		clwIDs[j] = env.Spawn(fmt.Sprintf("clw%d", j), cfg.clwMachine(init.WorkerIdx, j), func(e pvm.Env) {
+			clwRun(e, nl, cfg, tune, goals, env.Self())
+		})
+	}
+	for j, id := range clwIDs {
+		env.Send(id, TagInit, initMsg{
+			Perm:      init.Perm,
+			RangeLo:   clwRanges[j][0],
+			RangeHi:   clwRanges[j][1],
+			WorkerIdx: j,
+		})
+	}
+
+	noteBest := func() {
+		if c := prob.Cost(); c < best {
+			best = c
+			bestPerm = prob.Snapshot()
+			pending = append(pending, improvement{Time: env.Now(), Cost: c})
+		}
+	}
+
+	// syncCLWs broadcasts the chosen move of this iteration.
+	syncCLWs := func(chosen tabu.CompoundMove) {
+		for _, id := range clwIDs {
+			env.Send(id, TagSync, syncMsg{Chosen: chosen})
+		}
+	}
+
+	// resyncState pushes the full current solution to every CLW.
+	resyncState := func() {
+		perm := prob.Snapshot()
+		for _, id := range clwIDs {
+			env.Send(id, TagNewState, stateMsg{Perm: perm})
+		}
+	}
+
+	acceptedSinceRefresh := 0
+	for g := 0; g < cfg.GlobalIters; g++ {
+		// Diversification w.r.t. this worker's own cell range (Kelly et
+		// al. [10]): forced swaps of the least-moved cells of the range.
+		if tune.DiversifyDepth > 0 {
+			diversify(prob, env, tswRand, freq, list, iter, cfg, tune, init.RangeLo, init.RangeHi)
+			stats.Diversifications++
+			ev.Refresh()
+			env.Work(staWork)
+			noteBest()
+		}
+		resyncState()
+
+		forcedByMaster := false
+		for l := 0; l < cfg.LocalIters; l++ {
+			// Heterogeneity: the master may force us to report early.
+			if _, ok := env.TryRecv(TagReportNow); ok {
+				forcedByMaster = true
+				stats.ForcedReports++
+				break
+			}
+			stats.LocalIters++
+			iter++
+
+			// Fan the candidate construction out to the CLWs.
+			for _, id := range clwIDs {
+				env.Send(id, TagSearch, nil)
+			}
+			cands := collectCandidates(env, clwIDs, cfg.HalfSync)
+			env.Work(float64(len(cands)) * cfg.WorkPerTrial) // selection cost
+
+			moves := make([]tabu.CompoundMove, len(cands))
+			for i, c := range cands {
+				moves[i] = c.Move
+			}
+			verdict := tabu.SelectAdmissible(moves, prob.Cost(), best, list, iter)
+			var chosen tabu.CompoundMove
+			if verdict.Index >= 0 {
+				chosen = moves[verdict.Index]
+				chosen.Apply(prob)
+				env.Work(float64(len(chosen.Swaps)) * cfg.WorkPerTrial)
+				for _, at := range chosen.Attributes() {
+					list.Add(at, iter+int64(tune.Tenure))
+				}
+				freq.BumpMove(&chosen)
+				stats.MovesAccepted++
+				acceptedSinceRefresh++
+				noteBest()
+			}
+			stats.TabuRejected += int64(verdict.TabuRejected)
+			if verdict.Aspired {
+				stats.Aspirations++
+			}
+			if verdict.Fallback {
+				stats.Fallbacks++
+			}
+			syncCLWs(chosen)
+
+			if cfg.RefreshEvery > 0 && acceptedSinceRefresh >= cfg.RefreshEvery {
+				acceptedSinceRefresh = 0
+				ev.Refresh()
+				env.Work(staWork)
+				noteBest()
+			}
+		}
+
+		// Report the best to the master (solution + tabu list, §4.1).
+		env.Send(master, TagBest, bestMsg{
+			Cost:   best,
+			Perm:   bestPerm,
+			Tabu:   list.Export(iter),
+			Points: pending,
+			Forced: forcedByMaster,
+		})
+		pending = nil
+
+		// Wait for the verdict; ignore stale force requests.
+		for {
+			m := env.Recv(TagGlobal, TagStop, TagReportNow)
+			if m.Tag == TagReportNow {
+				continue
+			}
+			if m.Tag == TagStop {
+				shutdownCLWs(env, clwIDs, &stats)
+				env.Send(master, TagStats, stats)
+				return
+			}
+			gm := m.Data.(globalMsg)
+			if err := ev.ImportPerm(gm.Perm); err != nil {
+				panic(fmt.Sprintf("core: tsw %s: %v", env.Name(), err))
+			}
+			env.Work(staWork)
+			// Adopt the winner's tabu list with the solution.
+			list.Reset()
+			list.Import(gm.Tabu, iter)
+			noteBest()
+			break
+		}
+	}
+
+	// Drain the final TagStop (the master stops us after the last round).
+	for {
+		m := env.Recv(TagStop, TagReportNow)
+		if m.Tag == TagStop {
+			break
+		}
+	}
+	shutdownCLWs(env, clwIDs, &stats)
+	env.Send(master, TagStats, stats)
+}
+
+// collectCandidates gathers one candidate per CLW. In half-sync mode it
+// waits for half of them, forces the rest with TagReportNow, then waits
+// for the remainder (they arrive promptly, truncated).
+func collectCandidates(env pvm.Env, clwIDs []pvm.TaskID, halfSync bool) []candMsg {
+	n := len(clwIDs)
+	out := make([]candMsg, 0, n)
+	reported := make(map[pvm.TaskID]bool, n)
+	take := func() {
+		m := env.Recv(TagCandidate)
+		reported[m.From] = true
+		out = append(out, m.Data.(candMsg))
+	}
+	if halfSync && n > 1 {
+		half := (n + 1) / 2
+		for len(out) < half {
+			take()
+		}
+		for _, id := range clwIDs {
+			if !reported[id] {
+				env.Send(id, TagReportNow, nil)
+			}
+		}
+	}
+	for len(out) < n {
+		take()
+	}
+	return out
+}
+
+// diversify performs the Kelly-style diversification "within the TSW
+// range" (paper §4.1): each of DiversifyDepth forced swaps moves the
+// least-frequently moved cell of [lo, hi) — the long-term-memory forcing
+// of Kelly et al. [10] — to the best of Trials candidate partners from
+// the same range. The move is applied regardless of sign, so each TSW
+// drifts into its own region of the solution space, but the greedy
+// partner choice bounds the damage to the incumbent. The applied
+// attributes become tabu so the jump is not immediately undone.
+func diversify(prob tabu.Problem, env pvm.Env, r *rand.Rand, freq *tabu.Frequency, list *tabu.List,
+	iter int64, cfg Config, tune Tuning, lo, hi int32) {
+	size := prob.Size()
+	if hi <= lo+1 || size < 2 {
+		return
+	}
+	for i := 0; i < tune.DiversifyDepth; i++ {
+		a := freq.LeastMoved(r, lo, hi)
+		bestB, bestDelta := int32(-1), 0.0
+		for t := 0; t < tune.Trials; t++ {
+			b := lo + int32(r.Intn(int(hi-lo)))
+			if b == a {
+				continue
+			}
+			d := prob.DeltaSwap(a, b)
+			if bestB < 0 || d < bestDelta {
+				bestB, bestDelta = b, d
+			}
+		}
+		env.Work(float64(tune.Trials) * cfg.WorkPerTrial)
+		if bestB < 0 {
+			continue
+		}
+		prob.ApplySwap(a, bestB)
+		freq.BumpSwap(a, bestB)
+		list.Add(tabu.Attr(a, bestB), iter+int64(tune.Tenure))
+	}
+}
+
+// shutdownCLWs stops every CLW and folds its stats into the TSW's.
+func shutdownCLWs(env pvm.Env, clwIDs []pvm.TaskID, stats *WorkerStats) {
+	for _, id := range clwIDs {
+		env.Send(id, TagStop, nil)
+	}
+	for range clwIDs {
+		m := env.Recv(TagStats)
+		stats.add(m.Data.(WorkerStats))
+	}
+}

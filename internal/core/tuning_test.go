@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"pts/internal/cluster"
+	"pts/internal/netlist"
+)
+
+func TestTuningForResolution(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Trials, cfg.Depth, cfg.Tenure, cfg.DiversifyDepth = 10, 3, 7, 5
+	cfg.PerTSW = []Tuning{
+		{},                     // TSW 0: all inherited
+		{Trials: 20},           // TSW 1: trials overridden
+		{Depth: 1, Tenure: 30}, // TSW 2
+	}
+	if got := cfg.tuningFor(0); got != (Tuning{10, 3, 7, 5}) {
+		t.Errorf("tsw0 tuning = %+v", got)
+	}
+	if got := cfg.tuningFor(1); got != (Tuning{20, 3, 7, 5}) {
+		t.Errorf("tsw1 tuning = %+v", got)
+	}
+	if got := cfg.tuningFor(2); got != (Tuning{10, 1, 30, 5}) {
+		t.Errorf("tsw2 tuning = %+v", got)
+	}
+	// Beyond the slice: inherited.
+	if got := cfg.tuningFor(9); got != (Tuning{10, 3, 7, 5}) {
+		t.Errorf("tsw9 tuning = %+v", got)
+	}
+}
+
+func TestMPDSRun(t *testing.T) {
+	// MPDS mode: every TSW searches with a different strategy; the run
+	// must work end-to-end and improve.
+	nl := netlist.MustBenchmark("highway")
+	cfg := quickCfg()
+	cfg.TSWs, cfg.CLWs = 4, 1
+	cfg.PerTSW = []Tuning{
+		{Trials: 4, Depth: 1},            // shallow, wide sampling
+		{Trials: 16, Depth: 2},           // heavy sampling
+		{Depth: 6, Tenure: 4},            // deep compounds, short memory
+		{Tenure: 40, DiversifyDepth: 24}, // long memory, strong kicks
+	}
+	res, err := Run(nl, cluster.Homogeneous(12, 1), cfg, Virtual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost >= res.InitialCost {
+		t.Fatalf("MPDS run did not improve: %v -> %v", res.InitialCost, res.BestCost)
+	}
+}
+
+func TestMPDSDeterministic(t *testing.T) {
+	nl := netlist.MustBenchmark("highway")
+	cfg := quickCfg()
+	cfg.PerTSW = []Tuning{{Trials: 4}, {Depth: 5}}
+	a, err := Run(nl, cluster.Testbed12(3), cfg, Virtual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(nl, cluster.Testbed12(3), cfg, Virtual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestCost != b.BestCost || a.Elapsed != b.Elapsed {
+		t.Fatal("MPDS runs with equal seeds diverged")
+	}
+}

@@ -1,0 +1,97 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"pts/internal/fuzzy"
+	"pts/internal/placement"
+	"pts/internal/rng"
+	"pts/internal/timing"
+)
+
+func TestGoalSetRoundTrip(t *testing.T) {
+	e := newEval(t, 80, 20)
+	g := e.GoalSet()
+	if err := g.Validate(); err != nil {
+		t.Fatalf("derived goals invalid: %v", err)
+	}
+
+	// A second evaluator over a different placement of the same circuit
+	// with the same goals must produce comparable costs: scoring the
+	// same permutation yields the same cost.
+	nl := e.Placement().Netlist()
+	p2, err := placement.New(nl, e.Placement().Layout())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Randomize(rng.New(999))
+	e2, err := NewEvaluatorWithGoals(p2, DefaultConfig().Timing, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.ImportPerm(e.ExportPerm()); err != nil {
+		t.Fatal(err)
+	}
+	e.Refresh()
+	if math.Abs(e2.Cost()-e.Cost()) > 1e-9 {
+		t.Fatalf("same perm, same goals, different cost: %v vs %v", e2.Cost(), e.Cost())
+	}
+	if e2.Timing() == nil {
+		t.Fatal("Timing accessor nil")
+	}
+}
+
+func TestGoalsValidate(t *testing.T) {
+	good := fuzzy.Membership{Goal: 1, Ceiling: 2}
+	bad := fuzzy.Membership{Goal: 2, Ceiling: 1}
+	cases := []Goals{
+		{Wirelength: bad, Delay: good, Area: good, Beta: 0.5},
+		{Wirelength: good, Delay: bad, Area: good, Beta: 0.5},
+		{Wirelength: good, Delay: good, Area: bad, Beta: 0.5},
+		{Wirelength: good, Delay: good, Area: good, Beta: 1.5},
+	}
+	for i, g := range cases {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: invalid goals accepted", i)
+		}
+	}
+	ok := Goals{Wirelength: good, Delay: good, Area: good, Beta: 0.5}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid goals rejected: %v", err)
+	}
+	if _, err := NewEvaluatorWithGoals(nil, timing.Config{}, cases[0]); err == nil {
+		t.Error("NewEvaluatorWithGoals accepted invalid goals")
+	}
+}
+
+func TestProblemAdapter(t *testing.T) {
+	e := newEval(t, 60, 21)
+	prob := Problem{Ev: e}
+	if prob.Cost() != e.Cost() {
+		t.Error("Cost mismatch")
+	}
+	if prob.Size() != int32(60) {
+		t.Errorf("Size = %d", prob.Size())
+	}
+	d := prob.DeltaSwap(3, 9)
+	before := prob.Cost()
+	prob.ApplySwap(3, 9)
+	if math.Abs((prob.Cost()-before)-d) > 1e-9 {
+		t.Error("adapter delta inconsistent")
+	}
+	snap := prob.Snapshot()
+	prob.ApplySwap(1, 2)
+	if err := prob.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	prob.Refresh()
+	if len(prob.Snapshot()) != 60 {
+		t.Error("snapshot length wrong")
+	}
+	clone := prob.Clone()
+	clone.ApplySwap(4, 5)
+	if clone.Ev == prob.Ev {
+		t.Error("Clone shares the evaluator")
+	}
+}

@@ -1,0 +1,84 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"pts/internal/netlist"
+	"pts/internal/placement"
+	"pts/internal/rng"
+)
+
+func newSparseEval(t *testing.T, cells int, seed uint64) *Evaluator {
+	t.Helper()
+	nl := netlist.MustGenerate(netlist.GenConfig{Name: "mv", Cells: cells, Seed: seed})
+	p, err := placement.New(nl, placement.AutoLayout(nl, 0.7)) // spare slots
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Randomize(rng.New(seed + 5))
+	e, err := NewEvaluator(p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestMoveDeltaMatchesApply(t *testing.T) {
+	e := newSparseEval(t, 80, 1)
+	r := rng.New(2)
+	p := e.Placement()
+	for i := 0; i < 200; i++ {
+		c := netlist.CellID(r.Intn(80))
+		slot := p.RandomEmptySlot(r)
+		to := p.Layout().SlotPos(slot)
+		predicted := e.MoveDelta(c, to)
+		before := e.Cost()
+		if err := e.ApplyMove(c, to); err != nil {
+			t.Fatal(err)
+		}
+		if got := e.Cost() - before; math.Abs(got-predicted) > 1e-9 {
+			t.Fatalf("step %d: delta %v != predicted %v", i, got, predicted)
+		}
+	}
+	// Maintained objectives stay exact after mixed mutations.
+	wl := e.Objectives().Wirelength
+	e.Refresh()
+	if math.Abs(e.Objectives().Wirelength-wl) > 1e-6 {
+		t.Fatalf("wirelength drifted under moves: %v vs %v", wl, e.Objectives().Wirelength)
+	}
+}
+
+func TestApplyMoveRejectsOccupied(t *testing.T) {
+	e := newSparseEval(t, 40, 3)
+	p := e.Placement()
+	occupied := p.PosOf(7)
+	if err := e.ApplyMove(3, occupied); err == nil {
+		t.Fatal("move onto occupied slot accepted")
+	}
+}
+
+func TestMixedMoveSwapConsistency(t *testing.T) {
+	e := newSparseEval(t, 60, 4)
+	r := rng.New(9)
+	p := e.Placement()
+	for i := 0; i < 300; i++ {
+		if r.Intn(2) == 0 {
+			e.ApplySwap(netlist.CellID(r.Intn(60)), netlist.CellID(r.Intn(60)))
+		} else {
+			c := netlist.CellID(r.Intn(60))
+			if err := e.ApplyMove(c, p.Layout().SlotPos(p.RandomEmptySlot(r))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	wlBefore := e.Objectives().Wirelength
+	areaBefore := e.Objectives().Area
+	e.Refresh()
+	if math.Abs(e.Objectives().Wirelength-wlBefore) > 1e-6 {
+		t.Fatal("wirelength bookkeeping diverged under mixed moves")
+	}
+	if e.Objectives().Area != areaBefore {
+		t.Fatal("area bookkeeping diverged under mixed moves")
+	}
+}

@@ -1,0 +1,39 @@
+package cost
+
+import "pts/internal/netlist"
+
+// Problem adapts an Evaluator to the element-index interface of the tabu
+// engine (pts/internal/tabu.Problem): elements are cells, a solution
+// snapshot is the slot permutation.
+type Problem struct {
+	Ev *Evaluator
+}
+
+// Cost returns the current fuzzy cost.
+func (p Problem) Cost() float64 { return p.Ev.Cost() }
+
+// Size returns the number of cells.
+func (p Problem) Size() int32 { return p.Ev.NumCells() }
+
+// DeltaSwap returns the cost change of swapping cells a and b.
+func (p Problem) DeltaSwap(a, b int32) float64 {
+	return p.Ev.SwapDelta(netlist.CellID(a), netlist.CellID(b))
+}
+
+// ApplySwap swaps cells a and b.
+func (p Problem) ApplySwap(a, b int32) {
+	p.Ev.ApplySwap(netlist.CellID(a), netlist.CellID(b))
+}
+
+// Snapshot captures the solution as a slot permutation.
+func (p Problem) Snapshot() []int32 { return p.Ev.ExportPerm() }
+
+// Restore replaces the solution with a prior snapshot and refreshes the
+// timing model.
+func (p Problem) Restore(snap []int32) error { return p.Ev.ImportPerm(snap) }
+
+// Refresh reruns timing analysis; the tabu engine calls it periodically.
+func (p Problem) Refresh() { p.Ev.Refresh() }
+
+// Clone returns a Problem over an independent copy of the evaluator.
+func (p Problem) Clone() Problem { return Problem{Ev: p.Ev.Clone()} }

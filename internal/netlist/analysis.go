@@ -1,0 +1,97 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"pts/internal/stats"
+)
+
+// Analysis bundles the structural distributions of a circuit; the
+// netgen CLI prints it and tests assert generator realism against it.
+type Analysis struct {
+	NetDegree *stats.Histogram // terminals per net
+	Fanout    *stats.Histogram // nets' sink counts per driving cell
+	Fanin     *stats.Histogram // fan-in per non-input cell
+	Level     *stats.Histogram // cells per topological level
+	Width     *stats.Histogram // cell widths
+}
+
+// Analyze computes the distributions. Finish must have been called.
+func (nl *Netlist) Analyze() *Analysis {
+	a := &Analysis{
+		NetDegree: stats.NewHistogram(),
+		Fanout:    stats.NewHistogram(),
+		Fanin:     stats.NewHistogram(),
+		Level:     stats.NewHistogram(),
+		Width:     stats.NewHistogram(),
+	}
+	for i := range nl.Nets {
+		a.NetDegree.Add(nl.Nets[i].Degree())
+	}
+	for c := 0; c < nl.NumCells(); c++ {
+		id := CellID(c)
+		fanout := 0
+		for _, n := range nl.Drives(id) {
+			fanout += len(nl.Nets[n].Sinks)
+		}
+		a.Fanout.Add(fanout)
+		if nl.Cells[c].Kind != Input {
+			a.Fanin.Add(len(nl.SinkNets(id)))
+		}
+		a.Level.Add(int(nl.Level(id)))
+		a.Width.Add(nl.Cells[c].Width)
+	}
+	return a
+}
+
+// WriteReport renders the analysis for humans.
+func (a *Analysis) WriteReport(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	sections := []struct {
+		name string
+		h    *stats.Histogram
+	}{
+		{"net degree", a.NetDegree},
+		{"cell fanout", a.Fanout},
+		{"cell fanin", a.Fanin},
+		{"cells per level", a.Level},
+		{"cell width", a.Width},
+	}
+	for _, s := range sections {
+		mode, _ := s.h.Mode()
+		fmt.Fprintf(bw, "%s (n=%d, mean=%.2f, mode=%d):\n%s\n",
+			s.name, s.h.Total(), s.h.Mean(), mode, s.h)
+	}
+	return bw.Flush()
+}
+
+// WriteDOT emits the circuit as a Graphviz digraph: cells are nodes
+// (inputs as triangles, outputs as double circles), every net an edge
+// from its driver to each sink labelled with the net name. Useful for
+// eyeballing small circuits.
+func WriteDOT(w io.Writer, nl *Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n", nl.Name)
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		shape := "box"
+		switch c.Kind {
+		case Input:
+			shape = "triangle"
+		case Output:
+			shape = "doublecircle"
+		}
+		fmt.Fprintf(bw, "  %q [shape=%s];\n", c.Name, shape)
+	}
+	for i := range nl.Nets {
+		n := &nl.Nets[i]
+		for _, s := range n.Sinks {
+			fmt.Fprintf(bw, "  %q -> %q [label=%q];\n",
+				nl.Cells[n.Driver].Name, nl.Cells[s].Name, n.Name)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

@@ -1,0 +1,87 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeTiny(t *testing.T) {
+	nl := tiny(t)
+	a := nl.Analyze()
+	if a.NetDegree.Total() != nl.NumNets() {
+		t.Errorf("net degree observations %d != %d nets", a.NetDegree.Total(), nl.NumNets())
+	}
+	// tiny: nets n0(2), n1(3), n2(2), n3(2).
+	if a.NetDegree.Count(2) != 3 || a.NetDegree.Count(3) != 1 {
+		t.Errorf("net degree histogram wrong: %v", a.NetDegree)
+	}
+	// Fanin over non-input cells: g0 has 2, g1 has 1, po0 has 2.
+	if a.Fanin.Total() != 3 || a.Fanin.Count(2) != 2 || a.Fanin.Count(1) != 1 {
+		t.Errorf("fanin histogram wrong")
+	}
+	if a.Level.Count(0) != 2 { // two inputs at level 0
+		t.Errorf("level histogram wrong")
+	}
+}
+
+func TestAnalyzeBenchmarkRealism(t *testing.T) {
+	// The synthetic stand-ins must look like standard-cell circuits:
+	// small mean fan-in (2-3), a mode of 2-3 terminals per net, and
+	// nontrivial logic depth.
+	nl := MustBenchmark("c532")
+	a := nl.Analyze()
+	if m := a.Fanin.Mean(); m < 1.2 || m > 3.5 {
+		t.Errorf("mean fanin %v unrealistic", m)
+	}
+	if mode, _ := a.NetDegree.Mode(); mode < 2 || mode > 4 {
+		t.Errorf("net degree mode %d unrealistic", mode)
+	}
+	if a.Level.Total() != nl.NumCells() {
+		t.Error("level histogram incomplete")
+	}
+}
+
+func TestWriteReport(t *testing.T) {
+	nl := tiny(t)
+	var buf bytes.Buffer
+	if err := nl.Analyze().WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"net degree", "cell fanout", "cell fanin", "cells per level", "cell width"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	nl := tiny(t)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, nl); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph \"tiny\"",
+		"\"pi0\" [shape=triangle]",
+		"\"po0\" [shape=doublecircle]",
+		"\"g0\" [shape=box]",
+		"\"pi1\" -> \"g0\"",
+		"\"g1\" -> \"po0\"",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Edge count = total sinks.
+	edges := strings.Count(out, "->")
+	wantEdges := 0
+	for i := range nl.Nets {
+		wantEdges += len(nl.Nets[i].Sinks)
+	}
+	if edges != wantEdges {
+		t.Errorf("%d edges, want %d", edges, wantEdges)
+	}
+}

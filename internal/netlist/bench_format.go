@@ -1,0 +1,200 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"pts/internal/rng"
+)
+
+// ReadBench parses the ISCAS-89 ".bench" netlist format — the format
+// the paper's original circuits (c532, c1355, c3540, ...) are published
+// in — so the real benchmarks can be dropped in where the synthetic
+// stand-ins are used otherwise:
+//
+//	# comment
+//	INPUT(G0)
+//	OUTPUT(G17)
+//	G10 = NAND(G0, G1)
+//	G17 = NOT(G10)
+//	G22 = DFF(G17)
+//
+// Mapping to this package's model: every signal becomes a cell (inputs
+// as Input pads, signals named in OUTPUT() as Output kind); every
+// defined signal drives one net whose sinks are the gates consuming it.
+// DFF outputs are treated as pseudo primary inputs and DFF inputs as
+// pseudo primary outputs, which cuts sequential loops exactly the way
+// combinational placement flows of the paper's era did.
+//
+// Cell widths and delays are not part of .bench; they are synthesized
+// deterministically from seed with the same distributions the generator
+// uses.
+func ReadBench(r io.Reader, name string, seed uint64) (*Netlist, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+
+	type gateDef struct {
+		out  string
+		fn   string
+		args []string
+	}
+	var (
+		inputs  []string
+		outputs = map[string]bool{}
+		gates   []gateDef
+	)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(upper, "INPUT"):
+			sig, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: .bench line %d: %v", lineNo, err)
+			}
+			inputs = append(inputs, sig)
+		case strings.HasPrefix(upper, "OUTPUT"):
+			sig, err := parenArg(line)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: .bench line %d: %v", lineNo, err)
+			}
+			outputs[sig] = true
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("netlist: .bench line %d: expected assignment, got %q", lineNo, line)
+			}
+			out := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			close := strings.LastIndex(rhs, ")")
+			if open < 0 || close < open {
+				return nil, fmt.Errorf("netlist: .bench line %d: malformed gate %q", lineNo, rhs)
+			}
+			fn := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			var args []string
+			for _, a := range strings.Split(rhs[open+1:close], ",") {
+				if a = strings.TrimSpace(a); a != "" {
+					args = append(args, a)
+				}
+			}
+			if len(args) == 0 {
+				return nil, fmt.Errorf("netlist: .bench line %d: gate %s has no inputs", lineNo, out)
+			}
+			gates = append(gates, gateDef{out: out, fn: fn, args: args})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// Build cells: inputs first, then gates in definition order. DFFs
+	// become pseudo-inputs (their output appears combinationally
+	// sourceless) — their data input is registered as a pseudo-output
+	// sink via a dedicated pad below.
+	rnd := rng.New(rng.Derive(seed, "netlist.bench", name))
+	width := func() int { return 4 + rnd.Intn(9) }
+	delay := func() float64 { return 0.08 + rnd.Float64()*0.52 }
+
+	nl := &Netlist{Name: name}
+	id := map[string]CellID{}
+	addCell := func(sig string, kind CellKind, d float64) CellID {
+		c := CellID(len(nl.Cells))
+		nl.Cells = append(nl.Cells, Cell{Name: sig, Width: width(), Delay: d, Kind: kind})
+		id[sig] = c
+		return c
+	}
+	for _, sig := range inputs {
+		if _, dup := id[sig]; dup {
+			return nil, fmt.Errorf("netlist: .bench: duplicate INPUT(%s)", sig)
+		}
+		addCell(sig, Input, 0.02)
+	}
+	isDFF := func(g gateDef) bool { return g.fn == "DFF" }
+	for _, g := range gates {
+		if _, dup := id[g.out]; dup {
+			return nil, fmt.Errorf("netlist: .bench: signal %s defined twice", g.out)
+		}
+		kind := Gate
+		d := delay()
+		if isDFF(g) {
+			// Flip-flop output: a combinational source, like a PI.
+			kind = Input
+			d = 0.02
+		} else if outputs[g.out] {
+			kind = Output
+		}
+		addCell(g.out, kind, d)
+	}
+
+	// Sinks per driving signal. A DFF's data input is a timing endpoint:
+	// it gets its own sink cell (Output kind) so the sequential arc is
+	// cut — making the Q-cell itself the sink would re-close the loop
+	// combinationally.
+	sinks := map[string][]CellID{}
+	for _, g := range gates {
+		if isDFF(g) {
+			if _, ok := id[g.args[0]]; !ok {
+				return nil, fmt.Errorf("netlist: .bench: DFF %s uses undefined signal %s", g.out, g.args[0])
+			}
+			d := addCell(g.out+"_d", Output, 0.02)
+			sinks[g.args[0]] = append(sinks[g.args[0]], d)
+			continue
+		}
+		for _, a := range g.args {
+			if _, ok := id[a]; !ok {
+				return nil, fmt.Errorf("netlist: .bench: gate %s uses undefined signal %s", g.out, a)
+			}
+			sinks[a] = append(sinks[a], id[g.out])
+		}
+	}
+
+	// Materialize nets in cell order; dangling signals (no sinks) that
+	// are not primary outputs get a pseudo output pad so nothing floats.
+	for c := 0; c < len(nl.Cells); c++ {
+		sig := nl.Cells[c].Name
+		sk := dedupeSinks(sinks[sig])
+		// Drop self-loops (a DFF whose input is its own output).
+		filtered := sk[:0]
+		for _, s := range sk {
+			if s != CellID(c) {
+				filtered = append(filtered, s)
+			}
+		}
+		sk = filtered
+		if len(sk) == 0 {
+			if nl.Cells[c].Kind == Output {
+				continue // true primary output: consumed off-chip
+			}
+			pad := addCell(sig+"_po", Output, 0.02)
+			sk = []CellID{pad}
+		}
+		nl.Nets = append(nl.Nets, Net{Name: "n_" + sig, Driver: CellID(c), Sinks: sk})
+	}
+
+	if err := nl.Finish(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+// parenArg extracts X from "KEYWORD(X)".
+func parenArg(line string) (string, error) {
+	open := strings.Index(line, "(")
+	close := strings.LastIndex(line, ")")
+	if open < 0 || close < open {
+		return "", fmt.Errorf("malformed directive %q", line)
+	}
+	sig := strings.TrimSpace(line[open+1 : close])
+	if sig == "" {
+		return "", fmt.Errorf("empty signal in %q", line)
+	}
+	return sig, nil
+}

@@ -1,0 +1,251 @@
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"pts/internal/rng"
+)
+
+// GenConfig parameterizes the synthetic circuit generator.
+//
+// The generator builds a random combinational DAG in topological order:
+// primary inputs first, then gates, then primary outputs. Each gate draws
+// a fan-in between 1 and MaxFanin (biased toward 2–3, matching typical
+// standard-cell libraries) and picks its sources among already-created
+// cells with a locality bias: with probability Locality a source is drawn
+// from a geometric window over the most recent cells, otherwise uniformly.
+// Locality produces the clustered connectivity (Rent's-rule behaviour)
+// that makes placement non-trivial; Locality=0 gives a uniform random
+// hypergraph.
+type GenConfig struct {
+	Name    string
+	Cells   int // total cells, including input and output pads
+	Inputs  int // number of primary inputs (default max(3, Cells/12))
+	Outputs int // number of primary outputs (default max(2, Cells/16))
+
+	MaxFanin int     // default 4
+	Locality float64 // 0..1, default 0.8
+
+	WidthMin, WidthMax int     // cell widths, defaults 4 and 12
+	DelayMin, DelayMax float64 // intrinsic delays in ns, defaults 0.08 and 0.6
+
+	Seed uint64
+}
+
+// withDefaults fills zero fields with the documented defaults.
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Inputs == 0 {
+		c.Inputs = c.Cells / 12
+		if c.Inputs < 3 {
+			c.Inputs = 3
+		}
+	}
+	if c.Outputs == 0 {
+		c.Outputs = c.Cells / 16
+		if c.Outputs < 2 {
+			c.Outputs = 2
+		}
+	}
+	if c.MaxFanin == 0 {
+		c.MaxFanin = 4
+	}
+	if c.Locality == 0 {
+		c.Locality = 0.8
+	}
+	if c.WidthMin == 0 {
+		c.WidthMin = 4
+	}
+	if c.WidthMax == 0 {
+		c.WidthMax = 12
+	}
+	if c.DelayMin == 0 {
+		c.DelayMin = 0.08
+	}
+	if c.DelayMax == 0 {
+		c.DelayMax = 0.6
+	}
+	return c
+}
+
+// Generate builds a synthetic combinational circuit from cfg. The result
+// is finished (indexes built) and guaranteed acyclic. Generation is fully
+// deterministic in cfg.Seed.
+func Generate(cfg GenConfig) (*Netlist, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Cells < cfg.Inputs+cfg.Outputs+1 {
+		return nil, fmt.Errorf("netlist: Cells=%d too small for %d inputs + %d outputs",
+			cfg.Cells, cfg.Inputs, cfg.Outputs)
+	}
+	if cfg.WidthMin > cfg.WidthMax || cfg.WidthMin <= 0 {
+		return nil, fmt.Errorf("netlist: bad width range [%d,%d]", cfg.WidthMin, cfg.WidthMax)
+	}
+	if cfg.Locality < 0 || cfg.Locality > 1 {
+		return nil, fmt.Errorf("netlist: Locality %v outside [0,1]", cfg.Locality)
+	}
+	r := rng.New(rng.Derive(cfg.Seed, "netlist", cfg.Name))
+
+	nl := &Netlist{Name: cfg.Name}
+	nGates := cfg.Cells - cfg.Inputs - cfg.Outputs
+
+	width := func() int { return cfg.WidthMin + r.Intn(cfg.WidthMax-cfg.WidthMin+1) }
+	delay := func() float64 { return cfg.DelayMin + r.Float64()*(cfg.DelayMax-cfg.DelayMin) }
+
+	// Primary inputs.
+	for i := 0; i < cfg.Inputs; i++ {
+		nl.Cells = append(nl.Cells, Cell{
+			Name:  fmt.Sprintf("pi%d", i),
+			Width: width(),
+			Delay: 0.02, // pad buffer delay
+			Kind:  Input,
+		})
+	}
+
+	// pickSource selects a fan-in source among cells [0, limit) with the
+	// configured locality bias.
+	pickSource := func(limit int) CellID {
+		if limit == 1 {
+			return 0
+		}
+		if r.Float64() < cfg.Locality {
+			// Geometric window over recent cells: clustered connectivity.
+			w := 1 + int(r.ExpFloat64()*float64(limit)/8)
+			if w > limit {
+				w = limit
+			}
+			return CellID(limit - 1 - r.Intn(w))
+		}
+		return CellID(r.Intn(limit))
+	}
+
+	// sinksByDriver accumulates net sinks keyed by the driving cell; one
+	// cell drives at most one net (standard single-output cells).
+	sinksByDriver := make(map[CellID][]CellID)
+
+	// faninCount draws a gate fan-in biased toward 2-3.
+	faninCount := func() int {
+		x := r.Float64()
+		switch {
+		case x < 0.15:
+			return 1
+		case x < 0.55:
+			return 2
+		case x < 0.85:
+			return minInt(3, cfg.MaxFanin)
+		default:
+			return cfg.MaxFanin
+		}
+	}
+
+	// Gates.
+	for g := 0; g < nGates; g++ {
+		id := CellID(len(nl.Cells))
+		nl.Cells = append(nl.Cells, Cell{
+			Name:  fmt.Sprintf("g%d", g),
+			Width: width(),
+			Delay: delay(),
+			Kind:  Gate,
+		})
+		k := faninCount()
+		used := map[CellID]bool{}
+		for f := 0; f < k; f++ {
+			src := pickSource(int(id))
+			if used[src] {
+				continue // duplicate fan-in collapses, like a real gate
+			}
+			used[src] = true
+			sinksByDriver[src] = append(sinksByDriver[src], id)
+		}
+	}
+
+	// Primary outputs: each taps one signal, preferring cells that do not
+	// yet drive anything so the circuit has no dangling logic.
+	undriven := make([]CellID, 0)
+	for c := 0; c < len(nl.Cells); c++ {
+		if len(sinksByDriver[CellID(c)]) == 0 {
+			undriven = append(undriven, CellID(c))
+		}
+	}
+	r.Shuffle(len(undriven), func(i, j int) { undriven[i], undriven[j] = undriven[j], undriven[i] })
+	for o := 0; o < cfg.Outputs; o++ {
+		id := CellID(len(nl.Cells))
+		nl.Cells = append(nl.Cells, Cell{
+			Name:  fmt.Sprintf("po%d", o),
+			Width: width(),
+			Delay: 0.02,
+			Kind:  Output,
+		})
+		var src CellID
+		if len(undriven) > 0 {
+			src = undriven[len(undriven)-1]
+			undriven = undriven[:len(undriven)-1]
+		} else {
+			// All cells drive something; tap a random gate.
+			src = CellID(cfg.Inputs + r.Intn(nGates))
+		}
+		sinksByDriver[src] = append(sinksByDriver[src], id)
+	}
+	// Remaining undriven cells are wired in so no logic dangles: undriven
+	// primary inputs feed a random gate (gates come after all inputs, so
+	// the graph stays acyclic); undriven gates feed a random output pad
+	// (pads come last).
+	for _, c := range undriven {
+		var sink CellID
+		if nl.Cells[c].Kind == Input && nGates > 0 {
+			sink = CellID(cfg.Inputs + r.Intn(nGates))
+		} else {
+			sink = CellID(cfg.Inputs + nGates + r.Intn(cfg.Outputs))
+		}
+		sinksByDriver[c] = append(sinksByDriver[c], sink)
+	}
+
+	// Materialize nets in driver order for determinism.
+	drivers := make([]CellID, 0, len(sinksByDriver))
+	for d := range sinksByDriver {
+		drivers = append(drivers, d)
+	}
+	sort.Slice(drivers, func(i, j int) bool { return drivers[i] < drivers[j] })
+	for _, d := range drivers {
+		sinks := dedupeSinks(sinksByDriver[d])
+		nl.Nets = append(nl.Nets, Net{
+			Name:   fmt.Sprintf("n_%s", nl.Cells[d].Name),
+			Driver: d,
+			Sinks:  sinks,
+		})
+	}
+
+	if err := nl.Finish(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+func dedupeSinks(sinks []CellID) []CellID {
+	sort.Slice(sinks, func(i, j int) bool { return sinks[i] < sinks[j] })
+	out := sinks[:0]
+	var prev CellID = -2
+	for _, s := range sinks {
+		if s != prev {
+			out = append(out, s)
+			prev = s
+		}
+	}
+	return out
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MustGenerate is Generate but panics on error; for tests and examples
+// with known-good configs.
+func MustGenerate(cfg GenConfig) *Netlist {
+	nl, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return nl
+}

@@ -1,0 +1,177 @@
+package netlist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	nl, err := Generate(GenConfig{Name: "t", Cells: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.NumCells() != 100 {
+		t.Fatalf("cells = %d, want 100", nl.NumCells())
+	}
+	s := nl.ComputeStats()
+	if s.Inputs == 0 || s.Outputs == 0 {
+		t.Errorf("no pads: %+v", s)
+	}
+	if s.LogicDepth < 2 {
+		t.Errorf("depth %d too shallow for 100 cells", s.LogicDepth)
+	}
+	if s.AvgNetDegree < 2 {
+		t.Errorf("avg degree %v < 2", s.AvgNetDegree)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := GenConfig{Name: "det", Cells: 200, Seed: 7}
+	a := MustGenerate(cfg)
+	b := MustGenerate(cfg)
+	if a.NumNets() != b.NumNets() {
+		t.Fatalf("net counts differ: %d vs %d", a.NumNets(), b.NumNets())
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Fatalf("cell %d differs: %+v vs %+v", i, a.Cells[i], b.Cells[i])
+		}
+	}
+	for i := range a.Nets {
+		if a.Nets[i].Driver != b.Nets[i].Driver || len(a.Nets[i].Sinks) != len(b.Nets[i].Sinks) {
+			t.Fatalf("net %d differs", i)
+		}
+		for j := range a.Nets[i].Sinks {
+			if a.Nets[i].Sinks[j] != b.Nets[i].Sinks[j] {
+				t.Fatalf("net %d sink %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	a := MustGenerate(GenConfig{Name: "s", Cells: 150, Seed: 1})
+	b := MustGenerate(GenConfig{Name: "s", Cells: 150, Seed: 2})
+	diff := a.NumNets() != b.NumNets()
+	for i := 0; !diff && i < a.NumNets(); i++ {
+		an, bn := &a.Nets[i], &b.Nets[i]
+		if an.Driver != bn.Driver || len(an.Sinks) != len(bn.Sinks) {
+			diff = true
+			break
+		}
+		for j := range an.Sinks {
+			if an.Sinks[j] != bn.Sinks[j] {
+				diff = true
+				break
+			}
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical circuits")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(GenConfig{Name: "x", Cells: 5, Inputs: 3, Outputs: 3}); err == nil {
+		t.Error("want error for too-few cells")
+	}
+	if _, err := Generate(GenConfig{Name: "x", Cells: 50, WidthMin: 9, WidthMax: 3}); err == nil {
+		t.Error("want error for bad width range")
+	}
+	if _, err := Generate(GenConfig{Name: "x", Cells: 50, Locality: 1.5}); err == nil {
+		t.Error("want error for Locality > 1")
+	}
+}
+
+// Property: every generated circuit is structurally valid — Finish
+// succeeded (acyclic, all nets have sinks), every gate is observable
+// (drives something transitively hitting an output) is guaranteed by
+// construction; here we verify no dangling drivers and pad kinds.
+func TestQuickGenerateStructure(t *testing.T) {
+	f := func(seedRaw uint32, sizeRaw uint8) bool {
+		cells := 30 + int(sizeRaw)
+		nl, err := Generate(GenConfig{Name: "q", Cells: cells, Seed: uint64(seedRaw)})
+		if err != nil {
+			return false
+		}
+		if nl.NumCells() != cells {
+			return false
+		}
+		// Every non-output cell should drive at least one net.
+		for c := 0; c < nl.NumCells(); c++ {
+			if nl.Cells[c].Kind == Output {
+				continue
+			}
+			if len(nl.Drives(CellID(c))) == 0 {
+				return false
+			}
+		}
+		// Every non-input cell should be fed by at least one net.
+		for c := 0; c < nl.NumCells(); c++ {
+			if nl.Cells[c].Kind == Input {
+				continue
+			}
+			if len(nl.SinkNets(CellID(c))) == 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchmarkInstances(t *testing.T) {
+	want := map[string]int{"highway": 56, "c532": 395, "c1355": 1451, "c3540": 2243}
+	names := BenchmarkNames()
+	if len(names) != 4 {
+		t.Fatalf("BenchmarkNames = %v", names)
+	}
+	// Ascending size order.
+	prev := 0
+	for _, n := range names {
+		c := BenchmarkCells(n)
+		if c <= prev {
+			t.Errorf("BenchmarkNames not ascending at %s", n)
+		}
+		prev = c
+	}
+	for name, cells := range want {
+		nl, err := Benchmark(name)
+		if err != nil {
+			t.Fatalf("Benchmark(%s): %v", name, err)
+		}
+		if nl.NumCells() != cells {
+			t.Errorf("%s: %d cells, want %d", name, nl.NumCells(), cells)
+		}
+		if nl.Name != name {
+			t.Errorf("%s: name %q", name, nl.Name)
+		}
+	}
+	if _, err := Benchmark("s38417"); err == nil {
+		t.Error("unknown benchmark should error")
+	}
+	if BenchmarkCells("nope") != 0 {
+		t.Error("unknown BenchmarkCells should be 0")
+	}
+}
+
+func TestBenchmarkStable(t *testing.T) {
+	a := MustBenchmark("highway")
+	b := MustBenchmark("highway")
+	if a.NumNets() != b.NumNets() {
+		t.Fatal("benchmark instance not stable across calls")
+	}
+	for i := range a.Nets {
+		if a.Nets[i].Driver != b.Nets[i].Driver {
+			t.Fatal("benchmark nets differ across calls")
+		}
+	}
+}
+
+func BenchmarkGenerateC3540Scale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = MustGenerate(GenConfig{Name: "bench", Cells: 2243, Seed: 42})
+	}
+}

@@ -1,0 +1,147 @@
+package netlist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text netlist format is line-oriented:
+//
+//	circuit <name>
+//	cell <name> <width> <delay> <kind>     # kind in {gate, input, output}
+//	net <name> <driver> <sink> [<sink>...] # cells referenced by name
+//	# comment
+//
+// Cells must be declared before the nets that reference them. The format
+// is stable and diff-friendly, meant for checked-in fixtures and the
+// netgen CLI.
+
+// Write serializes the netlist in the text format.
+func Write(w io.Writer, nl *Netlist) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "circuit %s\n", nl.Name)
+	for i := range nl.Cells {
+		c := &nl.Cells[i]
+		fmt.Fprintf(bw, "cell %s %d %g %s\n", c.Name, c.Width, c.Delay, c.Kind)
+	}
+	for i := range nl.Nets {
+		n := &nl.Nets[i]
+		fmt.Fprintf(bw, "net %s %s", n.Name, nl.Cells[n.Driver].Name)
+		for _, s := range n.Sinks {
+			fmt.Fprintf(bw, " %s", nl.Cells[s].Name)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format and returns a finished netlist.
+func Read(r io.Reader) (*Netlist, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	nl := &Netlist{}
+	byName := map[string]CellID{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "circuit":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("netlist: line %d: want 'circuit <name>'", lineNo)
+			}
+			nl.Name = fields[1]
+		case "cell":
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("netlist: line %d: want 'cell <name> <width> <delay> <kind>'", lineNo)
+			}
+			width, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: bad width: %v", lineNo, err)
+			}
+			delay, err := strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: bad delay: %v", lineNo, err)
+			}
+			kind, err := parseKind(fields[4])
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %v", lineNo, err)
+			}
+			if _, dup := byName[fields[1]]; dup {
+				return nil, fmt.Errorf("netlist: line %d: duplicate cell %q", lineNo, fields[1])
+			}
+			byName[fields[1]] = CellID(len(nl.Cells))
+			nl.Cells = append(nl.Cells, Cell{Name: fields[1], Width: width, Delay: delay, Kind: kind})
+		case "net":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("netlist: line %d: want 'net <name> <driver> <sink>...'", lineNo)
+			}
+			driver, ok := byName[fields[2]]
+			if !ok {
+				return nil, fmt.Errorf("netlist: line %d: unknown driver cell %q", lineNo, fields[2])
+			}
+			net := Net{Name: fields[1], Driver: driver}
+			for _, sn := range fields[3:] {
+				s, ok := byName[sn]
+				if !ok {
+					return nil, fmt.Errorf("netlist: line %d: unknown sink cell %q", lineNo, sn)
+				}
+				net.Sinks = append(net.Sinks, s)
+			}
+			nl.Nets = append(nl.Nets, net)
+		default:
+			return nil, fmt.Errorf("netlist: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := nl.Finish(); err != nil {
+		return nil, err
+	}
+	return nl, nil
+}
+
+func parseKind(s string) (CellKind, error) {
+	switch s {
+	case "gate":
+		return Gate, nil
+	case "input":
+		return Input, nil
+	case "output":
+		return Output, nil
+	default:
+		return 0, fmt.Errorf("unknown cell kind %q", s)
+	}
+}
+
+// jsonNetlist is the JSON wire form; it avoids exposing internal indexes.
+type jsonNetlist struct {
+	Name  string `json:"name"`
+	Cells []Cell `json:"cells"`
+	Nets  []Net  `json:"nets"`
+}
+
+// MarshalJSON encodes the netlist (cells and nets only; indexes are
+// rebuilt on decode).
+func (nl *Netlist) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonNetlist{Name: nl.Name, Cells: nl.Cells, Nets: nl.Nets})
+}
+
+// UnmarshalJSON decodes and finishes the netlist.
+func (nl *Netlist) UnmarshalJSON(data []byte) error {
+	var j jsonNetlist
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	nl.Name, nl.Cells, nl.Nets = j.Name, j.Cells, j.Nets
+	return nl.Finish()
+}

@@ -1,0 +1,123 @@
+package netlist
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	orig := MustGenerate(GenConfig{Name: "rt", Cells: 120, Seed: 3})
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualNetlists(t, orig, got)
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := MustGenerate(GenConfig{Name: "json", Cells: 80, Seed: 9})
+	data, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Netlist
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	assertEqualNetlists(t, orig, &got)
+	// Indexes must be rebuilt by UnmarshalJSON.
+	if len(got.CellNets(0)) == 0 {
+		t.Error("indexes not rebuilt after JSON decode")
+	}
+}
+
+func assertEqualNetlists(t *testing.T, a, b *Netlist) {
+	t.Helper()
+	if a.Name != b.Name {
+		t.Fatalf("names differ: %q vs %q", a.Name, b.Name)
+	}
+	if len(a.Cells) != len(b.Cells) || len(a.Nets) != len(b.Nets) {
+		t.Fatalf("sizes differ: %d/%d cells, %d/%d nets",
+			len(a.Cells), len(b.Cells), len(a.Nets), len(b.Nets))
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Fatalf("cell %d: %+v vs %+v", i, a.Cells[i], b.Cells[i])
+		}
+	}
+	for i := range a.Nets {
+		if a.Nets[i].Driver != b.Nets[i].Driver || a.Nets[i].Name != b.Nets[i].Name {
+			t.Fatalf("net %d differs", i)
+		}
+		if len(a.Nets[i].Sinks) != len(b.Nets[i].Sinks) {
+			t.Fatalf("net %d sink counts differ", i)
+		}
+		for j := range a.Nets[i].Sinks {
+			if a.Nets[i].Sinks[j] != b.Nets[i].Sinks[j] {
+				t.Fatalf("net %d sink %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReadComments(t *testing.T) {
+	src := `
+# a comment
+circuit c
+
+cell a 4 0.1 input
+cell b 5 0.2 gate
+cell c 4 0.1 output
+net n1 a b
+net n2 b c
+`
+	nl, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl.Name != "c" || nl.NumCells() != 3 || nl.NumNets() != 2 {
+		t.Fatalf("parsed wrong: %s %d %d", nl.Name, nl.NumCells(), nl.NumNets())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"bad directive", "frob x\n", "unknown directive"},
+		{"circuit arity", "circuit a b\n", "circuit"},
+		{"cell arity", "cell a 4\n", "cell"},
+		{"bad width", "cell a x 0.1 gate\n", "width"},
+		{"bad delay", "cell a 4 zz gate\n", "delay"},
+		{"bad kind", "cell a 4 0.1 flipflop\n", "kind"},
+		{"dup cell", "cell a 4 0.1 gate\ncell a 4 0.1 gate\n", "duplicate"},
+		{"net arity", "net n a\n", "net"},
+		{"unknown driver", "cell a 4 0.1 input\ncell b 4 .1 output\nnet n zz b\n", "driver"},
+		{"unknown sink", "cell a 4 0.1 input\ncell b 4 .1 output\nnet n a zz\n", "sink"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Read(strings.NewReader(c.src))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("want error containing %q, got %v", c.want, err)
+			}
+		})
+	}
+}
+
+func TestReadRejectsInvalidStructure(t *testing.T) {
+	// Valid syntax but cyclic: Finish must reject it.
+	src := `circuit cyc
+cell a 4 0.1 gate
+cell b 4 0.1 gate
+net n1 a b
+net n2 b a
+`
+	if _, err := Read(strings.NewReader(src)); err == nil {
+		t.Fatal("cyclic netlist should fail to read")
+	}
+}

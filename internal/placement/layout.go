@@ -1,0 +1,71 @@
+// Package placement provides the standard-cell layout substrate: a
+// row/slot grid, assignment of cells to slots, exact incremental
+// half-perimeter wirelength (HPWL), and the row-width area model.
+//
+// Geometry follows the classic iterative-placement simplification the
+// paper's era used: cells sit in uniform slots arranged in rows, and net
+// length is measured between slot centers (x = column, y = row, in slot
+// units). Cell widths still matter for the area objective: a row's width
+// is the sum of its cells' physical widths, and the layout's area is
+// proportional to the widest row.
+package placement
+
+import (
+	"fmt"
+	"math"
+
+	"pts/internal/netlist"
+)
+
+// Layout describes the slot grid.
+type Layout struct {
+	Rows, Cols int
+}
+
+// Slots returns the total number of slots.
+func (l Layout) Slots() int { return l.Rows * l.Cols }
+
+// Validate reports an error for a degenerate layout.
+func (l Layout) Validate() error {
+	if l.Rows <= 0 || l.Cols <= 0 {
+		return fmt.Errorf("placement: degenerate layout %dx%d", l.Rows, l.Cols)
+	}
+	return nil
+}
+
+// AutoLayout chooses a near-square grid with enough slots for every cell
+// at the requested utilization (cells/slots). Utilization outside (0,1]
+// defaults to 0.9, the typical standard-cell row fill the paper's flows
+// used.
+func AutoLayout(nl *netlist.Netlist, utilization float64) Layout {
+	if utilization <= 0 || utilization > 1 {
+		utilization = 0.9
+	}
+	n := nl.NumCells()
+	slots := int(math.Ceil(float64(n) / utilization))
+	if slots < n {
+		slots = n
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(slots))))
+	if cols < 1 {
+		cols = 1
+	}
+	rows := (slots + cols - 1) / cols
+	if rows < 1 {
+		rows = 1
+	}
+	return Layout{Rows: rows, Cols: cols}
+}
+
+// Pos is a slot coordinate.
+type Pos struct {
+	Row, Col int32
+}
+
+// SlotIndex maps a position to its linear slot index.
+func (l Layout) SlotIndex(p Pos) int { return int(p.Row)*l.Cols + int(p.Col) }
+
+// SlotPos maps a linear slot index back to a position.
+func (l Layout) SlotPos(idx int) Pos {
+	return Pos{Row: int32(idx / l.Cols), Col: int32(idx % l.Cols)}
+}

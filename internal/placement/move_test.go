@@ -1,0 +1,167 @@
+package placement
+
+import (
+	"math"
+	"testing"
+
+	"pts/internal/netlist"
+	"pts/internal/rng"
+)
+
+func TestEmptySlots(t *testing.T) {
+	nl := testNetlist(t, 40, 20)
+	p, _ := New(nl, AutoLayout(nl, 0.8))
+	empties := p.EmptySlots()
+	if len(empties) != p.Layout().Slots()-40 {
+		t.Fatalf("empty count %d, want %d", len(empties), p.Layout().Slots()-40)
+	}
+	for _, i := range empties {
+		if p.slot[i] != netlist.None {
+			t.Fatal("EmptySlots returned an occupied slot")
+		}
+	}
+}
+
+func TestRandomEmptySlot(t *testing.T) {
+	nl := testNetlist(t, 30, 21)
+	p, _ := New(nl, AutoLayout(nl, 0.75))
+	r := rng.New(4)
+	for i := 0; i < 100; i++ {
+		s := p.RandomEmptySlot(r)
+		if s < 0 || p.slot[s] != netlist.None {
+			t.Fatalf("RandomEmptySlot returned bad slot %d", s)
+		}
+	}
+}
+
+func TestRandomEmptySlotFullGrid(t *testing.T) {
+	nl := &netlist.Netlist{
+		Name: "full",
+		Cells: []netlist.Cell{
+			{Name: "a", Width: 1, Kind: netlist.Input},
+			{Name: "b", Width: 1, Kind: netlist.Output},
+		},
+		Nets: []netlist.Net{{Name: "n", Driver: 0, Sinks: []netlist.CellID{1}}},
+	}
+	if err := nl.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(nl, Layout{Rows: 1, Cols: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := p.RandomEmptySlot(rng.New(1)); s != -1 {
+		t.Fatalf("full grid should return -1, got %d", s)
+	}
+}
+
+func TestMoveToSlotIncremental(t *testing.T) {
+	nl := testNetlist(t, 60, 22)
+	p, _ := New(nl, AutoLayout(nl, 0.7))
+	r := rng.New(9)
+	p.Randomize(r)
+	for i := 0; i < 300; i++ {
+		c := netlist.CellID(r.Intn(nl.NumCells()))
+		to := p.Layout().SlotPos(p.RandomEmptySlot(r))
+		predicted, err := p.HPWLDeltaMove(c, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := p.HPWL()
+		if err := p.MoveToSlot(c, to); err != nil {
+			t.Fatal(err)
+		}
+		if got := p.HPWL() - before; math.Abs(got-predicted) > 1e-6 {
+			t.Fatalf("step %d: delta %v != predicted %v", i, got, predicted)
+		}
+		if full := fullHPWL(p); math.Abs(p.HPWL()-full) > 1e-6 {
+			t.Fatalf("step %d: incremental %v != full %v", i, p.HPWL(), full)
+		}
+		if full := fullMaxRowWidth(p); p.MaxRowWidth() != full {
+			t.Fatalf("step %d: maxRowWidth %d != full %d", i, p.MaxRowWidth(), full)
+		}
+	}
+}
+
+func TestMoveToSlotRejectsOccupied(t *testing.T) {
+	nl := testNetlist(t, 30, 23)
+	p, _ := New(nl, AutoLayout(nl, 0.9))
+	occupied := p.PosOf(5)
+	if err := p.MoveToSlot(3, occupied); err == nil {
+		t.Fatal("move onto an occupied slot accepted")
+	}
+	if _, err := p.HPWLDeltaMove(3, occupied); err == nil {
+		t.Fatal("delta onto an occupied slot accepted")
+	}
+}
+
+func TestMoveToSlotSelf(t *testing.T) {
+	nl := testNetlist(t, 30, 24)
+	p, _ := New(nl, AutoLayout(nl, 0.7))
+	// Move a cell to its own slot: "occupied" by itself, must error
+	// (the slot is not empty), documenting the API contract.
+	if err := p.MoveToSlot(2, p.PosOf(2)); err == nil {
+		t.Fatal("move onto own slot should report occupied")
+	}
+}
+
+func TestMoveThenSwapConsistency(t *testing.T) {
+	// Interleave the two move kinds and check the oracle throughout.
+	nl := testNetlist(t, 50, 25)
+	p, _ := New(nl, AutoLayout(nl, 0.8))
+	r := rng.New(17)
+	p.Randomize(r)
+	for i := 0; i < 200; i++ {
+		if r.Intn(2) == 0 {
+			a := netlist.CellID(r.Intn(nl.NumCells()))
+			b := netlist.CellID(r.Intn(nl.NumCells()))
+			p.SwapCells(a, b)
+		} else {
+			c := netlist.CellID(r.Intn(nl.NumCells()))
+			to := p.Layout().SlotPos(p.RandomEmptySlot(r))
+			if err := p.MoveToSlot(c, to); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if math.Abs(p.HPWL()-fullHPWL(p)) > 1e-6 {
+		t.Fatal("HPWL diverged under mixed moves")
+	}
+	if p.MaxRowWidth() != fullMaxRowWidth(p) {
+		t.Fatal("row widths diverged under mixed moves")
+	}
+	// Slot table still consistent.
+	for c := 0; c < nl.NumCells(); c++ {
+		if p.CellAt(p.PosOf(netlist.CellID(c))) != netlist.CellID(c) {
+			t.Fatal("slot table inconsistent")
+		}
+	}
+}
+
+func TestPinDensity(t *testing.T) {
+	nl := testNetlist(t, 60, 26)
+	p, _ := New(nl, AutoLayout(nl, 0.9))
+	p.Randomize(rng.New(2))
+	grid := p.PinDensity()
+	if len(grid) != p.Layout().Rows || len(grid[0]) != p.Layout().Cols {
+		t.Fatal("density grid has wrong shape")
+	}
+	// Total density mass equals total pins: each net spreads its degree
+	// over its bounding box with total weight = degree.
+	total := 0.0
+	for _, row := range grid {
+		for _, v := range row {
+			if v < 0 {
+				t.Fatal("negative density")
+			}
+			total += v
+		}
+	}
+	wantPins := 0.0
+	for i := range nl.Nets {
+		wantPins += float64(nl.Nets[i].Degree())
+	}
+	if math.Abs(total-wantPins) > 1e-6 {
+		t.Fatalf("density mass %v != total pins %v", total, wantPins)
+	}
+}

@@ -1,0 +1,371 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"pts/internal/netlist"
+)
+
+// bbox is a net's bounding box over its terminals' slot coordinates.
+type bbox struct {
+	minX, maxX, minY, maxY int32
+}
+
+// length returns the half-perimeter of the box.
+func (b bbox) length() float64 {
+	return float64(b.maxX-b.minX) + float64(b.maxY-b.minY)
+}
+
+// Placement assigns every cell of a netlist to a distinct slot of a
+// layout and maintains, incrementally and exactly:
+//
+//   - each net's bounding box and the total HPWL,
+//   - each row's occupied width (sum of cell widths).
+//
+// Placement is not safe for concurrent use; parallel workers clone it.
+type Placement struct {
+	nl *netlist.Netlist
+	L  Layout
+
+	pos   []Pos            // cell -> slot position
+	slot  []netlist.CellID // linear slot index -> cell (None if empty)
+	boxes []bbox           // per-net bounding boxes
+	hpwl  float64          // total half-perimeter wirelength
+
+	rowWidth []int // per-row sum of cell widths
+	maxRowW  int   // cached max of rowWidth
+
+	// Scratch for deduplicating affected nets during delta evaluation.
+	netStamp []uint32
+	stampGen uint32
+}
+
+// New creates a placement with cells assigned to slots in index order
+// (cell i in slot i). Fails if the layout has fewer slots than cells.
+func New(nl *netlist.Netlist, l Layout) (*Placement, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if l.Slots() < nl.NumCells() {
+		return nil, fmt.Errorf("placement: %d slots < %d cells", l.Slots(), nl.NumCells())
+	}
+	p := &Placement{
+		nl:       nl,
+		L:        l,
+		pos:      make([]Pos, nl.NumCells()),
+		slot:     make([]netlist.CellID, l.Slots()),
+		boxes:    make([]bbox, nl.NumNets()),
+		rowWidth: make([]int, l.Rows),
+		netStamp: make([]uint32, nl.NumNets()),
+	}
+	for i := range p.slot {
+		p.slot[i] = netlist.None
+	}
+	for c := 0; c < nl.NumCells(); c++ {
+		p.placeInitial(netlist.CellID(c), l.SlotPos(c))
+	}
+	p.recomputeAll()
+	return p, nil
+}
+
+// placeInitial puts a cell into an empty slot without cost bookkeeping;
+// used only during construction and import.
+func (p *Placement) placeInitial(c netlist.CellID, at Pos) {
+	p.pos[c] = at
+	p.slot[p.L.SlotIndex(at)] = c
+}
+
+// Netlist returns the placed netlist.
+func (p *Placement) Netlist() *netlist.Netlist { return p.nl }
+
+// Layout returns the slot grid.
+func (p *Placement) Layout() Layout { return p.L }
+
+// PosOf returns the slot position of cell c.
+func (p *Placement) PosOf(c netlist.CellID) Pos { return p.pos[c] }
+
+// CellAt returns the cell in the slot at pos, or netlist.None.
+func (p *Placement) CellAt(at Pos) netlist.CellID { return p.slot[p.L.SlotIndex(at)] }
+
+// HPWL returns the maintained total half-perimeter wirelength.
+func (p *Placement) HPWL() float64 { return p.hpwl }
+
+// NetHPWL returns the maintained half-perimeter of one net.
+func (p *Placement) NetHPWL(n netlist.NetID) float64 { return p.boxes[n].length() }
+
+// MaxRowWidth returns the width of the widest row, the area objective.
+func (p *Placement) MaxRowWidth() int { return p.maxRowW }
+
+// RowWidth returns the occupied width of one row.
+func (p *Placement) RowWidth(row int) int { return p.rowWidth[row] }
+
+// recomputeAll rebuilds every net box, the total HPWL, and the row
+// widths from scratch. O(pins + rows).
+func (p *Placement) recomputeAll() {
+	p.hpwl = 0
+	for n := 0; n < p.nl.NumNets(); n++ {
+		p.boxes[n] = p.computeBox(netlist.NetID(n), netlist.None, netlist.None, Pos{}, Pos{})
+		p.hpwl += p.boxes[n].length()
+	}
+	for r := range p.rowWidth {
+		p.rowWidth[r] = 0
+	}
+	for c := 0; c < p.nl.NumCells(); c++ {
+		p.rowWidth[p.pos[c].Row] += p.nl.Cells[c].Width
+	}
+	p.maxRowW = 0
+	for _, w := range p.rowWidth {
+		if w > p.maxRowW {
+			p.maxRowW = w
+		}
+	}
+}
+
+// computeBox computes a net's bounding box, pretending that cells ca and
+// cb (when not None) sit at pa and pb respectively. Passing None for both
+// computes the current box.
+func (p *Placement) computeBox(n netlist.NetID, ca, cb netlist.CellID, pa, pb Pos) bbox {
+	net := &p.nl.Nets[n]
+	at := func(c netlist.CellID) Pos {
+		switch c {
+		case ca:
+			return pa
+		case cb:
+			return pb
+		default:
+			return p.pos[c]
+		}
+	}
+	first := at(net.Driver)
+	b := bbox{minX: first.Col, maxX: first.Col, minY: first.Row, maxY: first.Row}
+	for _, s := range net.Sinks {
+		q := at(s)
+		if q.Col < b.minX {
+			b.minX = q.Col
+		}
+		if q.Col > b.maxX {
+			b.maxX = q.Col
+		}
+		if q.Row < b.minY {
+			b.minY = q.Row
+		}
+		if q.Row > b.maxY {
+			b.maxY = q.Row
+		}
+	}
+	return b
+}
+
+// VisitSwapDeltas calls fn once for every net whose bounding box changes
+// when cells a and b exchange positions, passing the net and its old and
+// new half-perimeter lengths. It does not modify the placement. The cost
+// evaluator uses this single pass to derive both the wirelength delta and
+// the criticality-weighted timing delta of a trial swap.
+func (p *Placement) VisitSwapDeltas(a, b netlist.CellID, fn func(n netlist.NetID, oldLen, newLen float64)) {
+	pa, pb := p.pos[a], p.pos[b]
+	if pa == pb {
+		return
+	}
+	p.stampGen++
+	gen := p.stampGen
+	visit := func(nets []netlist.NetID) {
+		for _, n := range nets {
+			if p.netStamp[n] == gen {
+				continue
+			}
+			p.netStamp[n] = gen
+			oldLen := p.boxes[n].length()
+			newLen := p.computeBox(n, a, b, pb, pa).length()
+			if oldLen != newLen {
+				fn(n, oldLen, newLen)
+			}
+		}
+	}
+	visit(p.nl.CellNets(a))
+	visit(p.nl.CellNets(b))
+}
+
+// HPWLDeltaSwap returns the total HPWL change if cells a and b exchanged
+// positions, without modifying the placement.
+func (p *Placement) HPWLDeltaSwap(a, b netlist.CellID) float64 {
+	d := 0.0
+	p.VisitSwapDeltas(a, b, func(_ netlist.NetID, oldLen, newLen float64) {
+		d += newLen - oldLen
+	})
+	return d
+}
+
+// MaxRowWidthAfterSwap returns the area objective's value if cells a and
+// b exchanged positions, without modifying the placement. O(rows) when
+// the swap crosses rows, O(1) otherwise.
+func (p *Placement) MaxRowWidthAfterSwap(a, b netlist.CellID) int {
+	ra, rb := p.pos[a].Row, p.pos[b].Row
+	if ra == rb {
+		return p.maxRowW
+	}
+	wa, wb := p.nl.Cells[a].Width, p.nl.Cells[b].Width
+	if wa == wb {
+		return p.maxRowW
+	}
+	max := 0
+	for r, w := range p.rowWidth {
+		switch int32(r) {
+		case ra:
+			w += wb - wa
+		case rb:
+			w += wa - wb
+		}
+		if w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// SwapCells exchanges the positions of two cells and updates all
+// maintained quantities incrementally. Swapping a cell with itself is a
+// no-op.
+func (p *Placement) SwapCells(a, b netlist.CellID) {
+	if a == b {
+		return
+	}
+	pa, pb := p.pos[a], p.pos[b]
+
+	// Net boxes and total HPWL.
+	p.stampGen++
+	gen := p.stampGen
+	update := func(nets []netlist.NetID) {
+		for _, n := range nets {
+			if p.netStamp[n] == gen {
+				continue
+			}
+			p.netStamp[n] = gen
+			nb := p.computeBox(n, a, b, pb, pa)
+			p.hpwl += nb.length() - p.boxes[n].length()
+			p.boxes[n] = nb
+		}
+	}
+	update(p.nl.CellNets(a))
+	update(p.nl.CellNets(b))
+
+	// Row widths.
+	if pa.Row != pb.Row {
+		wa, wb := p.nl.Cells[a].Width, p.nl.Cells[b].Width
+		if wa != wb {
+			p.rowWidth[pa.Row] += wb - wa
+			p.rowWidth[pb.Row] += wa - wb
+			p.refreshMaxRow()
+		}
+	}
+
+	// Positions last (computeBox consults p.pos for unrelated cells).
+	p.pos[a], p.pos[b] = pb, pa
+	p.slot[p.L.SlotIndex(pa)] = b
+	p.slot[p.L.SlotIndex(pb)] = a
+}
+
+func (p *Placement) refreshMaxRow() {
+	max := 0
+	for _, w := range p.rowWidth {
+		if w > max {
+			max = w
+		}
+	}
+	p.maxRowW = max
+}
+
+// Randomize shuffles all cells across all slots using r.
+func (p *Placement) Randomize(r *rand.Rand) {
+	n := p.nl.NumCells()
+	slots := p.L.Slots()
+	perm := r.Perm(slots)
+	for i := range p.slot {
+		p.slot[i] = netlist.None
+	}
+	for c := 0; c < n; c++ {
+		p.pos[netlist.CellID(c)] = p.L.SlotPos(perm[c])
+		p.slot[perm[c]] = netlist.CellID(c)
+	}
+	p.recomputeAll()
+}
+
+// Export returns the placement as a permutation: element c is the linear
+// slot index of cell c. The result is independent of p's internals and
+// safe to send between workers.
+func (p *Placement) Export() []int32 {
+	out := make([]int32, p.nl.NumCells())
+	for c := range out {
+		out[c] = int32(p.L.SlotIndex(p.pos[c]))
+	}
+	return out
+}
+
+// Import replaces the assignment with the given exported permutation and
+// rebuilds the maintained quantities. It validates lengths, bounds and
+// slot uniqueness.
+func (p *Placement) Import(perm []int32) error {
+	if len(perm) != p.nl.NumCells() {
+		return fmt.Errorf("placement: import length %d != %d cells", len(perm), p.nl.NumCells())
+	}
+	seen := make([]bool, p.L.Slots())
+	for c, s := range perm {
+		if s < 0 || int(s) >= p.L.Slots() {
+			return fmt.Errorf("placement: import: cell %d slot %d out of range", c, s)
+		}
+		if seen[s] {
+			return fmt.Errorf("placement: import: slot %d assigned twice", s)
+		}
+		seen[s] = true
+	}
+	for i := range p.slot {
+		p.slot[i] = netlist.None
+	}
+	for c, s := range perm {
+		p.pos[c] = p.L.SlotPos(int(s))
+		p.slot[s] = netlist.CellID(c)
+	}
+	p.recomputeAll()
+	return nil
+}
+
+// Clone returns an independent deep copy sharing only the immutable
+// netlist.
+func (p *Placement) Clone() *Placement {
+	q := &Placement{
+		nl:       p.nl,
+		L:        p.L,
+		pos:      append([]Pos(nil), p.pos...),
+		slot:     append([]netlist.CellID(nil), p.slot...),
+		boxes:    append([]bbox(nil), p.boxes...),
+		hpwl:     p.hpwl,
+		rowWidth: append([]int(nil), p.rowWidth...),
+		maxRowW:  p.maxRowW,
+		netStamp: make([]uint32, p.nl.NumNets()),
+	}
+	return q
+}
+
+// ASCII renders small placements as a grid of cell names for examples
+// and debugging; layouts wider than maxCols columns render as a summary
+// line instead.
+func (p *Placement) ASCII(maxCols int) string {
+	if p.L.Cols > maxCols {
+		return fmt.Sprintf("[%dx%d layout, hpwl=%.0f, maxRowWidth=%d]",
+			p.L.Rows, p.L.Cols, p.hpwl, p.maxRowW)
+	}
+	var sb strings.Builder
+	for r := 0; r < p.L.Rows; r++ {
+		for c := 0; c < p.L.Cols; c++ {
+			id := p.slot[r*p.L.Cols+c]
+			if id == netlist.None {
+				sb.WriteString(fmt.Sprintf("%-8s", "."))
+			} else {
+				sb.WriteString(fmt.Sprintf("%-8s", p.nl.Cells[id].Name))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

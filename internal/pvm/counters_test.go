@@ -1,0 +1,58 @@
+package pvm
+
+import "testing"
+
+func TestCountersVirtual(t *testing.T) {
+	var c Counters
+	_, err := RunVirtual(Options{Seed: 31, Counters: &c}, func(env Env) {
+		child := env.Spawn("c", 0, func(e Env) {
+			e.Recv(tagPing)
+			e.Send(0, tagPong, nil)
+		})
+		env.Send(child, tagPing, nil)
+		env.Recv(tagPong)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Spawns != 2 {
+		t.Errorf("Spawns = %d, want 2", c.Spawns)
+	}
+	if c.Sends != 2 {
+		t.Errorf("Sends = %d, want 2", c.Sends)
+	}
+	if c.Events == 0 {
+		t.Error("Events not counted")
+	}
+}
+
+func TestCountersReal(t *testing.T) {
+	var c Counters
+	_, err := RunReal(Options{Seed: 32, Counters: &c}, func(env Env) {
+		for i := 0; i < 3; i++ {
+			child := env.Spawn("c", 0, func(e Env) {
+				e.Send(0, tagPong, nil)
+			})
+			_ = child
+		}
+		for i := 0; i < 3; i++ {
+			env.Recv(tagPong)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Spawns != 4 { // root + 3 children
+		t.Errorf("Spawns = %d, want 4", c.Spawns)
+	}
+	if c.Sends != 3 {
+		t.Errorf("Sends = %d, want 3", c.Sends)
+	}
+}
+
+func TestCountersOptional(t *testing.T) {
+	// No counters attached: must not crash.
+	if _, err := RunVirtual(Options{Seed: 33}, func(env Env) {}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,44 @@
+package pvm
+
+// Group operations built on the point-to-point primitives, mirroring
+// PVM's pvm_mcast / gather conveniences.
+
+// Multicast sends the same tagged payload to every listed task.
+func Multicast(env Env, ids []TaskID, tag Tag, data any) {
+	for _, id := range ids {
+		env.Send(id, tag, data)
+	}
+}
+
+// CollectN blocks until n messages matching tags arrived and returns
+// them in arrival order.
+func CollectN(env Env, n int, tags ...Tag) []Message {
+	out := make([]Message, 0, n)
+	for len(out) < n {
+		out = append(out, env.Recv(tags...))
+	}
+	return out
+}
+
+// CollectFrom blocks until one matching message from every listed task
+// arrived, returning them keyed by sender. Messages from tasks outside
+// the set with matching tags are also consumed and returned; callers
+// that interleave collections must use distinct tags.
+func CollectFrom(env Env, ids []TaskID, tags ...Tag) map[TaskID]Message {
+	want := make(map[TaskID]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	out := make(map[TaskID]Message, len(ids))
+	remaining := len(ids)
+	for remaining > 0 {
+		m := env.Recv(tags...)
+		if want[m.From] {
+			if _, dup := out[m.From]; !dup {
+				remaining--
+			}
+		}
+		out[m.From] = m
+	}
+	return out
+}

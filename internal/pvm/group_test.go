@@ -1,0 +1,55 @@
+package pvm
+
+import "testing"
+
+func TestMulticastAndCollectN(t *testing.T) {
+	_, err := RunVirtual(Options{Seed: 21}, func(env Env) {
+		var ids []TaskID
+		for i := 0; i < 5; i++ {
+			i := i
+			ids = append(ids, env.Spawn("w", 0, func(e Env) {
+				m := e.Recv(tagPing)
+				e.Send(0, tagPong, m.Data.(int)+i)
+			}))
+		}
+		Multicast(env, ids, tagPing, 100)
+		got := CollectN(env, 5, tagPong)
+		if len(got) != 5 {
+			t.Fatalf("collected %d", len(got))
+		}
+		sum := 0
+		for _, m := range got {
+			sum += m.Data.(int)
+		}
+		if sum != 5*100+0+1+2+3+4 {
+			t.Fatalf("sum = %d", sum)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectFrom(t *testing.T) {
+	_, err := RunVirtual(Options{Seed: 22}, func(env Env) {
+		var ids []TaskID
+		for i := 0; i < 4; i++ {
+			i := i
+			ids = append(ids, env.Spawn("w", i, func(e Env) {
+				e.Send(0, tagData, int(e.Self())*10+i)
+			}))
+		}
+		got := CollectFrom(env, ids, tagData)
+		if len(got) != 4 {
+			t.Fatalf("collected %d senders", len(got))
+		}
+		for _, id := range ids {
+			if _, ok := got[id]; !ok {
+				t.Fatalf("missing message from %d", id)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

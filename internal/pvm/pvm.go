@@ -1,0 +1,150 @@
+// Package pvm provides the PVM-like message-passing substrate the
+// parallel tabu search runs on: spawn tasks on cluster machines, send
+// typed-tag messages, receive selectively, and charge compute time.
+//
+// Two interchangeable runtimes implement the same Env interface:
+//
+//   - RunVirtual executes on the deterministic discrete-event kernel
+//     (pts/internal/vtime): compute time is charged against the modeled
+//     machine speeds/loads and messages take modeled LAN latency. All
+//     experiment figures use this runtime — results are bit-identical
+//     across hosts and runs.
+//   - RunReal executes on plain goroutines with wall-clock time; it
+//     demonstrates the same algorithm code running genuinely in parallel.
+//
+// Task random streams are derived from the task's spawn path (e.g.
+// "root/tsw2/clw1"), so both runtimes sample identically.
+package pvm
+
+import (
+	"math/rand"
+
+	"pts/internal/cluster"
+)
+
+// Tag labels a message's purpose; receivers select on it.
+type Tag int32
+
+// TaskID identifies a spawned task within one run.
+type TaskID int32
+
+// Message is what Recv returns.
+type Message struct {
+	From TaskID
+	Tag  Tag
+	Data any
+}
+
+// Sized lets payloads report their size in 4-byte items so the virtual
+// runtime can model transfer latency; unsized payloads count as one item.
+type Sized interface {
+	PVMItems() int
+}
+
+// payloadItems returns the modeled size of a payload.
+func payloadItems(data any) int {
+	if s, ok := data.(Sized); ok {
+		if n := s.PVMItems(); n > 0 {
+			return n
+		}
+	}
+	return 1
+}
+
+// TaskFunc is a task body.
+type TaskFunc func(Env)
+
+// Env is a task's handle to the runtime. Not safe for concurrent use by
+// other goroutines: each task calls its own Env only.
+type Env interface {
+	// Self returns this task's ID.
+	Self() TaskID
+	// Name returns this task's full spawn path (e.g. "root/tsw0/clw2").
+	Name() string
+	// MachineIndex returns the cluster machine this task runs on.
+	MachineIndex() int
+	// Spawn starts fn as a new task on the given cluster machine
+	// (wrapped modulo the cluster size) and returns its ID.
+	Spawn(name string, machine int, fn TaskFunc) TaskID
+	// Send delivers data to the task `to` with the given tag,
+	// asynchronously.
+	Send(to TaskID, tag Tag, data any)
+	// Recv blocks until a message with one of the tags (any tag if none
+	// given) is available, and returns the oldest such message.
+	Recv(tags ...Tag) Message
+	// TryRecv is Recv without blocking; ok reports whether a message
+	// matched.
+	TryRecv(tags ...Tag) (Message, bool)
+	// Work charges `seconds` of reference compute (the time the work
+	// would take on an idle speed-1.0 machine); the runtime converts it
+	// to this machine's speed and load.
+	Work(seconds float64)
+	// Now returns seconds since the run started (virtual or wall).
+	Now() float64
+	// Rand returns the task's deterministic random stream.
+	Rand() *rand.Rand
+}
+
+// Counters reports what a run did; attach one to Options to collect.
+type Counters struct {
+	// Spawns is the number of tasks started (including the root).
+	Spawns int64
+	// Sends is the number of messages sent.
+	Sends int64
+	// Events is the number of kernel events processed (virtual runtime
+	// only).
+	Events int64
+}
+
+// Options configure a run.
+type Options struct {
+	// Cluster supplies machines and the message cost model. Defaults to
+	// a single idle speed-1.0 machine.
+	Cluster cluster.Cluster
+	// Seed drives every task's random stream.
+	Seed uint64
+	// MaxEvents bounds the virtual kernel (0 = default 500M events).
+	MaxEvents uint64
+	// RealWorkScale, when positive, makes the real runtime emulate
+	// machine speed by sleeping seconds*RealWorkScale/speed for each
+	// Work call; 0 (default) makes Work a no-op in real mode, where
+	// compute costs wall time anyway.
+	RealWorkScale float64
+	// Counters, when non-nil, receives run statistics.
+	Counters *Counters
+}
+
+// withDefaults normalizes options.
+func (o Options) withDefaults() Options {
+	if len(o.Cluster.Machines) == 0 {
+		o.Cluster = cluster.Homogeneous(1, 1.0)
+	}
+	if o.MaxEvents == 0 {
+		o.MaxEvents = 500_000_000
+	}
+	return o
+}
+
+// matches reports whether tag is in tags (empty = match all).
+func matches(tag Tag, tags []Tag) bool {
+	if len(tags) == 0 {
+		return true
+	}
+	for _, t := range tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// scanInbox removes and returns the oldest message matching tags.
+func scanInbox(inbox *[]Message, tags []Tag) (Message, bool) {
+	for i, m := range *inbox {
+		if matches(m.Tag, tags) {
+			*inbox = append((*inbox)[:i], (*inbox)[i+1:]...)
+			return m, true
+		}
+	}
+	return Message{}, false
+}

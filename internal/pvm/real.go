@@ -1,0 +1,145 @@
+package pvm
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pts/internal/cluster"
+	"pts/internal/rng"
+)
+
+// rRuntime is the wall-clock goroutine runtime.
+type rRuntime struct {
+	c         cluster.Cluster
+	seed      uint64
+	workScale float64
+	start     time.Time
+
+	spawns atomic.Int64
+	sends  atomic.Int64
+
+	mu   sync.Mutex
+	task []*rTask
+	wg   sync.WaitGroup
+}
+
+// rTask is one real task.
+type rTask struct {
+	rt      *rRuntime
+	id      TaskID
+	name    string
+	machine int
+	r       *rand.Rand
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	inbox []Message
+}
+
+var _ Env = (*rTask)(nil)
+
+func (t *rTask) Self() TaskID      { return t.id }
+func (t *rTask) Name() string      { return t.name }
+func (t *rTask) MachineIndex() int { return t.machine }
+func (t *rTask) Rand() *rand.Rand  { return t.r }
+func (t *rTask) Now() float64      { return time.Since(t.rt.start).Seconds() }
+
+func (t *rTask) Spawn(name string, machine int, fn TaskFunc) TaskID {
+	return t.rt.spawn(t.name+"/"+name, machine, fn)
+}
+
+func (rt *rRuntime) spawn(fullName string, machine int, fn TaskFunc) TaskID {
+	rt.spawns.Add(1)
+	machine = ((machine % len(rt.c.Machines)) + len(rt.c.Machines)) % len(rt.c.Machines)
+	child := &rTask{
+		rt:      rt,
+		name:    fullName,
+		machine: machine,
+		r:       rng.NewChild(rt.seed, "pvm.task", fullName),
+	}
+	child.cond = sync.NewCond(&child.mu)
+	rt.mu.Lock()
+	child.id = TaskID(len(rt.task))
+	rt.task = append(rt.task, child)
+	rt.mu.Unlock()
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		fn(child)
+	}()
+	return child.id
+}
+
+func (rt *rRuntime) lookup(id TaskID) *rTask {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(rt.task) {
+		return nil
+	}
+	return rt.task[id]
+}
+
+func (t *rTask) Send(to TaskID, tag Tag, data any) {
+	t.rt.sends.Add(1)
+	dst := t.rt.lookup(to)
+	if dst == nil {
+		panic(fmt.Sprintf("pvm: send to unknown task %d from %q", to, t.name))
+	}
+	dst.mu.Lock()
+	dst.inbox = append(dst.inbox, Message{From: t.id, Tag: tag, Data: data})
+	dst.mu.Unlock()
+	dst.cond.Signal()
+}
+
+func (t *rTask) Recv(tags ...Tag) Message {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		if m, ok := scanInbox(&t.inbox, tags); ok {
+			return m
+		}
+		t.cond.Wait()
+	}
+}
+
+func (t *rTask) TryRecv(tags ...Tag) (Message, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return scanInbox(&t.inbox, tags)
+}
+
+func (t *rTask) Work(seconds float64) {
+	if seconds <= 0 || t.rt.workScale <= 0 {
+		return
+	}
+	m := t.rt.c.Machine(t.machine)
+	// Real mode models speed only (loads would just add sleep noise).
+	time.Sleep(time.Duration(seconds * t.rt.workScale / m.Speed * float64(time.Second)))
+}
+
+// RunReal executes root (and everything it spawns) on goroutines with
+// wall-clock timing and returns the elapsed seconds once every task has
+// finished. Unlike RunVirtual it cannot detect deadlocks: a task that
+// waits forever hangs the run.
+func RunReal(opts Options, root TaskFunc) (elapsed float64, err error) {
+	opts = opts.withDefaults()
+	if err := opts.Cluster.Validate(); err != nil {
+		return 0, err
+	}
+	rt := &rRuntime{
+		c:         opts.Cluster,
+		seed:      opts.Seed,
+		workScale: opts.RealWorkScale,
+		start:     time.Now(),
+	}
+	rt.spawn("root", 0, root)
+	rt.wg.Wait()
+	if opts.Counters != nil {
+		opts.Counters.Spawns = rt.spawns.Load()
+		opts.Counters.Sends = rt.sends.Load()
+	}
+	return time.Since(rt.start).Seconds(), nil
+}

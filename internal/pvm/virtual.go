@@ -1,0 +1,164 @@
+package pvm
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pts/internal/cluster"
+	"pts/internal/rng"
+	"pts/internal/vtime"
+)
+
+// vRuntime is the deterministic virtual-time runtime.
+type vRuntime struct {
+	k      *vtime.Kernel
+	c      cluster.Cluster
+	seed   uint64
+	task   []*vTask
+	spawns int64
+	sends  int64
+}
+
+// vTask is one virtual task.
+type vTask struct {
+	rt       *vRuntime
+	id       TaskID
+	name     string
+	machine  int
+	proc     *vtime.Proc
+	inbox    []Message
+	waiting  bool
+	finished bool
+	r        *rand.Rand
+	// lastTo tracks, per destination, the latest scheduled arrival of a
+	// message this task sent there: PVM (like TCP) guarantees messages
+	// between two tasks arrive in the order sent, so a later small
+	// message must not overtake an earlier big one.
+	lastTo map[TaskID]vtime.Time
+}
+
+var _ Env = (*vTask)(nil)
+
+func (t *vTask) Self() TaskID      { return t.id }
+func (t *vTask) Name() string      { return t.name }
+func (t *vTask) MachineIndex() int { return t.machine }
+func (t *vTask) Rand() *rand.Rand  { return t.r }
+func (t *vTask) Now() float64      { return float64(t.rt.k.Now()) }
+
+func (t *vTask) Spawn(name string, machine int, fn TaskFunc) TaskID {
+	return t.rt.spawn(t.name+"/"+name, machine, fn)
+}
+
+func (rt *vRuntime) spawn(fullName string, machine int, fn TaskFunc) TaskID {
+	rt.spawns++
+	machine = ((machine % len(rt.c.Machines)) + len(rt.c.Machines)) % len(rt.c.Machines)
+	child := &vTask{
+		rt:      rt,
+		id:      TaskID(len(rt.task)),
+		name:    fullName,
+		machine: machine,
+		r:       rng.NewChild(rt.seed, "pvm.task", fullName),
+	}
+	rt.task = append(rt.task, child)
+	child.proc = rt.k.Spawn(fullName, func(*vtime.Proc) {
+		fn(child)
+		child.finished = true
+	})
+	return child.id
+}
+
+func (t *vTask) Send(to TaskID, tag Tag, data any) {
+	rt := t.rt
+	rt.sends++
+	if int(to) < 0 || int(to) >= len(rt.task) {
+		panic(fmt.Sprintf("pvm: send to unknown task %d from %q", to, t.name))
+	}
+	dst := rt.task[to]
+	msg := Message{From: t.id, Tag: tag, Data: data}
+	items := payloadItems(data)
+	delay := rt.c.MsgDelay(items)
+	if dst.machine == t.machine {
+		// Same machine: no LAN traversal, just software overhead plus the
+		// memory copy.
+		delay = rt.c.SendLatency/4 + rt.c.PerItem*float64(items)
+	}
+	// Per-pair FIFO: never schedule an arrival before an earlier message
+	// to the same destination.
+	arrival := rt.k.Now() + vtime.Time(delay)
+	if t.lastTo == nil {
+		t.lastTo = make(map[TaskID]vtime.Time)
+	}
+	if prev := t.lastTo[to]; arrival < prev {
+		arrival = prev
+	}
+	t.lastTo[to] = arrival
+	rt.k.After(arrival-rt.k.Now(), func() {
+		dst.inbox = append(dst.inbox, msg)
+		if dst.waiting {
+			rt.k.Wake(dst.proc)
+		}
+	})
+}
+
+func (t *vTask) Recv(tags ...Tag) Message {
+	for {
+		if m, ok := scanInbox(&t.inbox, tags); ok {
+			return m
+		}
+		t.waiting = true
+		t.proc.Suspend()
+		t.waiting = false
+	}
+}
+
+func (t *vTask) TryRecv(tags ...Tag) (Message, bool) {
+	return scanInbox(&t.inbox, tags)
+}
+
+func (t *vTask) Work(seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	m := t.rt.c.Machine(t.machine)
+	d := m.WorkDuration(float64(t.rt.k.Now()), seconds)
+	t.proc.Sleep(vtime.Time(d))
+}
+
+// RunVirtual executes root (and everything it spawns) on the
+// discrete-event kernel and returns the virtual make-span in seconds.
+// It returns an error if the cluster is invalid, the event limit was
+// hit, or tasks were still blocked when the event queue drained (a
+// protocol bug in the task code).
+func RunVirtual(opts Options, root TaskFunc) (elapsed float64, err error) {
+	opts = opts.withDefaults()
+	if err := opts.Cluster.Validate(); err != nil {
+		return 0, err
+	}
+	rt := &vRuntime{
+		k:    vtime.NewKernel(),
+		c:    opts.Cluster,
+		seed: opts.Seed,
+	}
+	rt.k.MaxEvents = opts.MaxEvents
+	rt.spawn("root", 0, root)
+	runErr := rt.k.Run()
+	elapsed = float64(rt.k.Now())
+	if opts.Counters != nil {
+		opts.Counters.Spawns = rt.spawns
+		opts.Counters.Sends = rt.sends
+		opts.Counters.Events = int64(rt.k.Events())
+	}
+	if runErr != nil {
+		return elapsed, runErr
+	}
+	var stalled []string
+	for _, t := range rt.task {
+		if !t.finished {
+			stalled = append(stalled, t.name)
+		}
+	}
+	if len(stalled) > 0 {
+		return elapsed, fmt.Errorf("pvm: tasks blocked at shutdown: %v", stalled)
+	}
+	return elapsed, nil
+}

@@ -1,0 +1,169 @@
+package qap
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pts/internal/rng"
+)
+
+func TestRandomInstanceShape(t *testing.T) {
+	ins := Random(8, 1)
+	if ins.N != 8 {
+		t.Fatalf("N = %d", ins.N)
+	}
+	for i := 0; i < 8; i++ {
+		if ins.Dist[i][i] != 0 || ins.Flow[i][i] != 0 {
+			t.Fatal("diagonal must be zero")
+		}
+		for j := 0; j < 8; j++ {
+			if ins.Dist[i][j] != ins.Dist[j][i] || ins.Flow[i][j] != ins.Flow[j][i] {
+				t.Fatal("matrices must be symmetric")
+			}
+			if ins.Dist[i][j] < 0 || ins.Flow[i][j] < 0 {
+				t.Fatal("entries must be nonnegative")
+			}
+		}
+	}
+}
+
+func TestRandomDeterministic(t *testing.T) {
+	a, b := Random(6, 42), Random(6, 42)
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			if a.Dist[i][j] != b.Dist[i][j] || a.Flow[i][j] != b.Flow[i][j] {
+				t.Fatal("instances differ for equal seed")
+			}
+		}
+	}
+	c := Random(6, 43)
+	same := true
+	for i := 0; i < 6 && same; i++ {
+		for j := 0; j < 6; j++ {
+			if a.Dist[i][j] != c.Dist[i][j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical distance matrices")
+	}
+}
+
+func TestDeltaSwapMatchesFullCost(t *testing.T) {
+	ins := Random(12, 7)
+	s := NewState(ins, 3)
+	r := rng.New(9)
+	for i := 0; i < 300; i++ {
+		a := int32(r.Intn(ins.N))
+		b := int32(r.Intn(ins.N))
+		predicted := s.DeltaSwap(a, b)
+		before := s.Cost()
+		s.ApplySwap(a, b)
+		wantAfter := ins.Cost(s.Snapshot())
+		if math.Abs(s.Cost()-wantAfter) > 1e-6 {
+			t.Fatalf("step %d: incremental cost %v != full %v", i, s.Cost(), wantAfter)
+		}
+		if math.Abs((s.Cost()-before)-predicted) > 1e-6 {
+			t.Fatalf("step %d: delta %v != predicted %v", i, s.Cost()-before, predicted)
+		}
+	}
+}
+
+func TestApplySwapInvolution(t *testing.T) {
+	ins := Random(10, 2)
+	s := NewState(ins, 5)
+	before := s.Snapshot()
+	costBefore := s.Cost()
+	s.ApplySwap(2, 7)
+	s.ApplySwap(2, 7)
+	after := s.Snapshot()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("double swap changed permutation")
+		}
+	}
+	if math.Abs(s.Cost()-costBefore) > 1e-9 {
+		t.Fatalf("double swap changed cost: %v vs %v", s.Cost(), costBefore)
+	}
+}
+
+func TestSelfSwapNoop(t *testing.T) {
+	s := NewState(Random(6, 3), 1)
+	if s.DeltaSwap(4, 4) != 0 {
+		t.Error("self delta nonzero")
+	}
+	before := s.Cost()
+	s.ApplySwap(4, 4)
+	if s.Cost() != before {
+		t.Error("self swap changed cost")
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	s := NewState(Random(5, 4), 2)
+	if err := s.Restore([]int32{0, 1}); err == nil {
+		t.Error("short snapshot accepted")
+	}
+	if err := s.Restore([]int32{0, 1, 2, 3, 9}); err == nil {
+		t.Error("out-of-range snapshot accepted")
+	}
+	if err := s.Restore([]int32{0, 1, 2, 2, 3}); err == nil {
+		t.Error("duplicate snapshot accepted")
+	}
+	good := s.Snapshot()
+	if err := s.Restore(good); err != nil {
+		t.Errorf("valid snapshot rejected: %v", err)
+	}
+}
+
+func TestRefreshClearsDrift(t *testing.T) {
+	ins := Random(15, 5)
+	s := NewState(ins, 6)
+	r := rng.New(4)
+	for i := 0; i < 2000; i++ {
+		s.ApplySwap(int32(r.Intn(ins.N)), int32(r.Intn(ins.N)))
+	}
+	s.Refresh()
+	if math.Abs(s.Cost()-ins.Cost(s.Snapshot())) > 1e-9 {
+		t.Fatal("Refresh did not resynchronize cost")
+	}
+}
+
+// Property: cost is invariant under relabeling both matrices... too
+// strong; instead: cost of identity assignment equals direct sum.
+func TestQuickCostNonNegative(t *testing.T) {
+	f := func(seed uint64, permSeed uint64) bool {
+		ins := Random(7, seed)
+		s := NewState(ins, permSeed)
+		return s.Cost() >= 0 && math.Abs(s.Cost()-ins.Cost(s.Snapshot())) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBruteForceOptimumIsLowerBound(t *testing.T) {
+	ins := Random(6, 11)
+	opt := BruteForceOptimum(ins)
+	r := rng.New(8)
+	for trial := 0; trial < 20; trial++ {
+		s := NewState(ins, uint64(trial))
+		if s.Cost() < opt-1e-9 {
+			t.Fatalf("random assignment %v beats brute-force optimum %v", s.Cost(), opt)
+		}
+		_ = r
+	}
+}
+
+func BenchmarkDeltaSwapN64(b *testing.B) {
+	ins := Random(64, 1)
+	s := NewState(ins, 2)
+	r := rng.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.DeltaSwap(int32(r.Intn(64)), int32(r.Intn(64)))
+	}
+}

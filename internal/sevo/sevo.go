@@ -1,0 +1,175 @@
+// Package sevo implements Simulated Evolution (SimE) for standard-cell
+// placement — the algorithm of the paper's reference [5] (Sait, Youssef,
+// Ali: "Fuzzy Simulated Evolution Algorithm for multi-objective
+// optimization of VLSI placement"), which is also where the fuzzy
+// goal-directed cost used throughout this repository comes from. It
+// serves as the second domain-specific baseline next to simulated
+// annealing.
+//
+// SimE iterates three phases over the placement:
+//
+//	evaluation — each cell gets a goodness in [0,1]: the ratio of an
+//	             optimistic estimate of its connection span to its
+//	             actual span in the current placement;
+//	selection  — poorly placed cells are selected with probability
+//	             1 − goodness − Bias;
+//	allocation — selected cells are ripped up and greedily re-placed
+//	             into the best of a sampled set of empty slots and
+//	             pairwise swaps.
+package sevo
+
+import (
+	"fmt"
+	"math"
+
+	"pts/internal/cost"
+	"pts/internal/netlist"
+	"pts/internal/rng"
+	"pts/internal/stats"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// Iterations is the number of evaluation/selection/allocation
+	// rounds.
+	Iterations int
+	// Bias shifts the selection probability: higher bias selects fewer
+	// cells (classic SimE B, default 0.2).
+	Bias float64
+	// Candidates is how many alternative locations the allocator tries
+	// per ripped cell (default 8).
+	Candidates int
+	// Seed drives selection and allocation sampling.
+	Seed uint64
+}
+
+// withDefaults fills documented defaults.
+func (c Config) withDefaults() Config {
+	if c.Iterations <= 0 {
+		c.Iterations = 100
+	}
+	if c.Bias == 0 {
+		c.Bias = 0.2
+	}
+	if c.Candidates <= 0 {
+		c.Candidates = 8
+	}
+	return c
+}
+
+// Validate reports nonsensical parameters.
+func (c Config) Validate() error {
+	if c.Bias < -1 || c.Bias > 1 {
+		return fmt.Errorf("sevo: bias %v outside [-1,1]", c.Bias)
+	}
+	return nil
+}
+
+// Result reports a run's outcome.
+type Result struct {
+	BestCost   float64
+	BestPerm   []int32
+	Iterations int
+	Ripups     int64 // cells selected and re-placed
+	Moves      int64 // relocations/swaps actually applied
+	Trace      stats.Trace
+}
+
+// Minimize runs simulated evolution on the evaluator's placement. The
+// evaluator is left at the last-visited solution; import
+// Result.BestPerm for the best one.
+func Minimize(ev *cost.Evaluator, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	r := rng.New(rng.Derive(cfg.Seed, "sevo"))
+	p := ev.Placement()
+	nl := p.Netlist()
+	n := nl.NumCells()
+
+	// Optimistic span per net: the smallest half-perimeter of any
+	// region holding Degree() cells — 2·(ceil(sqrt(k))−1).
+	optSpan := make([]float64, nl.NumNets())
+	for i := range optSpan {
+		k := float64(nl.Nets[i].Degree())
+		side := math.Ceil(math.Sqrt(k)) - 1
+		optSpan[i] = 2 * side
+	}
+
+	res := &Result{
+		BestCost: ev.Cost(),
+		BestPerm: ev.ExportPerm(),
+	}
+	res.Trace.Record(0, res.BestCost)
+
+	goodness := make([]float64, n)
+	selected := make([]netlist.CellID, 0, n)
+	for it := 0; it < cfg.Iterations; it++ {
+		// Evaluation.
+		for c := 0; c < n; c++ {
+			opt, act := 0.0, 0.0
+			for _, nt := range nl.CellNets(netlist.CellID(c)) {
+				opt += optSpan[nt]
+				act += p.NetHPWL(nt)
+			}
+			switch {
+			case act <= 0:
+				goodness[c] = 1
+			default:
+				g := opt / act
+				if g > 1 {
+					g = 1
+				}
+				goodness[c] = g
+			}
+		}
+		// Selection.
+		selected = selected[:0]
+		for c := 0; c < n; c++ {
+			if r.Float64() > goodness[c]+cfg.Bias {
+				selected = append(selected, netlist.CellID(c))
+			}
+		}
+		// Allocation: greedy best-of-sampled per selected cell.
+		for _, c := range selected {
+			res.Ripups++
+			bestDelta := 0.0
+			bestSwap := netlist.None
+			bestSlot := -1
+			for t := 0; t < cfg.Candidates; t++ {
+				if s := p.RandomEmptySlot(r); s >= 0 && r.Intn(2) == 0 {
+					if d := ev.MoveDelta(c, p.Layout().SlotPos(s)); d < bestDelta {
+						bestDelta, bestSlot, bestSwap = d, s, netlist.None
+					}
+					continue
+				}
+				o := netlist.CellID(r.Intn(n))
+				if o == c {
+					continue
+				}
+				if d := ev.SwapDelta(c, o); d < bestDelta {
+					bestDelta, bestSwap, bestSlot = d, o, -1
+				}
+			}
+			switch {
+			case bestSlot >= 0:
+				if err := ev.ApplyMove(c, p.Layout().SlotPos(bestSlot)); err != nil {
+					return nil, err
+				}
+				res.Moves++
+			case bestSwap != netlist.None:
+				ev.ApplySwap(c, bestSwap)
+				res.Moves++
+			}
+		}
+		ev.Refresh() // resync timing criticalities once per round
+		if c := ev.Cost(); c < res.BestCost {
+			res.BestCost = c
+			res.BestPerm = ev.ExportPerm()
+		}
+		res.Trace.Record(float64(it+1), res.BestCost)
+		res.Iterations++
+	}
+	return res, nil
+}

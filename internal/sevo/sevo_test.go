@@ -1,0 +1,123 @@
+package sevo
+
+import (
+	"math"
+	"testing"
+
+	"pts/internal/cost"
+	"pts/internal/netlist"
+	"pts/internal/placement"
+	"pts/internal/rng"
+)
+
+func newEval(t testing.TB, cells int, seed uint64) *cost.Evaluator {
+	t.Helper()
+	nl := netlist.MustGenerate(netlist.GenConfig{Name: "se", Cells: cells, Seed: seed})
+	p, err := placement.New(nl, placement.AutoLayout(nl, 0.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Randomize(rng.New(seed + 1))
+	ev, err := cost.NewEvaluator(p, cost.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ev
+}
+
+func TestMinimizeImproves(t *testing.T) {
+	ev := newEval(t, 100, 1)
+	start := ev.Cost()
+	res, err := Minimize(ev, Config{Iterations: 40, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost >= start {
+		t.Fatalf("SimE did not improve: %v -> %v", start, res.BestCost)
+	}
+	if res.Ripups == 0 || res.Moves == 0 {
+		t.Fatalf("no evolution happened: %+v", res)
+	}
+	if res.Iterations != 40 {
+		t.Errorf("iterations = %d", res.Iterations)
+	}
+	if res.Trace.Len() != 41 {
+		t.Errorf("trace points = %d, want 41", res.Trace.Len())
+	}
+}
+
+func TestBestPermEvaluates(t *testing.T) {
+	ev := newEval(t, 80, 3)
+	res, err := Minimize(ev, Config{Iterations: 25, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ev.ImportPerm(res.BestPerm); err != nil {
+		t.Fatal(err)
+	}
+	// ImportPerm refreshes criticalities; allow the timing-weight step.
+	if math.Abs(ev.Cost()-res.BestCost) > 0.05 {
+		t.Fatalf("best perm scores %v, recorded %v", ev.Cost(), res.BestCost)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() float64 {
+		ev := newEval(t, 60, 5)
+		res, err := Minimize(ev, Config{Iterations: 15, Seed: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BestCost
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("runs diverged: %v vs %v", a, b)
+	}
+}
+
+func TestBiasReducesRipups(t *testing.T) {
+	low := func(bias float64) int64 {
+		ev := newEval(t, 80, 7)
+		res, err := Minimize(ev, Config{Iterations: 10, Bias: bias, Seed: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Ripups
+	}
+	if !(low(0.6) < low(-0.3)) {
+		t.Fatal("higher bias should select fewer cells")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ev := newEval(t, 30, 9)
+	if _, err := Minimize(ev, Config{Bias: 2}); err == nil {
+		t.Fatal("bias out of range accepted")
+	}
+}
+
+func TestTraceMonotone(t *testing.T) {
+	ev := newEval(t, 70, 10)
+	res, err := Minimize(ev, Config{Iterations: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := res.Trace.Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Cost > pts[i-1].Cost+1e-12 {
+			t.Fatal("best-cost trace increased")
+		}
+	}
+}
+
+func BenchmarkSimEIteration(b *testing.B) {
+	ev := newEval(b, 395, 1)
+	cfg := Config{Iterations: 1, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i)
+		if _, err := Minimize(ev, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

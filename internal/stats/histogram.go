@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram counts integer-valued observations (net degrees, fan-outs,
+// logic levels); used by the netlist analysis reports.
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int)}
+}
+
+// Add records one observation of value v.
+func (h *Histogram) Add(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// Count returns how many observations had value v.
+func (h *Histogram) Count(v int) int { return h.counts[v] }
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Values returns the observed values in ascending order.
+func (h *Histogram) Values() []int {
+	vs := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// Mean returns the mean observation, or NaN when empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return Mean(nil)
+	}
+	sum := 0
+	for v, c := range h.counts {
+		sum += v * c
+	}
+	return float64(sum) / float64(h.total)
+}
+
+// Mode returns the most frequent value (smallest on ties) and its
+// count; (0, 0) when empty.
+func (h *Histogram) Mode() (value, count int) {
+	for _, v := range h.Values() {
+		if c := h.counts[v]; c > count {
+			value, count = v, c
+		}
+	}
+	return value, count
+}
+
+// String renders a bar per value, scaled to a 40-character bar for the
+// mode.
+func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "(empty histogram)\n"
+	}
+	_, max := h.Mode()
+	var sb strings.Builder
+	for _, v := range h.Values() {
+		c := h.counts[v]
+		bar := strings.Repeat("#", (c*40+max-1)/max)
+		fmt.Fprintf(&sb, "%6d %6d %s\n", v, c, bar)
+	}
+	return sb.String()
+}

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Total() != 0 || !math.IsNaN(h.Mean()) {
+		t.Fatal("empty histogram wrong")
+	}
+	if v, c := h.Mode(); v != 0 || c != 0 {
+		t.Fatal("empty mode wrong")
+	}
+	for _, v := range []int{2, 3, 2, 5, 2, 3} {
+		h.Add(v)
+	}
+	if h.Total() != 6 || h.Count(2) != 3 || h.Count(3) != 2 || h.Count(5) != 1 || h.Count(9) != 0 {
+		t.Fatalf("counts wrong")
+	}
+	if got := h.Values(); len(got) != 3 || got[0] != 2 || got[2] != 5 {
+		t.Fatalf("Values = %v", got)
+	}
+	if math.Abs(h.Mean()-17.0/6) > 1e-9 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if v, c := h.Mode(); v != 2 || c != 3 {
+		t.Fatalf("Mode = %d,%d", v, c)
+	}
+}
+
+func TestHistogramModeTieBreaksSmallest(t *testing.T) {
+	h := NewHistogram()
+	h.Add(7)
+	h.Add(3)
+	if v, _ := h.Mode(); v != 3 {
+		t.Fatalf("tie should pick smallest value, got %d", v)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram()
+	if !strings.Contains(h.String(), "empty") {
+		t.Error("empty render wrong")
+	}
+	h.Add(1)
+	h.Add(1)
+	h.Add(4)
+	out := h.String()
+	if !strings.Contains(out, "#") || !strings.Contains(out, "4") {
+		t.Errorf("render missing bars: %q", out)
+	}
+	// Mode bar is the longest.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d", len(lines))
+	}
+	if strings.Count(lines[0], "#") <= strings.Count(lines[1], "#") {
+		t.Error("mode bar not longest")
+	}
+}

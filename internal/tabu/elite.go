@@ -1,0 +1,113 @@
+package tabu
+
+import (
+	"math"
+	"math/rand"
+)
+
+// EliteSet is the medium-term memory behind intensification: the k best
+// distinct solutions seen so far. The paper lists intensification —
+// forcing the search back toward features of recent good solutions —
+// as the second use of tabu memory structures; restarting from an
+// elite solution is its classic realization.
+type EliteSet struct {
+	cap   int
+	costs []float64
+	snaps [][]int32
+}
+
+// NewEliteSet creates an elite set holding up to capacity solutions.
+func NewEliteSet(capacity int) *EliteSet {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EliteSet{cap: capacity}
+}
+
+// Len returns the number of stored solutions.
+func (e *EliteSet) Len() int { return len(e.costs) }
+
+// Best returns the best stored cost, or +Inf when empty.
+func (e *EliteSet) Best() float64 {
+	if len(e.costs) == 0 {
+		return inf()
+	}
+	return e.costs[0]
+}
+
+// Worst returns the worst stored cost, or +Inf when empty.
+func (e *EliteSet) Worst() float64 {
+	if len(e.costs) == 0 {
+		return inf()
+	}
+	return e.costs[len(e.costs)-1]
+}
+
+func inf() float64 { return math.Inf(1) }
+
+// Offer considers a solution for membership. It copies the snapshot
+// only when accepted. Duplicate costs are treated as the same solution
+// and rejected, which keeps the set diverse without deep comparisons.
+func (e *EliteSet) Offer(cost float64, snap []int32) bool {
+	// Find insertion point (ascending by cost).
+	pos := len(e.costs)
+	for i, c := range e.costs {
+		if cost == c {
+			return false
+		}
+		if cost < c {
+			pos = i
+			break
+		}
+	}
+	if pos == e.cap {
+		return false
+	}
+	cp := append([]int32(nil), snap...)
+	e.costs = append(e.costs, 0)
+	e.snaps = append(e.snaps, nil)
+	copy(e.costs[pos+1:], e.costs[pos:])
+	copy(e.snaps[pos+1:], e.snaps[pos:])
+	e.costs[pos] = cost
+	e.snaps[pos] = cp
+	if len(e.costs) > e.cap {
+		e.costs = e.costs[:e.cap]
+		e.snaps = e.snaps[:e.cap]
+	}
+	return true
+}
+
+// Pick returns a stored solution: rank 0 is the best; a negative rank
+// picks uniformly at random. The returned snapshot is a copy.
+func (e *EliteSet) Pick(r *rand.Rand, rank int) (float64, []int32, bool) {
+	if len(e.costs) == 0 {
+		return 0, nil, false
+	}
+	if rank < 0 {
+		rank = r.Intn(len(e.costs))
+	}
+	if rank >= len(e.costs) {
+		rank = len(e.costs) - 1
+	}
+	return e.costs[rank], append([]int32(nil), e.snaps[rank]...), true
+}
+
+// Intensify restarts the search from a random elite solution: the
+// current solution is replaced, the tabu list cleared (the region is
+// deliberately revisited), and the incumbent updated. Reports whether a
+// restart happened.
+func (s *Search) Intensify(elite *EliteSet) bool {
+	_, snap, ok := elite.Pick(s.r, -1)
+	if !ok {
+		return false
+	}
+	if err := s.Prob.Restore(snap); err != nil {
+		return false
+	}
+	if rf, ok := s.Prob.(Refresher); ok {
+		rf.Refresh()
+	}
+	s.List.Reset()
+	s.noteCost()
+	return true
+}

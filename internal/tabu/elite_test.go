@@ -1,0 +1,142 @@
+package tabu_test
+
+import (
+	"math"
+	"testing"
+
+	"pts/internal/rng"
+	"pts/internal/tabu"
+)
+
+func TestEliteSetOrdering(t *testing.T) {
+	e := tabu.NewEliteSet(3)
+	if e.Len() != 0 || !math.IsInf(e.Best(), 1) || !math.IsInf(e.Worst(), 1) {
+		t.Fatal("empty elite set wrong")
+	}
+	snaps := [][]int32{{1}, {2}, {3}, {4}}
+	if !e.Offer(5, snaps[0]) || !e.Offer(3, snaps[1]) || !e.Offer(7, snaps[2]) {
+		t.Fatal("offers to non-full set rejected")
+	}
+	if e.Best() != 3 || e.Worst() != 7 || e.Len() != 3 {
+		t.Fatalf("best/worst wrong: %v %v", e.Best(), e.Worst())
+	}
+	// Better than worst: replaces it.
+	if !e.Offer(4, snaps[3]) {
+		t.Fatal("improving offer rejected")
+	}
+	if e.Worst() != 5 || e.Len() != 3 {
+		t.Fatalf("eviction wrong: worst %v len %d", e.Worst(), e.Len())
+	}
+	// Worse than everything: rejected.
+	if e.Offer(100, snaps[0]) {
+		t.Fatal("worst offer accepted into full set")
+	}
+	// Duplicate cost: rejected.
+	if e.Offer(4, snaps[0]) {
+		t.Fatal("duplicate cost accepted")
+	}
+}
+
+func TestEliteSetCopiesSnapshots(t *testing.T) {
+	e := tabu.NewEliteSet(2)
+	snap := []int32{1, 2, 3}
+	e.Offer(1, snap)
+	snap[0] = 99 // caller mutates after offering
+	_, got, ok := e.Pick(rng.New(1), 0)
+	if !ok || got[0] != 1 {
+		t.Fatal("elite set shares the caller's snapshot")
+	}
+	got[1] = 42 // caller mutates the picked copy
+	_, again, _ := e.Pick(rng.New(1), 0)
+	if again[1] != 2 {
+		t.Fatal("Pick returns a shared snapshot")
+	}
+}
+
+func TestEliteSetPickRanks(t *testing.T) {
+	e := tabu.NewEliteSet(4)
+	for i, c := range []float64{4, 2, 8, 6} {
+		e.Offer(c, []int32{int32(i)})
+	}
+	r := rng.New(3)
+	if c, _, _ := e.Pick(r, 0); c != 2 {
+		t.Fatalf("rank 0 = %v, want 2", c)
+	}
+	if c, _, _ := e.Pick(r, 99); c != 8 {
+		t.Fatalf("clamped rank = %v, want 8", c)
+	}
+	// Random rank returns one of the stored costs.
+	for i := 0; i < 20; i++ {
+		c, _, ok := e.Pick(r, -1)
+		if !ok || (c != 2 && c != 4 && c != 6 && c != 8) {
+			t.Fatalf("random pick returned %v", c)
+		}
+	}
+	var empty tabu.EliteSet
+	_ = empty
+	e2 := tabu.NewEliteSet(1)
+	if _, _, ok := e2.Pick(r, -1); ok {
+		t.Fatal("pick from empty set succeeded")
+	}
+}
+
+func TestIntensifyRestartsFromElite(t *testing.T) {
+	prob := qapProblem(t, 25, 60)
+	s := tabu.NewSearch(prob, tabu.Params{Tenure: 8, Trials: 8, Depth: 2, Seed: 5})
+	elite := tabu.NewEliteSet(4)
+	for i := 0; i < 200; i++ {
+		s.Step()
+		elite.Offer(prob.Cost(), prob.Snapshot())
+	}
+	if elite.Len() == 0 {
+		t.Fatal("no elites collected")
+	}
+	// Scramble the current solution badly.
+	for i := int32(0); i < 10; i++ {
+		prob.ApplySwap(i, i+10)
+	}
+	scrambled := prob.Cost()
+	if !s.Intensify(elite) {
+		t.Fatal("intensify failed")
+	}
+	if prob.Cost() >= scrambled {
+		t.Fatalf("intensify did not restore an elite: %v >= %v", prob.Cost(), scrambled)
+	}
+	if prob.Cost() > elite.Worst()+1e-9 {
+		t.Fatalf("restored cost %v worse than elite worst %v", prob.Cost(), elite.Worst())
+	}
+	if s.List.Len() != 0 {
+		t.Fatal("intensify should clear the tabu list")
+	}
+}
+
+func TestIntensifyEmptyElite(t *testing.T) {
+	prob := qapProblem(t, 10, 61)
+	s := tabu.NewSearch(prob, tabu.Params{Tenure: 5, Trials: 4, Depth: 2, Seed: 6})
+	if s.Intensify(tabu.NewEliteSet(3)) {
+		t.Fatal("intensify from empty elite set reported success")
+	}
+}
+
+// An intensified long run should do at least as well as a plain one on
+// average; here we only assert it functions end-to-end and never
+// worsens the incumbent (which is restore-proof by construction).
+func TestIntensifiedRunKeepsIncumbent(t *testing.T) {
+	prob := qapProblem(t, 30, 62)
+	s := tabu.NewSearch(prob, tabu.Params{Tenure: 10, Trials: 8, Depth: 3, Seed: 7})
+	elite := tabu.NewEliteSet(5)
+	var incumbent []float64
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 100; i++ {
+			s.Step()
+			elite.Offer(prob.Cost(), prob.Snapshot())
+		}
+		incumbent = append(incumbent, s.BestCost())
+		s.Intensify(elite)
+	}
+	for i := 1; i < len(incumbent); i++ {
+		if incumbent[i] > incumbent[i-1]+1e-9 {
+			t.Fatalf("incumbent worsened across intensification: %v", incumbent)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package tabu
+
+import "math/rand"
+
+// Frequency is the long-term memory: how often each element has been
+// moved. The Kelly et al. diversification scheme the paper uses forces
+// moves of rarely-moved elements to push the search into unexplored
+// regions.
+type Frequency struct {
+	count []int64
+	total int64
+}
+
+// NewFrequency creates a frequency memory for n elements.
+func NewFrequency(n int32) *Frequency {
+	return &Frequency{count: make([]int64, n)}
+}
+
+// BumpSwap records that elements a and b were moved.
+func (f *Frequency) BumpSwap(a, b int32) {
+	f.count[a]++
+	f.count[b]++
+	f.total += 2
+}
+
+// BumpMove records every element of a compound move.
+func (f *Frequency) BumpMove(m *CompoundMove) {
+	for _, s := range m.Swaps {
+		f.BumpSwap(s.A, s.B)
+	}
+}
+
+// Count returns how often element e has moved.
+func (f *Frequency) Count(e int32) int64 { return f.count[e] }
+
+// Total returns the total number of element moves recorded.
+func (f *Frequency) Total() int64 { return f.total }
+
+// LeastMoved returns the element within [lo, hi) with the lowest move
+// count, breaking ties uniformly at random with r. The half-open range
+// is the caller's diversification range (its subset of cells). Panics if
+// the range is empty.
+func (f *Frequency) LeastMoved(r *rand.Rand, lo, hi int32) int32 {
+	if hi <= lo {
+		panic("tabu: empty range in LeastMoved")
+	}
+	best := lo
+	ties := 1
+	for e := lo + 1; e < hi; e++ {
+		switch c := f.count[e]; {
+		case c < f.count[best]:
+			best = e
+			ties = 1
+		case c == f.count[best]:
+			ties++
+			if r.Intn(ties) == 0 {
+				best = e
+			}
+		}
+	}
+	return best
+}
+
+// Reset clears all counts.
+func (f *Frequency) Reset() {
+	for i := range f.count {
+		f.count[i] = 0
+	}
+	f.total = 0
+}

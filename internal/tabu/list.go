@@ -1,0 +1,111 @@
+package tabu
+
+// List is the short-term memory: recently used move attributes and the
+// iteration until which they stay tabu. The zero value is not usable;
+// call NewList.
+type List struct {
+	expiry map[Attribute]int64
+	// pruneAt bounds the map's growth: once the map exceeds this size,
+	// expired entries are swept during the next Add.
+	pruneAt int
+}
+
+// NewList creates an empty tabu list.
+func NewList() *List {
+	return &List{expiry: make(map[Attribute]int64), pruneAt: 1024}
+}
+
+// Add marks the attribute tabu until iteration `until` (exclusive): it is
+// tabu for iterations iter < until. Re-adding extends but never shortens
+// a tenure.
+func (l *List) Add(at Attribute, until int64) {
+	if cur, ok := l.expiry[at]; ok && cur >= until {
+		return
+	}
+	if len(l.expiry) > l.pruneAt {
+		l.prune(until)
+	}
+	l.expiry[at] = until
+}
+
+// prune drops entries that expired before iteration now.
+func (l *List) prune(now int64) {
+	for at, e := range l.expiry {
+		if e <= now {
+			delete(l.expiry, at)
+		}
+	}
+	if len(l.expiry) > l.pruneAt/2 {
+		l.pruneAt *= 2
+	}
+}
+
+// IsTabu reports whether the attribute is tabu at iteration iter.
+func (l *List) IsTabu(at Attribute, iter int64) bool {
+	e, ok := l.expiry[at]
+	return ok && iter < e
+}
+
+// AnyTabu reports whether any attribute of the list is tabu at iter; the
+// paper's TSW rejects a compound move if its move (any of its swaps)
+// is tabu.
+func (l *List) AnyTabu(attrs []Attribute, iter int64) bool {
+	for _, at := range attrs {
+		if l.IsTabu(at, iter) {
+			return true
+		}
+	}
+	return false
+}
+
+// RemainingTenure returns the number of iterations (at iter) until every
+// attribute in attrs expires; 0 when nothing is tabu. Used as the
+// least-tabu fallback ordering when no candidate is admissible.
+func (l *List) RemainingTenure(attrs []Attribute, iter int64) int64 {
+	var max int64
+	for _, at := range attrs {
+		if e, ok := l.expiry[at]; ok && e > iter {
+			if r := e - iter; r > max {
+				max = r
+			}
+		}
+	}
+	return max
+}
+
+// Len returns the number of stored attributes (including expired ones
+// not yet pruned).
+func (l *List) Len() int { return len(l.expiry) }
+
+// Entry is one serialized tabu-list element: an attribute and its
+// remaining tenure relative to the exporter's iteration counter.
+// The relative form lets workers with different local iteration counters
+// exchange lists, as the paper's master and TSWs do.
+type Entry struct {
+	At        Attribute
+	Remaining int64
+}
+
+// Export serializes the attributes still tabu at iteration now.
+func (l *List) Export(now int64) []Entry {
+	out := make([]Entry, 0, len(l.expiry))
+	for at, e := range l.expiry {
+		if e > now {
+			out = append(out, Entry{At: at, Remaining: e - now})
+		}
+	}
+	return out
+}
+
+// Import merges exported entries into the list relative to the local
+// iteration counter now.
+func (l *List) Import(entries []Entry, now int64) {
+	for _, en := range entries {
+		l.Add(en.At, now+en.Remaining)
+	}
+}
+
+// Reset clears the list.
+func (l *List) Reset() {
+	l.expiry = make(map[Attribute]int64)
+}

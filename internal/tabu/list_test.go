@@ -1,0 +1,142 @@
+package tabu
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAttrCanonical(t *testing.T) {
+	if Attr(5, 2) != Attr(2, 5) {
+		t.Error("Attr not canonical")
+	}
+	if Attr(2, 5) != (Attribute{A: 2, B: 5}) {
+		t.Error("Attr wrong order")
+	}
+}
+
+func TestListTenure(t *testing.T) {
+	l := NewList()
+	l.Add(Attr(1, 2), 10)
+	for iter := int64(0); iter < 10; iter++ {
+		if !l.IsTabu(Attr(1, 2), iter) {
+			t.Fatalf("should be tabu at iter %d", iter)
+		}
+	}
+	if l.IsTabu(Attr(1, 2), 10) {
+		t.Error("should expire at iter 10")
+	}
+	if l.IsTabu(Attr(3, 4), 0) {
+		t.Error("never-added attribute is tabu")
+	}
+}
+
+func TestListAddNeverShortens(t *testing.T) {
+	l := NewList()
+	l.Add(Attr(1, 2), 20)
+	l.Add(Attr(1, 2), 5) // must not shorten
+	if !l.IsTabu(Attr(1, 2), 15) {
+		t.Error("re-add shortened tenure")
+	}
+	l.Add(Attr(1, 2), 30) // extend
+	if !l.IsTabu(Attr(1, 2), 25) {
+		t.Error("re-add did not extend tenure")
+	}
+}
+
+func TestAnyTabu(t *testing.T) {
+	l := NewList()
+	l.Add(Attr(1, 2), 10)
+	if !l.AnyTabu([]Attribute{Attr(7, 8), Attr(1, 2)}, 5) {
+		t.Error("AnyTabu missed tabu attr")
+	}
+	if l.AnyTabu([]Attribute{Attr(7, 8)}, 5) {
+		t.Error("AnyTabu false positive")
+	}
+	if l.AnyTabu(nil, 5) {
+		t.Error("AnyTabu on empty list")
+	}
+}
+
+func TestRemainingTenure(t *testing.T) {
+	l := NewList()
+	l.Add(Attr(1, 2), 10)
+	l.Add(Attr(3, 4), 20)
+	attrs := []Attribute{Attr(1, 2), Attr(3, 4)}
+	if got := l.RemainingTenure(attrs, 5); got != 15 {
+		t.Errorf("RemainingTenure = %d, want 15", got)
+	}
+	if got := l.RemainingTenure(attrs, 25); got != 0 {
+		t.Errorf("expired RemainingTenure = %d, want 0", got)
+	}
+}
+
+func TestExportImport(t *testing.T) {
+	l := NewList()
+	l.Add(Attr(1, 2), 110) // remaining 10 at now=100
+	l.Add(Attr(3, 4), 105) // remaining 5
+	l.Add(Attr(5, 6), 90)  // expired
+	entries := l.Export(100)
+	if len(entries) != 2 {
+		t.Fatalf("Export kept %d entries, want 2", len(entries))
+	}
+
+	// Import into a list with a completely different clock.
+	m := NewList()
+	m.Import(entries, 1000)
+	if !m.IsTabu(Attr(1, 2), 1009) || m.IsTabu(Attr(1, 2), 1010) {
+		t.Error("imported tenure wrong for (1,2)")
+	}
+	if !m.IsTabu(Attr(3, 4), 1004) || m.IsTabu(Attr(3, 4), 1005) {
+		t.Error("imported tenure wrong for (3,4)")
+	}
+	if m.IsTabu(Attr(5, 6), 1000) {
+		t.Error("expired entry resurrected")
+	}
+}
+
+func TestListPruneBoundsGrowth(t *testing.T) {
+	l := NewList()
+	// Insert far more short-lived attributes than the prune threshold.
+	for i := int64(0); i < 100000; i++ {
+		l.Add(Attr(int32(i%1000), int32(i%1000)+1+int32(i/1000)), i+5)
+	}
+	if l.Len() > 50000 {
+		t.Fatalf("tabu list grew unboundedly: %d entries", l.Len())
+	}
+}
+
+func TestReset(t *testing.T) {
+	l := NewList()
+	l.Add(Attr(1, 2), 100)
+	l.Reset()
+	if l.Len() != 0 || l.IsTabu(Attr(1, 2), 0) {
+		t.Error("Reset did not clear")
+	}
+}
+
+// Property: export/import round-trips remaining tenures exactly.
+func TestQuickExportImportRoundTrip(t *testing.T) {
+	f := func(pairs []uint16, nowRaw uint8) bool {
+		now := int64(nowRaw)
+		l := NewList()
+		for _, p := range pairs {
+			a, b := int32(p>>8), int32(p&0xff)
+			if a == b {
+				continue
+			}
+			l.Add(Attr(a, b), now+int64(p%37)+1)
+		}
+		entries := l.Export(now)
+		m := NewList()
+		m.Import(entries, now)
+		for _, e := range entries {
+			if l.RemainingTenure([]Attribute{e.At}, now) != m.RemainingTenure([]Attribute{e.At}, now) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

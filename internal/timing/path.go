@@ -1,0 +1,85 @@
+package timing
+
+import (
+	"fmt"
+	"strings"
+
+	"pts/internal/netlist"
+	"pts/internal/placement"
+)
+
+// PathElem is one hop of a critical path report.
+type PathElem struct {
+	Cell     netlist.CellID
+	Arrival  float64       // departure time at this cell's output
+	ViaNet   netlist.NetID // net that fed this cell (-1 for the start)
+	NetDelay float64       // interconnect delay of ViaNet
+}
+
+// CriticalPathCells extracts the cells along the critical path of the
+// last Analyze, from a primary input to the cell whose departure equals
+// the critical path delay. It must be called after Analyze.
+func (a *Analyzer) CriticalPathCells(p *placement.Placement) []PathElem {
+	// Find the endpoint: the cell with the largest arrival.
+	end := netlist.CellID(0)
+	for c := 1; c < len(a.arrival); c++ {
+		if a.arrival[c] > a.arrival[end] {
+			end = netlist.CellID(c)
+		}
+	}
+	// Walk backwards: at each cell pick the fan-in arc that determined
+	// its arrival.
+	var rev []PathElem
+	cur := end
+	via := netlist.NetID(-1)
+	viaDelay := 0.0
+	for {
+		rev = append(rev, PathElem{Cell: cur, Arrival: a.arrival[cur], ViaNet: via, NetDelay: viaDelay})
+		bestNet := netlist.NetID(-1)
+		bestDrv := netlist.CellID(-1)
+		bestIn, bestNd := -1.0, 0.0
+		for _, n := range a.nl.SinkNets(cur) {
+			net := &a.nl.Nets[n]
+			nd := a.netDelay(p, n)
+			in := a.arrival[net.Driver] + nd
+			if in > bestIn {
+				bestIn, bestNd = in, nd
+				bestNet, bestDrv = n, net.Driver
+			}
+		}
+		if bestNet < 0 {
+			break // reached a primary input
+		}
+		via, viaDelay = bestNet, bestNd
+		cur = bestDrv
+	}
+	// Reverse into source-to-sink order. The ViaNet of element i is the
+	// net from element i-1 to element i.
+	out := make([]PathElem, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	// Shift the via annotations: rev recorded the net that *fed* each
+	// element while walking backwards, which after reversal belongs to
+	// the next element.
+	for i := len(out) - 1; i > 0; i-- {
+		out[i].ViaNet, out[i].NetDelay = out[i-1].ViaNet, out[i-1].NetDelay
+	}
+	out[0].ViaNet, out[0].NetDelay = -1, 0
+	return out
+}
+
+// FormatPath renders a critical path report for humans.
+func FormatPath(nl *netlist.Netlist, path []PathElem) string {
+	var sb strings.Builder
+	for i, e := range path {
+		cell := &nl.Cells[e.Cell]
+		if i == 0 {
+			fmt.Fprintf(&sb, "%-10s              arrival %7.3f\n", cell.Name, e.Arrival)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-10s net %-9s arrival %7.3f (wire %.3f)\n",
+			cell.Name, nl.Nets[e.ViaNet].Name, e.Arrival, e.NetDelay)
+	}
+	return sb.String()
+}

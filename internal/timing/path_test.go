@@ -1,0 +1,97 @@
+package timing
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pts/internal/netlist"
+	"pts/internal/placement"
+	"pts/internal/rng"
+)
+
+func TestCriticalPathCellsChain(t *testing.T) {
+	nl, p := chain(t)
+	a := New(nl, Config{LoadFactor: 0.5, WireDelayPerUnit: 0.1})
+	a.Analyze(p)
+	path := a.CriticalPathCells(p)
+	// The chain's critical path is the whole chain: pi, g0, g1, po.
+	if len(path) != 4 {
+		t.Fatalf("path length %d, want 4", len(path))
+	}
+	wantCells := []netlist.CellID{0, 1, 2, 3}
+	for i, e := range path {
+		if e.Cell != wantCells[i] {
+			t.Errorf("hop %d: cell %d, want %d", i, e.Cell, wantCells[i])
+		}
+	}
+	// Arrivals must be strictly increasing and end at the CPD.
+	for i := 1; i < len(path); i++ {
+		if path[i].Arrival <= path[i-1].Arrival {
+			t.Error("arrivals not increasing along the path")
+		}
+		if path[i].ViaNet < 0 {
+			t.Errorf("hop %d missing via net", i)
+		}
+	}
+	if path[0].ViaNet != -1 {
+		t.Error("first hop should have no via net")
+	}
+	if math.Abs(path[len(path)-1].Arrival-a.CriticalPath()) > 1e-9 {
+		t.Errorf("endpoint arrival %v != CPD %v", path[len(path)-1].Arrival, a.CriticalPath())
+	}
+}
+
+func TestCriticalPathCellsGenerated(t *testing.T) {
+	nl := netlist.MustGenerate(netlist.GenConfig{Name: "cp", Cells: 200, Seed: 5})
+	p, _ := placement.New(nl, placement.AutoLayout(nl, 0.9))
+	p.Randomize(rng.New(3))
+	a := New(nl, DefaultConfig())
+	a.Analyze(p)
+	path := a.CriticalPathCells(p)
+	if len(path) < 2 {
+		t.Fatalf("degenerate path: %d hops", len(path))
+	}
+	// Path must start at a primary input (level 0, no fan-in).
+	if len(nl.SinkNets(path[0].Cell)) != 0 {
+		t.Error("path does not start at a source cell")
+	}
+	// Each consecutive pair must be connected by the reported net, and
+	// the arrival recurrence must hold.
+	for i := 1; i < len(path); i++ {
+		net := &nl.Nets[path[i].ViaNet]
+		if net.Driver != path[i-1].Cell {
+			t.Fatalf("hop %d: via net %d not driven by previous cell", i, path[i].ViaNet)
+		}
+		found := false
+		for _, s := range net.Sinks {
+			if s == path[i].Cell {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("hop %d: cell %d not a sink of via net", i, path[i].Cell)
+		}
+	}
+	if math.Abs(path[len(path)-1].Arrival-a.CriticalPath()) > 1e-9 {
+		t.Error("path endpoint is not the critical endpoint")
+	}
+	// Every hop on the critical path has (near-)zero slack.
+	for _, e := range path {
+		if s := a.Slack(e.Cell); math.Abs(s) > 1e-6 {
+			t.Errorf("cell %d on critical path has slack %v", e.Cell, s)
+		}
+	}
+}
+
+func TestFormatPath(t *testing.T) {
+	nl, p := chain(t)
+	a := New(nl, Config{LoadFactor: 0.5, WireDelayPerUnit: 0.1})
+	a.Analyze(p)
+	out := FormatPath(nl, a.CriticalPathCells(p))
+	for _, want := range []string{"pi", "g0", "g1", "po", "arrival"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted path missing %q:\n%s", want, out)
+		}
+	}
+}

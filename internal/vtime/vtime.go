@@ -1,0 +1,282 @@
+// Package vtime is a deterministic discrete-event kernel with processes
+// as goroutines.
+//
+// The paper's runtime and speedup figures depend on *when* heterogeneous
+// machines finish work relative to each other; measuring that with wall
+// clocks on a modern laptop would say nothing about a 12-workstation 2003
+// LAN and would differ run to run. The kernel instead advances a virtual
+// clock: processes charge compute time explicitly (Sleep with a duration
+// derived from their machine's speed and load) and exchange messages via
+// scheduled events, so a whole parallel run is a deterministic function
+// of its seed.
+//
+// Exactly one process runs at any instant; the kernel and the running
+// process hand control back and forth over unbuffered channels, so no
+// shared state needs locking. Events at equal times fire in schedule
+// order.
+package vtime
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// Time is virtual seconds since Run started.
+type Time float64
+
+// event is a scheduled closure.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// blockReason distinguishes why a process is blocked.
+type blockReason uint8
+
+const (
+	notBlocked blockReason = iota
+	sleeping               // in Sleep: only its own timer may wake it
+	suspended              // in Suspend: any Wake may (spuriously) wake it
+)
+
+// killed is the panic sentinel that unwinds abandoned processes when the
+// kernel shuts down.
+var killedSentinel = errors.New("vtime: process killed at shutdown")
+
+// Proc is one process. Its methods must only be called from within its
+// own body function while it is the running process.
+type Proc struct {
+	k         *Kernel
+	id        int
+	name      string
+	fn        func(*Proc)
+	wake      chan struct{}
+	started   bool
+	done      bool
+	completed bool // body returned normally (not killed)
+	reason    blockReason
+	gen       uint64 // incremented at every block; stale wakes compare it
+	kill      bool
+	panicked  any // captured panic value, re-raised in kernel context
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel is the event scheduler. Create with NewKernel, add processes
+// with Spawn, then Run.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	procs   []*Proc
+	yield   chan struct{}
+	running bool
+	events  uint64
+
+	// MaxEvents aborts Run after this many events (0 = no limit); a
+	// backstop against runaway process loops.
+	MaxEvents uint64
+}
+
+// NewKernel creates an empty kernel.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time. Safe to call from the running
+// process or between Run calls.
+func (k *Kernel) Now() Time { return k.now }
+
+// Events returns the number of events processed so far.
+func (k *Kernel) Events() uint64 { return k.events }
+
+// schedule enqueues fn at absolute time at (clamped to now).
+func (k *Kernel) schedule(at Time, fn func()) {
+	if at < k.now {
+		at = k.now
+	}
+	k.seq++
+	heap.Push(&k.queue, &event{at: at, seq: k.seq, fn: fn})
+}
+
+// After schedules fn to run d from now. fn runs in kernel context: it
+// must not block and must not call Proc methods; it may Wake processes
+// and schedule further events.
+func (k *Kernel) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.schedule(k.now+d, fn)
+}
+
+// Spawn registers a new process whose body starts at the current virtual
+// time (after already-scheduled same-time events). Callable before Run
+// or from a running process.
+func (k *Kernel) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		k:    k,
+		id:   len(k.procs),
+		name: name,
+		fn:   fn,
+		wake: make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	k.schedule(k.now, func() { k.resume(p) })
+	return p
+}
+
+// resume hands control to p until it blocks or finishes.
+func (k *Kernel) resume(p *Proc) {
+	if p.done {
+		return
+	}
+	p.reason = notBlocked
+	if !p.started {
+		p.started = true
+		go func() {
+			defer func() {
+				p.done = true
+				switch r := recover(); r {
+				case nil:
+					p.completed = true
+				case killedSentinel:
+					// Deliberate shutdown unwind; not a failure.
+				default:
+					// A process bug: capture it so the kernel re-raises
+					// it in Run's goroutine, where callers can see it.
+					p.panicked = fmt.Sprintf("vtime: process %q panicked: %v", p.name, r)
+				}
+				k.yield <- struct{}{}
+			}()
+			p.fn(p)
+		}()
+	} else {
+		p.wake <- struct{}{}
+	}
+	<-k.yield
+	if p.panicked != nil {
+		panic(p.panicked)
+	}
+}
+
+// block parks the running process with the given reason until resumed.
+func (p *Proc) block(reason blockReason) {
+	p.gen++
+	p.reason = reason
+	p.k.yield <- struct{}{}
+	<-p.wake
+	if p.kill {
+		panic(killedSentinel)
+	}
+}
+
+// Sleep advances the process's local time by d: it blocks and is woken
+// by its own timer only. This is how processes charge compute time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	k := p.k
+	gen := p.gen + 1 // generation the upcoming block will have
+	k.schedule(k.now+d, func() {
+		if !p.done && p.reason == sleeping && p.gen == gen {
+			k.resume(p)
+		}
+	})
+	p.block(sleeping)
+}
+
+// Suspend parks the process until some event calls Wake. Wakes can be
+// spurious (a stale Wake event from a previous suspension); callers must
+// re-check their condition in a loop.
+func (p *Proc) Suspend() {
+	p.block(suspended)
+}
+
+// Wake schedules p to resume at the current time if it is (still)
+// suspended when the event fires. Calling it for a sleeping or running
+// process is harmless. Must be called from kernel context (an After
+// closure) or from the running process.
+func (k *Kernel) Wake(p *Proc) {
+	k.schedule(k.now, func() {
+		if !p.done && p.reason == suspended {
+			k.resume(p)
+		}
+	})
+}
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// ErrEventLimit reports that Run aborted because MaxEvents fired.
+var ErrEventLimit = errors.New("vtime: event limit exceeded")
+
+// Run processes events until the queue drains, then kills any process
+// still blocked (their goroutines unwind via the kill sentinel) and
+// returns. It returns ErrEventLimit if MaxEvents was hit.
+func (k *Kernel) Run() error {
+	if k.running {
+		return errors.New("vtime: kernel already running")
+	}
+	k.running = true
+	defer func() { k.running = false }()
+
+	var limitErr error
+	for len(k.queue) > 0 {
+		if k.MaxEvents > 0 && k.events >= k.MaxEvents {
+			limitErr = ErrEventLimit
+			break
+		}
+		k.events++
+		ev := heap.Pop(&k.queue).(*event)
+		k.now = ev.at
+		ev.fn()
+	}
+
+	// Abandoned processes: unwind their goroutines deterministically.
+	for _, p := range k.procs {
+		if p.started && !p.done {
+			p.kill = true
+			k.resume(p)
+		}
+	}
+	k.queue = nil
+	return limitErr
+}
+
+// Stalled returns the names of processes whose bodies never returned
+// normally (blocked forever, killed at shutdown, or never started);
+// populated meaningfully after Run.
+func (k *Kernel) Stalled() []string {
+	var out []string
+	for _, p := range k.procs {
+		if !p.completed {
+			out = append(out, p.name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,108 @@
+package vtime
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// Property: regardless of how sleep durations interleave, every process
+// observes its own wake times in exactly the order and at exactly the
+// cumulative sums it asked for, and globally events fire in
+// nondecreasing time order.
+func TestQuickSleepSchedule(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 24 {
+			return true
+		}
+		// Partition raw into up to 4 processes' sleep sequences.
+		k := NewKernel()
+		type obs struct {
+			proc int
+			at   Time
+		}
+		var log []obs
+		nProcs := 1 + len(raw)%4
+		for pi := 0; pi < nProcs; pi++ {
+			pi := pi
+			var durations []Time
+			for j := pi; j < len(raw); j += nProcs {
+				durations = append(durations, Time(raw[j])/16)
+			}
+			k.Spawn("p", func(p *Proc) {
+				for _, d := range durations {
+					p.Sleep(d)
+					log = append(log, obs{proc: pi, at: p.Now()})
+				}
+			})
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		// Global: observation times nondecreasing.
+		for i := 1; i < len(log); i++ {
+			if log[i].at < log[i-1].at {
+				return false
+			}
+		}
+		// Per process: wake times are the prefix sums of its durations.
+		perProc := map[int][]Time{}
+		for _, o := range log {
+			perProc[o.proc] = append(perProc[o.proc], o.at)
+		}
+		for pi, times := range perProc {
+			sum := Time(0)
+			j := 0
+			for idx := pi; idx < len(raw); idx += nProcs {
+				sum += Time(raw[idx]) / 16
+				if times[j] != sum {
+					return false
+				}
+				j++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: After callbacks at arbitrary delays run in sorted-time
+// order with FIFO tie-breaking.
+func TestQuickAfterOrdering(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 64 {
+			return true
+		}
+		k := NewKernel()
+		type ev struct {
+			at  Time
+			seq int
+		}
+		var fired []ev
+		for i, r := range raw {
+			i, at := i, Time(r%16)
+			k.After(at, func() { fired = append(fired, ev{at: at, seq: i}) })
+		}
+		if err := k.Run(); err != nil {
+			return false
+		}
+		if len(fired) != len(raw) {
+			return false
+		}
+		// Expected: stable sort by time, preserving registration order.
+		expect := append([]ev(nil), fired...)
+		sort.SliceStable(expect, func(a, b int) bool { return expect[a].seq < expect[b].seq })
+		sort.SliceStable(expect, func(a, b int) bool { return expect[a].at < expect[b].at })
+		for i := range fired {
+			if fired[i] != expect[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

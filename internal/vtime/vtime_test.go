@@ -1,0 +1,262 @@
+package vtime
+
+import (
+	"testing"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	var at1, at2 Time
+	k.Spawn("a", func(p *Proc) {
+		p.Sleep(1.5)
+		at1 = p.Now()
+		p.Sleep(0.5)
+		at2 = p.Now()
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at1 != 1.5 || at2 != 2.0 {
+		t.Fatalf("times: %v %v, want 1.5 2.0", at1, at2)
+	}
+	if k.Now() != 2.0 {
+		t.Fatalf("final clock %v", k.Now())
+	}
+}
+
+func TestInterleavingDeterministic(t *testing.T) {
+	run := func() []string {
+		k := NewKernel()
+		var log []string
+		k.Spawn("a", func(p *Proc) {
+			for i := 0; i < 3; i++ {
+				p.Sleep(1.0)
+				log = append(log, "a")
+			}
+		})
+		k.Spawn("b", func(p *Proc) {
+			for i := 0; i < 2; i++ {
+				p.Sleep(1.5)
+				log = append(log, "b")
+			}
+		})
+		if err := k.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	// a wakes at 1,2,3; b wakes at 1.5,3. At t=3 b's event was scheduled
+	// first (at t=1.5) so it fires first.
+	want := []string{"a", "b", "a", "b", "a"}
+	for trial := 0; trial < 10; trial++ {
+		got := run()
+		if len(got) != len(want) {
+			t.Fatalf("log %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: log %v, want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		k.After(1.0, func() { order = append(order, i) })
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of order: %v", order)
+		}
+	}
+}
+
+func TestSuspendWake(t *testing.T) {
+	k := NewKernel()
+	var woken Time
+	var p *Proc
+	p = k.Spawn("sleeper", func(p *Proc) {
+		p.Suspend()
+		woken = p.Now()
+	})
+	k.After(3.0, func() { k.Wake(p) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 3.0 {
+		t.Fatalf("woken at %v, want 3.0", woken)
+	}
+	if len(k.Stalled()) != 0 {
+		t.Fatalf("stalled: %v", k.Stalled())
+	}
+}
+
+func TestSpuriousWakeDoesNotBreakSleep(t *testing.T) {
+	k := NewKernel()
+	var end Time
+	p := k.Spawn("w", func(p *Proc) {
+		p.Sleep(5.0)
+		end = p.Now()
+	})
+	// Wake aimed at a *sleeping* process must be ignored.
+	k.After(1.0, func() { k.Wake(p) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if end != 5.0 {
+		t.Fatalf("sleep ended at %v, want 5.0 (spurious wake broke it)", end)
+	}
+}
+
+func TestStaleSleepTimerIgnored(t *testing.T) {
+	// A process that sleeps, is woken by its timer, then suspends must
+	// not be woken by anything but an explicit Wake.
+	k := NewKernel()
+	var woken Time
+	var p *Proc
+	p = k.Spawn("x", func(p *Proc) {
+		p.Sleep(1.0)
+		p.Suspend()
+		woken = p.Now()
+	})
+	k.After(10.0, func() { k.Wake(p) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 10.0 {
+		t.Fatalf("woken at %v, want 10.0", woken)
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	k := NewKernel()
+	var childTime Time
+	k.Spawn("parent", func(p *Proc) {
+		p.Sleep(2.0)
+		p.k.Spawn("child", func(c *Proc) {
+			c.Sleep(1.0)
+			childTime = c.Now()
+		})
+		p.Sleep(5.0)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childTime != 3.0 {
+		t.Fatalf("child finished at %v, want 3.0", childTime)
+	}
+}
+
+func TestAbandonedProcessKilled(t *testing.T) {
+	k := NewKernel()
+	cleanup := false
+	k.Spawn("stuck", func(p *Proc) {
+		defer func() { cleanup = false }() // must NOT run user-visible logic... but defers do run
+		p.Suspend()                        // nobody wakes us
+	})
+	k.Spawn("done", func(p *Proc) {
+		p.Sleep(1.0)
+	})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	stalled := k.Stalled()
+	if len(stalled) != 1 || stalled[0] != "stuck" {
+		t.Fatalf("stalled = %v, want [stuck]", stalled)
+	}
+	_ = cleanup
+}
+
+func TestMaxEvents(t *testing.T) {
+	k := NewKernel()
+	k.MaxEvents = 100
+	k.Spawn("loop", func(p *Proc) {
+		for {
+			p.Sleep(0.001)
+		}
+	})
+	if err := k.Run(); err != ErrEventLimit {
+		t.Fatalf("want ErrEventLimit, got %v", err)
+	}
+}
+
+func TestProcessPanicPropagates(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("bomb", func(p *Proc) {
+		p.Sleep(1.0)
+		panic("boom")
+	})
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("process panic did not propagate")
+		}
+	}()
+	_ = k.Run()
+}
+
+func TestNegativeDurationsClamp(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	k.Spawn("n", func(p *Proc) {
+		p.Sleep(-5)
+		at = p.Now()
+	})
+	k.After(-1, func() {})
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 0 {
+		t.Fatalf("negative sleep advanced clock to %v", at)
+	}
+}
+
+func TestRunTwiceAfterDrain(t *testing.T) {
+	k := NewKernel()
+	k.Spawn("a", func(p *Proc) { p.Sleep(1) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Re-running a drained kernel is a no-op, not a crash.
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyProcesses(t *testing.T) {
+	k := NewKernel()
+	const n = 200
+	count := 0
+	for i := 0; i < n; i++ {
+		d := Time(i%7) * 0.1
+		k.Spawn("p", func(p *Proc) {
+			p.Sleep(d)
+			count++
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("ran %d of %d processes", count, n)
+	}
+}
+
+func BenchmarkSleepWakeCycle(b *testing.B) {
+	k := NewKernel()
+	k.Spawn("w", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(0.001)
+		}
+	})
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
