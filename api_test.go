@@ -1,0 +1,317 @@
+package pts
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"pts/internal/core"
+)
+
+// quickOpts returns a small, fast configuration for API tests.
+func quickOpts() []Option {
+	return []Option{
+		WithWorkers(3, 2),
+		WithIterations(4, 12),
+		WithTabu(10, 6, 3),
+		WithSeed(7),
+		WithCluster(Homogeneous(12, 1)),
+	}
+}
+
+func placementProblem(t *testing.T) *PlacementProblem {
+	t.Helper()
+	p, err := PlacementBenchmark("highway")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestOptionDefaultsMatchCore(t *testing.T) {
+	// The zero-option configuration must be exactly the engine's
+	// defaults (the paper's parameter set): the facade adds no silent
+	// parameter drift.
+	got := apply(nil)
+	if !reflect.DeepEqual(got.cfg, core.DefaultConfig()) {
+		t.Errorf("zero-option config diverges from core defaults:\n got %+v\nwant %+v",
+			got.cfg, core.DefaultConfig())
+	}
+	if got.mode != core.Virtual {
+		t.Errorf("default mode = %v, want Virtual", got.mode)
+	}
+	if len(got.clus.Machines) != 12 {
+		t.Errorf("default cluster has %d machines, want the 12-machine testbed", len(got.clus.Machines))
+	}
+}
+
+func TestSolvePlacementImproves(t *testing.T) {
+	res, err := Solve(context.Background(), placementProblem(t), quickOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Problem != "highway" {
+		t.Errorf("problem = %q", res.Problem)
+	}
+	if res.BestCost >= res.InitialCost {
+		t.Fatalf("no improvement: %v -> %v", res.InitialCost, res.BestCost)
+	}
+	if res.Rounds != 4 || res.Interrupted {
+		t.Errorf("rounds = %d, interrupted = %v", res.Rounds, res.Interrupted)
+	}
+	d, ok := res.Details.(PlacementDetails)
+	if !ok {
+		t.Fatalf("details = %T, want PlacementDetails", res.Details)
+	}
+	if d.Wirelength <= 0 || d.Area <= 0 || d.CriticalPath <= 0 {
+		t.Errorf("degenerate details: %+v", d)
+	}
+	if len(res.Trace) == 0 || res.Trace[0].Cost != res.InitialCost {
+		t.Error("trace missing or does not start at the initial cost")
+	}
+	if res.Tasks == 0 || res.Messages == 0 {
+		t.Errorf("runtime counters empty: %d tasks, %d messages", res.Tasks, res.Messages)
+	}
+}
+
+func TestSolveQAPSameAPI(t *testing.T) {
+	// The QAP must run through the identical Solve path, options and
+	// result shape as placement — the problem boundary is generic.
+	q := RandomQAP(40, 3)
+	res, err := Solve(context.Background(), q, quickOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost >= res.InitialCost {
+		t.Fatalf("no improvement: %v -> %v", res.InitialCost, res.BestCost)
+	}
+	d, ok := res.Details.(QAPDetails)
+	if !ok {
+		t.Fatalf("details = %T, want QAPDetails", res.Details)
+	}
+	// The engine's incremental cost must agree with the from-scratch
+	// recomputation.
+	if diff := res.BestCost - d.Cost; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("incremental best %v != exact %v", res.BestCost, d.Cost)
+	}
+}
+
+func TestSolveDeterministicVirtual(t *testing.T) {
+	p := placementProblem(t)
+	a, err := Solve(context.Background(), p, quickOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(context.Background(), p, quickOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestCost != b.BestCost || a.Elapsed != b.Elapsed {
+		t.Fatalf("virtual runs diverged: (%v,%v) vs (%v,%v)",
+			a.BestCost, a.Elapsed, b.BestCost, b.Elapsed)
+	}
+}
+
+func TestProgressFiresOncePerGlobalIteration(t *testing.T) {
+	var snaps []Snapshot
+	res, err := Solve(context.Background(), placementProblem(t),
+		append(quickOpts(), WithProgress(func(s Snapshot) { snaps = append(snaps, s) }))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != res.Rounds {
+		t.Fatalf("progress fired %d times for %d rounds", len(snaps), res.Rounds)
+	}
+	for i, s := range snaps {
+		if s.Round != i+1 || s.Rounds != 4 {
+			t.Errorf("snapshot %d has round %d/%d", i, s.Round, s.Rounds)
+		}
+		if s.Reports != 3 {
+			t.Errorf("snapshot %d collected %d reports, want 3", i, s.Reports)
+		}
+		if i > 0 && (s.BestCost > snaps[i-1].BestCost || s.Elapsed < snaps[i-1].Elapsed) {
+			t.Errorf("snapshot %d not monotone: %+v after %+v", i, s, snaps[i-1])
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if last.BestCost != res.BestCost {
+		t.Errorf("final snapshot best %v != result best %v", last.BestCost, res.BestCost)
+	}
+	if last.Stats.LocalIters == 0 {
+		t.Error("final snapshot carries no worker stats")
+	}
+}
+
+func TestCancelledContextReturnsBestSoFarVirtual(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var atCancel float64
+	res, err := Solve(ctx, placementProblem(t),
+		append(quickOpts(),
+			WithIterations(50, 12),
+			WithProgress(func(s Snapshot) {
+				if s.Round == 3 {
+					atCancel = s.BestCost
+					cancel()
+				}
+			}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted {
+		t.Fatal("result not marked interrupted")
+	}
+	if res.Rounds != 3 {
+		t.Errorf("rounds = %d, want 3 (cancelled during round 3's snapshot)", res.Rounds)
+	}
+	if res.BestCost > atCancel {
+		t.Errorf("best %v worse than best at cancellation %v", res.BestCost, atCancel)
+	}
+	if res.BestCost >= res.InitialCost {
+		t.Error("best-so-far not better than initial after 3 rounds")
+	}
+	if _, ok := res.Details.(PlacementDetails); !ok {
+		t.Error("interrupted result lacks details")
+	}
+}
+
+func TestPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, mode := range []Option{WithVirtualTime(), WithRealTime()} {
+		res, err := Solve(ctx, placementProblem(t), append(quickOpts(), mode)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Interrupted || res.Rounds != 0 {
+			t.Errorf("pre-cancelled run: interrupted=%v rounds=%d", res.Interrupted, res.Rounds)
+		}
+		if res.BestCost != res.InitialCost {
+			t.Errorf("pre-cancelled best %v != initial %v", res.BestCost, res.InitialCost)
+		}
+	}
+}
+
+// goroutines polls until the goroutine count drops to at most want,
+// tolerating runtime bookkeeping that unwinds asynchronously.
+func goroutines(want int) int {
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > want && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+func TestCancelRealModeNoGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := Solve(ctx, placementProblem(t),
+		WithRealTime(), WithWorkers(3, 2), WithIterations(10000, 10000), WithSeed(7),
+		WithCluster(Homogeneous(12, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wall := time.Since(start); wall > 5*time.Second {
+		t.Errorf("cancelled real run took %v, not prompt", wall)
+	}
+	if !res.Interrupted {
+		t.Error("real-mode run not marked interrupted")
+	}
+	if res.BestCost > res.InitialCost {
+		t.Errorf("best %v worse than initial %v", res.BestCost, res.InitialCost)
+	}
+	if after := goroutines(before); after > before {
+		t.Errorf("goroutine leak: %d before, %d after", before, after)
+	}
+}
+
+func TestCancelVirtualModeNoGoroutineLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := Solve(ctx, placementProblem(t),
+		append(quickOpts(),
+			WithIterations(100, 12),
+			WithProgress(func(s Snapshot) {
+				if s.Round == 2 {
+					cancel()
+				}
+			}))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := goroutines(before); after > before {
+		t.Errorf("goroutine leak: %d before, %d after", before, after)
+	}
+}
+
+func TestSolverBaseOptionsCompose(t *testing.T) {
+	s := NewSolver(quickOpts()...)
+	// Per-call options apply after the base: the iteration override must
+	// win, everything else stays from the base.
+	res, err := s.Solve(context.Background(), placementProblem(t), WithIterations(2, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 2 {
+		t.Errorf("rounds = %d, want per-call override 2", res.Rounds)
+	}
+}
+
+func TestModeOptionsCompose(t *testing.T) {
+	// WithRealTime followed by WithVirtualTime must yield a genuine
+	// virtual-time run: the modeled work charge stays intact, so
+	// elapsed reflects compute, not just message latency.
+	var s settings
+	s = apply([]Option{WithRealTime(), WithVirtualTime()})
+	if s.mode != core.Virtual {
+		t.Fatalf("mode = %v, want Virtual", s.mode)
+	}
+	if want := core.DefaultConfig().WorkPerTrial; s.cfg.WorkPerTrial != want {
+		t.Errorf("WorkPerTrial = %v after mode round-trip, want %v", s.cfg.WorkPerTrial, want)
+	}
+}
+
+func TestSolveValidatesConfig(t *testing.T) {
+	if _, err := Solve(context.Background(), placementProblem(t), WithWorkers(0, 1)); err == nil {
+		t.Error("invalid worker count accepted")
+	}
+	if _, err := Solve(context.Background(), placementProblem(t), WithCluster(Cluster{})); err == nil {
+		t.Error("empty cluster accepted")
+	}
+}
+
+func TestNewQAPValidates(t *testing.T) {
+	if _, err := NewQAP([][]float64{{0}}, [][]float64{{0, 1}, {1, 0}}); err == nil {
+		t.Error("mismatched matrices accepted")
+	}
+	q, err := NewQAP(
+		[][]float64{{0, 2, 4}, {2, 0, 6}, {4, 6, 0}},
+		[][]float64{{0, 1, 3}, {1, 0, 5}, {3, 5, 0}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Size() != 3 {
+		t.Errorf("size = %d", q.Size())
+	}
+}
+
+func TestQAPReachesBruteForceOptimum(t *testing.T) {
+	q := RandomQAP(7, 4)
+	res, err := Solve(context.Background(), q,
+		WithWorkers(2, 2), WithIterations(6, 60), WithSeed(2),
+		WithCluster(Homogeneous(6, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt := q.BruteForceOptimum(); res.BestCost > opt+1e-9 {
+		t.Errorf("parallel search found %v, optimum %v", res.BestCost, opt)
+	}
+}

@@ -1,0 +1,71 @@
+package pts
+
+import (
+	"fmt"
+
+	"pts/internal/cluster"
+)
+
+// Cluster describes the machines a run executes on: their relative
+// speeds, background load, and the LAN message cost model the virtual
+// runtime charges. Construct one with Homogeneous, Testbed12 or
+// ClusterOf and pass it via WithCluster.
+type Cluster struct {
+	c cluster.Cluster
+}
+
+// Homogeneous builds n identical idle machines of the given relative
+// speed — the control platform of every speedup comparison.
+func Homogeneous(n int, speed float64) Cluster {
+	return Cluster{c: cluster.Homogeneous(n, speed)}
+}
+
+// Testbed12 builds the paper's 12-machine platform: 7 high-speed, 3
+// medium-speed and 2 low-speed workstations, each carrying a random
+// background load trace deterministic in loadSeed. loadSeed 0 yields
+// idle machines so speed differences alone can be studied.
+func Testbed12(loadSeed uint64) Cluster {
+	return Cluster{c: cluster.Testbed12(loadSeed)}
+}
+
+// ClusterOf builds idle machines with the given relative speeds and the
+// default LAN cost model — the quickest way to sketch a heterogeneous
+// platform.
+func ClusterOf(speeds ...float64) Cluster {
+	ms := make([]cluster.Machine, len(speeds))
+	for i, s := range speeds {
+		ms[i] = cluster.Machine{Name: fmt.Sprintf("node%02d", i), Speed: s}
+	}
+	base := cluster.Homogeneous(1, 1)
+	return Cluster{c: cluster.Cluster{
+		Machines:    ms,
+		SendLatency: base.SendLatency,
+		PerItem:     base.PerItem,
+	}}
+}
+
+// MachineInfo describes one machine of a Cluster.
+type MachineInfo struct {
+	// Name is the machine's label (e.g. "fast03").
+	Name string
+	// Speed is the machine's relative compute speed (1.0 = reference).
+	Speed float64
+	// Loaded reports whether the machine carries a background load
+	// trace; LoadPeriod is that trace's period in seconds.
+	Loaded     bool
+	LoadPeriod float64
+}
+
+// Machines lists the cluster's machines.
+func (c Cluster) Machines() []MachineInfo {
+	out := make([]MachineInfo, len(c.c.Machines))
+	for i, m := range c.c.Machines {
+		out[i] = MachineInfo{
+			Name:       m.Name,
+			Speed:      m.Speed,
+			Loaded:     len(m.Load.Levels) > 0,
+			LoadPeriod: m.Load.Period,
+		}
+	}
+	return out
+}

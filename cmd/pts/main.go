@@ -1,5 +1,5 @@
-// Command pts runs one parallel tabu search for VLSI standard-cell
-// placement and prints the outcome.
+// Command pts runs one parallel tabu search through the public pts API
+// and prints the outcome.
 //
 // Usage:
 //
@@ -8,28 +8,29 @@
 //	pts -circuit highway -mode real            # wall-clock goroutine run
 //	pts -netlist my.net                        # search a custom circuit
 //	pts -netlist s1494.bench                   # a real ISCAS-89 .bench file
+//	pts -qap 64                                # quadratic assignment instead
+//	pts -circuit c3540 -timeout 2s -progress   # bounded, streamed run
+//
+// The run is context-bound: -timeout and Ctrl-C both cancel it, and the
+// best solution found so far is printed.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
-	"strings"
+	"os/signal"
 
-	"pts/internal/cluster"
-	"pts/internal/core"
-	"pts/internal/netlist"
-	"pts/internal/placement"
-	"pts/internal/timing"
-	"pts/internal/viz"
+	"pts"
 )
 
 func main() {
 	var (
 		circuit  = flag.String("circuit", "c532", "benchmark circuit (highway, c532, c1355, c3540)")
 		nlPath   = flag.String("netlist", "", "path to a netlist file (overrides -circuit)")
+		qapN     = flag.Int("qap", 0, "solve a random QAP of this size instead of placement")
 		tsws     = flag.Int("tsws", 4, "number of tabu search workers")
 		clws     = flag.Int("clws", 1, "candidate-list workers per TSW")
 		gIters   = flag.Int("global", 10, "global iterations")
@@ -42,6 +43,8 @@ func main() {
 		mode     = flag.String("mode", "virtual", "runtime: virtual or real")
 		seed     = flag.Uint64("seed", 1, "run seed")
 		loadSeed = flag.Uint64("cluster-seed", 12, "testbed load-trace seed (0 = idle machines)")
+		timeout  = flag.Duration("timeout", 0, "cancel the run after this long (0 = unbounded)")
+		progress = flag.Bool("progress", false, "print one line per global iteration")
 		trace    = flag.Bool("trace", false, "print the best-cost trace")
 		path     = flag.Bool("path", false, "print the critical path of the best placement")
 		jsonOut  = flag.String("json", "", "write the full result as JSON to this file ('-' = stdout)")
@@ -49,68 +52,108 @@ func main() {
 	)
 	flag.Parse()
 
-	nl, err := loadCircuit(*nlPath, *circuit)
-	if err != nil {
-		fatal(err)
+	// The run stops at the next protocol boundary on Ctrl-C or timeout
+	// and reports the best solution found so far.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
-	cfg := core.DefaultConfig()
-	cfg.TSWs, cfg.CLWs = *tsws, *clws
-	cfg.GlobalIters, cfg.LocalIters = *gIters, *lIters
-	cfg.Trials, cfg.Depth, cfg.Tenure = *trials, *depth, *tenure
-	cfg.DiversifyDepth = *div
-	cfg.HalfSync = *het
-	cfg.Seed = *seed
+	var problem pts.Problem
+	var placed *pts.PlacementProblem
+	if *qapN > 0 {
+		for flagName, set := range map[string]bool{
+			"-netlist": *nlPath != "", "-path": *path, "-svg": *svgOut != "",
+		} {
+			if set {
+				fmt.Fprintf(os.Stderr, "pts: warning: %s is placement-only, ignored with -qap\n", flagName)
+			}
+		}
+		problem = pts.RandomQAP(*qapN, *seed)
+		fmt.Printf("problem %s: %d facilities\n", problem.Name(), *qapN)
+	} else {
+		var err error
+		placed, err = loadCircuit(*nlPath, *circuit)
+		if err != nil {
+			fatal(err)
+		}
+		problem = placed
+		fmt.Printf("circuit %s: %s\n", placed.Name(), placed.Describe())
+	}
 
-	var m core.Mode
+	opts := []pts.Option{
+		pts.WithWorkers(*tsws, *clws),
+		pts.WithIterations(*gIters, *lIters),
+		pts.WithTabu(*tenure, *trials, *depth),
+		pts.WithDiversification(*div),
+		pts.WithHalfSync(*het),
+		pts.WithSeed(*seed),
+		pts.WithCluster(pts.Testbed12(*loadSeed)),
+	}
 	switch *mode {
 	case "virtual":
-		m = core.Virtual
+		opts = append(opts, pts.WithVirtualTime())
 	case "real":
-		m = core.Real
-		cfg.WorkPerTrial = 0 // real compute is the cost
+		opts = append(opts, pts.WithRealTime())
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
 	}
+	if *progress {
+		opts = append(opts, pts.WithProgress(func(s pts.Snapshot) {
+			fmt.Printf("round %3d/%d  best %.4f  elapsed %8.3fs  reports %d (%d forced)\n",
+				s.Round, s.Rounds, s.BestCost, s.Elapsed, s.Reports, s.Forced)
+		}))
+	}
 
-	st := nl.ComputeStats()
-	fmt.Printf("circuit %s: %s\n", nl.Name, st)
 	fmt.Printf("running %d TSWs x %d CLWs, %d global x %d local iterations (%s mode, half-sync=%v)\n",
-		cfg.TSWs, cfg.CLWs, cfg.GlobalIters, cfg.LocalIters, *mode, cfg.HalfSync)
+		*tsws, *clws, *gIters, *lIters, *mode, *het)
 
-	res, err := core.Run(nl, cluster.Testbed12(*loadSeed), cfg, m)
+	res, err := pts.Solve(ctx, problem, opts...)
 	if err != nil {
 		fatal(err)
 	}
 
+	if res.Interrupted {
+		fmt.Printf("\nrun interrupted after %d rounds; best so far:\n", res.Rounds)
+	}
 	fmt.Printf("\ninitial cost   %.4f\n", res.InitialCost)
-	fmt.Printf("best cost      %.4f  (%.1f%% better)\n", res.BestCost,
-		100*(res.InitialCost-res.BestCost)/res.InitialCost)
-	fmt.Printf("wirelength     %.0f\n", res.Objectives.Wirelength)
-	fmt.Printf("critical path  %.2f ns\n", res.CriticalPath)
-	fmt.Printf("area (row w)   %.0f\n", res.Objectives.Area)
+	fmt.Printf("best cost      %.4f  (%.1f%% better)\n", res.BestCost, 100*res.Improvement())
+	if d, ok := res.Details.(pts.PlacementDetails); ok {
+		fmt.Printf("wirelength     %.0f\n", d.Wirelength)
+		fmt.Printf("critical path  %.2f ns\n", d.CriticalPath)
+		fmt.Printf("area (row w)   %.0f\n", d.Area)
+	}
+	if d, ok := res.Details.(pts.QAPDetails); ok {
+		fmt.Printf("exact cost     %.0f\n", d.Cost)
+	}
 	fmt.Printf("elapsed        %.3f s (%s)\n", res.Elapsed, *mode)
 	fmt.Printf("stats          %+v\n", res.Stats)
-	fmt.Printf("runtime        %d tasks, %d messages\n", res.Runtime.Spawns, res.Runtime.Sends)
+	fmt.Printf("runtime        %d tasks, %d messages\n", res.Tasks, res.Messages)
 
 	if *trace {
 		fmt.Println("\ntime(s)   best cost")
-		for _, p := range res.Trace.Points {
+		for _, p := range res.Trace {
 			fmt.Printf("%8.3f  %.4f\n", p.Time, p.Cost)
 		}
 	}
-	if *path {
-		if err := printCriticalPath(nl, res.BestPerm); err != nil {
+	if *path && placed != nil {
+		text, err := placed.CriticalPathText(res.Best)
+		if err != nil {
 			fatal(err)
 		}
+		fmt.Println("\ncritical path:")
+		fmt.Print(text)
 	}
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, res); err != nil {
 			fatal(err)
 		}
 	}
-	if *svgOut != "" {
-		if err := writeSVG(*svgOut, nl, res.BestPerm); err != nil {
+	if *svgOut != "" && placed != nil {
+		if err := writeSVG(*svgOut, placed, res.Best); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *svgOut)
@@ -118,44 +161,20 @@ func main() {
 }
 
 // writeSVG renders the best placement's congestion heat map.
-func writeSVG(path string, nl *netlist.Netlist, perm []int32) error {
-	p, err := placement.New(nl, placement.AutoLayout(nl, 0.9))
-	if err != nil {
-		return err
-	}
-	if err := p.Import(perm); err != nil {
-		return err
-	}
+func writeSVG(path string, p *pts.PlacementProblem, perm []int32) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := viz.WritePlacementSVG(f, p); err != nil {
+	if err := p.WriteSVG(f, perm); err != nil {
 		f.Close()
 		return err
 	}
 	return f.Close()
 }
 
-// printCriticalPath rebuilds the best placement and reports its
-// critical path hop by hop.
-func printCriticalPath(nl *netlist.Netlist, perm []int32) error {
-	p, err := placement.New(nl, placement.AutoLayout(nl, 0.9))
-	if err != nil {
-		return err
-	}
-	if err := p.Import(perm); err != nil {
-		return err
-	}
-	an := timing.New(nl, timing.DefaultConfig())
-	an.Analyze(p)
-	fmt.Println("\ncritical path:")
-	fmt.Print(timing.FormatPath(nl, an.CriticalPathCells(p)))
-	return nil
-}
-
 // writeJSON dumps the result for downstream tooling.
-func writeJSON(path string, res *core.Result) error {
+func writeJSON(path string, res *pts.Result) error {
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err
@@ -168,23 +187,13 @@ func writeJSON(path string, res *core.Result) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
-// loadCircuit resolves the circuit: a named synthetic benchmark, a
-// netlist in this repository's text format, or a real ISCAS-89 .bench
-// file (detected by extension).
-func loadCircuit(path, name string) (*netlist.Netlist, error) {
+// loadCircuit resolves the circuit: a named synthetic benchmark or a
+// netlist file (text format, or ISCAS-89 .bench by extension).
+func loadCircuit(path, name string) (*pts.PlacementProblem, error) {
 	if path == "" {
-		return netlist.Benchmark(name)
+		return pts.PlacementBenchmark(name)
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".bench") {
-		base := strings.TrimSuffix(filepath.Base(path), ".bench")
-		return netlist.ReadBench(f, base, 1)
-	}
-	return netlist.Read(f)
+	return pts.PlacementFromFile(path)
 }
 
 func fatal(err error) {

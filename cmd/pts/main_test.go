@@ -9,12 +9,12 @@ import (
 )
 
 func TestLoadCircuitBenchmarkName(t *testing.T) {
-	nl, err := loadCircuit("", "highway")
+	p, err := loadCircuit("", "highway")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if nl.NumCells() != 56 {
-		t.Errorf("cells = %d", nl.NumCells())
+	if p.Cells() != 56 {
+		t.Errorf("cells = %d", p.Cells())
 	}
 	if _, err := loadCircuit("", "nonexistent"); err == nil {
 		t.Error("unknown benchmark accepted")
@@ -34,12 +34,12 @@ func TestLoadCircuitTextFile(t *testing.T) {
 	}
 	f.Close()
 
-	nl, err := loadCircuit(path, "ignored")
+	p, err := loadCircuit(path, "ignored")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if nl.NumCells() != 40 || nl.Name != "file" {
-		t.Errorf("loaded %s with %d cells", nl.Name, nl.NumCells())
+	if p.Cells() != 40 || p.Name() != "file" {
+		t.Errorf("loaded %s with %d cells", p.Name(), p.Cells())
 	}
 }
 
@@ -54,15 +54,15 @@ Z = NAND(A, B)
 	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	nl, err := loadCircuit(path, "ignored")
+	p, err := loadCircuit(path, "ignored")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if nl.Name != "tiny" {
-		t.Errorf("name = %q, want base of file", nl.Name)
+	if p.Name() != "tiny" {
+		t.Errorf("name = %q, want base of file", p.Name())
 	}
-	if nl.NumCells() != 3 {
-		t.Errorf("cells = %d, want 3", nl.NumCells())
+	if p.Cells() != 3 {
+		t.Errorf("cells = %d, want 3", p.Cells())
 	}
 }
 

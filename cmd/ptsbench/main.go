@@ -11,9 +11,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"pts/internal/bench"
@@ -28,11 +30,23 @@ func main() {
 		clusterSeed = flag.Uint64("cluster-seed", 0, "testbed load-trace seed (0 = default)")
 		circuits    = flag.String("circuits", "", "comma-separated circuit subset (default: all four)")
 		out         = flag.String("out", "results", "directory for CSV output")
+		timeout     = flag.Duration("timeout", 0, "abort the sweep after this long (0 = unbounded)")
 		verbose     = flag.Bool("v", false, "print one line per completed run")
 	)
 	flag.Parse()
 
+	// Ctrl-C (or -timeout) cancels the sweep at the next protocol
+	// boundary instead of leaving a half-written results directory.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	opts := bench.Opts{
+		Context:     ctx,
 		Scale:       *scale,
 		Repeats:     *repeats,
 		Seed:        *seed,

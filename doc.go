@@ -1,11 +1,47 @@
-// Package pts reproduces "Parallel Tabu Search in a Heterogeneous
-// Environment" (Al-Yamani, Sait, Barada, Youssef — IPDPS 2003): a
-// two-level parallel tabu search for VLSI standard-cell placement with
-// a fuzzy multi-objective cost, running on a PVM-like message-passing
-// substrate over a simulated heterogeneous cluster.
+// Package pts is a parallel tabu search solver in the style of
+// "Parallel Tabu Search in a Heterogeneous Environment" (Al-Yamani,
+// Sait, Barada, Youssef — IPDPS 2003): a two-level parallelization —
+// multi-search tabu workers above, functionally decomposed
+// candidate-list workers below — with the paper's half-sync adaptation
+// to machines of different speeds and loads, running on a PVM-like
+// message-passing substrate over either a deterministic simulated
+// cluster or real goroutines.
 //
-// The implementation lives under internal/ (see DESIGN.md for the
-// system inventory); cmd/ holds the executables and examples/ the
-// runnable walkthroughs. The root package exists to carry the
-// per-figure benchmark harness (bench_test.go).
+// # Solving a problem
+//
+// The public surface is one call:
+//
+//	p, err := pts.PlacementBenchmark("c532")
+//	if err != nil { ... }
+//	res, err := pts.Solve(ctx, p,
+//		pts.WithWorkers(4, 2),
+//		pts.WithIterations(10, 60),
+//		pts.WithSeed(7),
+//	)
+//
+// Solve is context-aware: cancel ctx (or let its deadline pass) and the
+// run winds down cooperatively, returning the best solution found so
+// far with Result.Interrupted set. WithProgress streams one Snapshot
+// per global iteration while the run is in flight.
+//
+// # Pluggable problems
+//
+// The engine is problem-agnostic: anything implementing Problem — mint
+// independent search States over a shared permutation encoding — can be
+// solved. Two workloads ship built in: the paper's VLSI standard-cell
+// placement under a fuzzy multi-objective cost (PlacementProblem), and
+// the quadratic assignment problem (QAPProblem). Both run through the
+// identical Solve path.
+//
+// # Execution modes
+//
+// WithVirtualTime (the default) executes on a discrete-event kernel
+// with modeled machine speeds, background loads and LAN latencies:
+// results are bit-reproducible in WithSeed, which is what every figure
+// of the paper's evaluation uses. WithRealTime executes the same
+// algorithm code on goroutines with wall-clock timing.
+//
+// The implementation lives under internal/; cmd/ holds the executables
+// and examples/ runnable walkthroughs. bench_test.go carries the
+// per-figure benchmark harness.
 package pts

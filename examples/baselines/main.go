@@ -13,11 +13,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"pts"
 	"pts/internal/anneal"
-	"pts/internal/cluster"
 	"pts/internal/core"
 	"pts/internal/cost"
 	"pts/internal/netlist"
@@ -84,19 +85,25 @@ func main() {
 	report("sequential tabu search", ts.BestCost(),
 		float64(tsIters*params.Trials*params.Depth)*workPerTrial)
 
-	// The paper's parallel tabu search (4 TSWs x 2 CLWs, half-sync).
-	cfg := core.DefaultConfig()
-	cfg.TSWs, cfg.CLWs = 4, 2
-	cfg.Seed = seed
-	pts, err := core.Run(nl, cluster.Testbed12(12), cfg, core.Virtual)
+	// The paper's parallel tabu search (4 TSWs x 2 CLWs, half-sync),
+	// run through the public API on the same circuit and seed.
+	prob, err := pts.PlacementBenchmark(nl.Name)
 	if err != nil {
 		log.Fatal(err)
 	}
-	report("parallel tabu search (4x2)", pts.BestCost, pts.Elapsed)
+	par, err := pts.Solve(context.Background(), prob,
+		pts.WithWorkers(4, 2),
+		pts.WithCluster(pts.Testbed12(12)),
+		pts.WithSeed(seed),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("parallel tabu search (4x2)", par.BestCost, par.Elapsed)
 
 	fmt.Printf("\nSA evaluated %d moves, TS %d, PTS %d — but PTS spreads them over 12 machines:\n",
-		sa.Steps, int64(tsIters*params.Trials*params.Depth), pts.Stats.TrialsCharged)
-	fmt.Printf("it reaches %.4f while the single-machine methods are still mid-schedule.\n", pts.BestCost)
+		sa.Steps, int64(tsIters*params.Trials*params.Depth), par.Stats.TrialsCharged)
+	fmt.Printf("it reaches %.4f while the single-machine methods are still mid-schedule.\n", par.BestCost)
 	fmt.Println("(Memoryless SA is a strong opponent on this smooth fuzzy landscape when")
 	fmt.Println("given the same evaluation count; the parallel search's edge is time.)")
 }

@@ -1,40 +1,43 @@
 // Heterogeneous-vs-homogeneous walkthrough: the paper's §4.2/§5.4
-// claim, reproduced head to head — the half-sync collection scheme
-// reaches the same quality in substantially less runtime on a cluster
-// with mixed machine speeds and background load.
+// claim, reproduced head to head through the public API — the half-sync
+// collection scheme reaches the same quality in substantially less
+// runtime on a cluster with mixed machine speeds and background load.
 //
 //	go run ./examples/heterogeneous
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"pts/internal/cluster"
-	"pts/internal/core"
-	"pts/internal/netlist"
+	"pts"
 )
 
 func main() {
-	nl := netlist.MustBenchmark("c532")
-	clus := cluster.Testbed12(12) // 7 fast / 3 medium / 2 slow, loaded
+	p, err := pts.PlacementBenchmark("c532")
+	if err != nil {
+		log.Fatal(err)
+	}
+	clus := pts.Testbed12(12) // 7 fast / 3 medium / 2 slow, loaded
 
 	fmt.Println("machines:")
-	for i, m := range clus.Machines {
+	for i, m := range clus.Machines() {
 		load := "idle"
-		if len(m.Load.Levels) > 0 {
-			load = fmt.Sprintf("loaded (period %.2fs)", m.Load.Period)
+		if m.Loaded {
+			load = fmt.Sprintf("loaded (period %.2fs)", m.LoadPeriod)
 		}
 		fmt.Printf("  %2d %-8s speed %.2f  %s\n", i, m.Name, m.Speed, load)
 	}
 
-	run := func(half bool) *core.Result {
-		cfg := core.DefaultConfig()
-		cfg.TSWs, cfg.CLWs = 4, 4
-		cfg.GlobalIters, cfg.LocalIters = 10, 30
-		cfg.HalfSync = half
-		cfg.Seed = 3
-		res, err := core.Run(nl, clus, cfg, core.Virtual)
+	run := func(half bool) *pts.Result {
+		res, err := pts.Solve(context.Background(), p,
+			pts.WithWorkers(4, 4),
+			pts.WithIterations(10, 30),
+			pts.WithHalfSync(half),
+			pts.WithCluster(clus),
+			pts.WithSeed(3),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -53,12 +56,12 @@ func main() {
 
 	fmt.Println("\nbest-cost traces (time -> cost):")
 	fmt.Printf("%-8s %-22s %-22s\n", "round", "heterogeneous", "homogeneous")
-	n := het.Trace.Len()
-	if hom.Trace.Len() < n {
-		n = hom.Trace.Len()
+	n := len(het.Trace)
+	if len(hom.Trace) < n {
+		n = len(hom.Trace)
 	}
 	for i := 0; i < n; i++ {
-		hp, op := het.Trace.Points[i], hom.Trace.Points[i]
+		hp, op := het.Trace[i], hom.Trace[i]
 		fmt.Printf("%-8d %8.3fs -> %-8.4f %8.3fs -> %-8.4f\n", i, hp.Time, hp.Cost, op.Time, op.Cost)
 	}
 }

@@ -7,9 +7,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"pts"
 	"pts/internal/cost"
 	"pts/internal/netlist"
 	"pts/internal/placement"
@@ -68,4 +70,20 @@ func main() {
 	fmt.Println(p.ASCII(12))
 	report("final")
 	fmt.Printf("\nsearch stats: %+v\n", s.Stats)
+
+	// Everything above is what one worker computes inside the parallel
+	// algorithm; the public API runs the whole two-level search in one
+	// call on the same kind of generated circuit.
+	prob, err := pts.GeneratePlacement("demo", 48, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pts.Solve(context.Background(), prob,
+		pts.WithWorkers(2, 2), pts.WithIterations(6, 40), pts.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := res.Details.(pts.PlacementDetails)
+	fmt.Printf("\npts.Solve on the same circuit: cost %.4f -> %.4f, wirelength %.0f, CPD %.2f ns\n",
+		res.InitialCost, res.BestCost, d.Wirelength, d.CriticalPath)
 }

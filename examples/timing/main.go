@@ -6,9 +6,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"pts"
 	"pts/internal/cost"
 	"pts/internal/netlist"
 	"pts/internal/placement"
@@ -64,4 +66,23 @@ func main() {
 		after, 100*(cpd-after)/cpd)
 	fmt.Println("\nnew critical path:")
 	fmt.Print(timing.FormatPath(nl, an.CriticalPathCells(ev.Placement())))
+
+	// The same inspection through the public API: solve in parallel,
+	// then ask the problem for the best layout's critical path.
+	prob, err := pts.PlacementBenchmark("c532")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pts.Solve(context.Background(), prob,
+		pts.WithWorkers(4, 2), pts.WithIterations(6, 40), pts.WithSeed(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	text, err := prob.CriticalPathText(res.Best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nparallel search: CPD %.3f ns; its critical path:\n",
+		res.Details.(pts.PlacementDetails).CriticalPath)
+	fmt.Print(text)
 }

@@ -2,37 +2,41 @@
 // iteration budget, how should it be split between global iterations
 // (more diversification) and local iterations (more local
 // investigation)? The answer is instance-dependent; this example makes
-// the trade-off visible on two circuits.
+// the trade-off visible on two circuits, entirely through the public
+// API.
 //
 //	go run ./examples/tuning
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"pts/internal/cluster"
-	"pts/internal/core"
-	"pts/internal/netlist"
+	"pts"
 )
 
 func main() {
-	clus := cluster.Testbed12(12)
+	solver := pts.NewSolver(
+		pts.WithWorkers(4, 1),
+		pts.WithCluster(pts.Testbed12(12)),
+		pts.WithSeed(11),
+	)
 	const budget = 320 // total local iterations per TSW across the run
 
 	splits := [][2]int{{32, 10}, {16, 20}, {8, 40}, {4, 80}, {2, 160}}
 
 	for _, name := range []string{"highway", "c532"} {
-		nl := netlist.MustBenchmark(name)
-		fmt.Printf("%s (%d cells), budget G*L = %d:\n", name, nl.NumCells(), budget)
+		p, err := pts.PlacementBenchmark(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (%d cells), budget G*L = %d:\n", name, p.Cells(), budget)
 		fmt.Printf("  %-10s %-10s %-12s %-12s\n", "global G", "local L", "best cost", "virtual time")
 		bestCost, bestSplit := 2.0, [2]int{}
 		for _, gl := range splits {
-			cfg := core.DefaultConfig()
-			cfg.TSWs, cfg.CLWs = 4, 1
-			cfg.GlobalIters, cfg.LocalIters = gl[0], gl[1]
-			cfg.Seed = 11
-			res, err := core.Run(nl, clus, cfg, core.Virtual)
+			res, err := solver.Solve(context.Background(), p,
+				pts.WithIterations(gl[0], gl[1]))
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,0 +1,3 @@
+module pts
+
+go 1.24

@@ -16,11 +16,13 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"pts/internal/cluster"
 	"pts/internal/core"
+	"pts/internal/cost"
 	"pts/internal/netlist"
 	"pts/internal/rng"
 	"pts/internal/stats"
@@ -28,6 +30,10 @@ import (
 
 // Opts scales and seeds the experiments.
 type Opts struct {
+	// Context, when non-nil, bounds the whole figure sweep: a cancelled
+	// context aborts the current run at its next protocol boundary and
+	// the driver returns the context's error.
+	Context context.Context
 	// Scale multiplies the per-run iteration budgets; 1.0 reproduces the
 	// full figures, tests use ~0.1.
 	Scale float64
@@ -103,11 +109,21 @@ func baseConfig(o Opts) core.Config {
 // testbed returns the paper's 12-machine platform.
 func (o Opts) testbed() cluster.Cluster { return cluster.Testbed12(o.ClusterSeed) }
 
-// runOne executes one virtual run and reports progress.
+// runOne executes one virtual run and reports progress. The run is
+// bound to Opts.Context: an interrupted run aborts the whole sweep
+// (partial figure data would be misleading).
 func runOne(o Opts, label string, nl *netlist.Netlist, clus cluster.Cluster, cfg core.Config) (*core.Result, error) {
-	res, err := core.Run(nl, clus, cfg, core.Virtual)
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	pp := cost.NewPlacementProblem(nl, cfg.Utilization, cfg.Cost)
+	res, err := core.RunProblem(ctx, pp, clus, cfg, core.Virtual)
 	if err != nil {
 		return nil, fmt.Errorf("bench: %s: %w", label, err)
+	}
+	if res.Interrupted {
+		return nil, fmt.Errorf("bench: %s: %w", label, ctx.Err())
 	}
 	if o.Progress != nil {
 		o.Progress(fmt.Sprintf("%-34s best=%.4f elapsed=%.3fs", label, res.BestCost, res.Elapsed))

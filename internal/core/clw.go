@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 
-	"pts/internal/cost"
-	"pts/internal/netlist"
 	"pts/internal/pvm"
 	"pts/internal/rng"
 	"pts/internal/tabu"
@@ -14,13 +12,12 @@ import (
 // clwRun is the candidate-list worker body (paper Fig. 4). It owns a
 // private copy of the solution, kept in lockstep with its parent TSW via
 // TagSync/TagNewState, and produces one compound move per TagSearch.
-// The first cell of every trial swap comes from the worker's range —
+// The first element of every trial swap comes from the worker's range —
 // the probabilistic domain decomposition of §4.1 — and the second from
-// the whole cell space.
-func clwRun(env pvm.Env, nl *netlist.Netlist, cfg Config, tune Tuning, goals cost.Goals, parent pvm.TaskID) {
+// the whole element space.
+func clwRun(env pvm.Env, problem Problem, cfg Config, tune Tuning, parent pvm.TaskID) {
 	init := env.Recv(TagInit).Data.(initMsg)
-	ev := mustEvaluator(env, nl, cfg, goals, init.Perm)
-	prob := cost.Problem{Ev: ev}
+	prob := mustState(env, problem, init.Perm)
 	r := workerRand(env, cfg, "clw")
 	params := tabu.CompoundParams{
 		Trials:  tune.Trials,
@@ -29,7 +26,7 @@ func clwRun(env pvm.Env, nl *netlist.Netlist, cfg Config, tune Tuning, goals cos
 		RangeHi: init.RangeHi,
 	}
 	stepWork := float64(tune.Trials) * cfg.WorkPerTrial
-	staWork := workSTA(cfg, nl)
+	staWork := workSTA(cfg, prob.Size())
 
 	var stats WorkerStats
 	var tentative tabu.CompoundMove // applied locally, awaiting TagSync
@@ -46,7 +43,7 @@ func clwRun(env pvm.Env, nl *netlist.Netlist, cfg Config, tune Tuning, goals cos
 					forced = true
 					return true
 				}
-				return false
+				return env.Cancelled()
 			})
 			tentative = move
 			stats.CandidatesBuilt++
@@ -64,7 +61,7 @@ func clwRun(env pvm.Env, nl *netlist.Netlist, cfg Config, tune Tuning, goals cos
 
 		case TagNewState:
 			perm := m.Data.(stateMsg).Perm
-			if err := ev.ImportPerm(perm); err != nil {
+			if err := prob.Restore(perm); err != nil {
 				panic(fmt.Sprintf("core: clw %s: %v", env.Name(), err))
 			}
 			tentative = tabu.CompoundMove{}
@@ -90,16 +87,12 @@ func workerRand(env pvm.Env, cfg Config, class string) *rand.Rand {
 	return env.Rand()
 }
 
-// mustEvaluator builds a worker evaluator over an imported solution with
-// the run's shared goals; construction failures are protocol bugs.
-func mustEvaluator(env pvm.Env, nl *netlist.Netlist, cfg Config, goals cost.Goals, perm []int32) *cost.Evaluator {
-	p := newLayoutPlacement(nl, cfg)
-	if err := p.Import(perm); err != nil {
-		panic(fmt.Sprintf("core: %s: import: %v", env.Name(), err))
-	}
-	ev, err := cost.NewEvaluatorWithGoals(p, cfg.Cost.Timing, goals)
+// mustState builds a worker state over an imported solution; failures
+// here are protocol bugs, not input errors.
+func mustState(env pvm.Env, problem Problem, perm []int32) State {
+	st, err := problem.NewState(perm)
 	if err != nil {
-		panic(fmt.Sprintf("core: %s: evaluator: %v", env.Name(), err))
+		panic(fmt.Sprintf("core: %s: state: %v", env.Name(), err))
 	}
-	return ev
+	return st
 }

@@ -28,7 +28,6 @@ import (
 	"fmt"
 
 	"pts/internal/cost"
-	"pts/internal/netlist"
 )
 
 // Config parameterizes one parallel tabu search run.
@@ -72,6 +71,12 @@ type Config struct {
 	Seed uint64
 	// RecordTrace keeps the best-cost-versus-time trace in the result.
 	RecordTrace bool
+	// Progress, when non-nil, receives one Snapshot per completed global
+	// iteration, from the master as soon as the round's reports are in.
+	// The callback runs on the master's thread of execution (the virtual
+	// kernel's single goroutine in Virtual mode): keep it fast and do
+	// not call back into the run from it.
+	Progress func(Snapshot)
 	// CorrelatedWorkers gives all sibling workers the same random
 	// stream instead of independent ones. This emulates the classic
 	// unseeded-PRNG deployment of the paper's era, where every PVM
@@ -218,8 +223,9 @@ func ranges(n int32, k int) [][2]int32 {
 	return out
 }
 
-// workSTA is the modeled compute cost of one full timing analysis,
-// scaling with circuit size: roughly n/8 trial-evaluation equivalents.
-func workSTA(cfg Config, nl *netlist.Netlist) float64 {
-	return cfg.WorkPerTrial * float64(nl.NumCells()) / 8
+// workSTA is the modeled compute cost of one full state refresh (a full
+// timing analysis for placement), scaling with problem size: roughly
+// n/8 trial-evaluation equivalents.
+func workSTA(cfg Config, size int32) float64 {
+	return cfg.WorkPerTrial * float64(size) / 8
 }

@@ -4,27 +4,31 @@ import (
 	"fmt"
 	"sort"
 
-	"pts/internal/cost"
-	"pts/internal/netlist"
 	"pts/internal/pvm"
 	"pts/internal/stats"
 	"pts/internal/tabu"
 )
 
-// masterState is what the master process writes back to Run.
+// masterState is what the master process writes back to RunProblem.
 type masterState struct {
-	bestCost float64
-	bestPerm []int32
-	trace    stats.Trace
-	stats    WorkerStats
-	rounds   int
+	bestCost    float64
+	bestPerm    []int32
+	trace       stats.Trace
+	stats       WorkerStats
+	rounds      int
+	interrupted bool
 }
 
 // masterRun is the master process body (paper Fig. 2): spawn the TSWs,
 // give every one the same initial solution, then per global iteration
 // collect their bests (half-sync in heterogeneous mode), select the
 // overall best and broadcast it together with its tabu list.
-func masterRun(env pvm.Env, nl *netlist.Netlist, cfg Config, goals cost.Goals,
+//
+// When the run's context is cancelled, the master finishes collecting
+// the round in flight, skips the remaining rounds and proceeds straight
+// to the shutdown handshake, so every worker drains cleanly and the
+// best-so-far is preserved.
+func masterRun(env pvm.Env, prob Problem, cfg Config,
 	initPerm []int32, initCost float64, out *masterState) {
 
 	out.bestCost = initCost
@@ -40,10 +44,10 @@ func masterRun(env pvm.Env, nl *netlist.Netlist, cfg Config, goals cost.Goals,
 	for i := 0; i < cfg.TSWs; i++ {
 		i := i
 		tswIDs[i] = env.Spawn(fmt.Sprintf("tsw%d", i), cfg.tswMachine(i), func(e pvm.Env) {
-			tswRun(e, nl, cfg, goals, env.Self())
+			tswRun(e, prob, cfg, env.Self())
 		})
 	}
-	divRanges := ranges(int32(nl.NumCells()), cfg.TSWs)
+	divRanges := ranges(prob.Size(), cfg.TSWs)
 	for i, id := range tswIDs {
 		env.Send(id, TagInit, initMsg{
 			Perm:      initPerm,
@@ -53,22 +57,58 @@ func masterRun(env pvm.Env, nl *netlist.Netlist, cfg Config, goals cost.Goals,
 		})
 	}
 
+	// latest remembers each TSW's most recent cumulative counters so a
+	// progress snapshot can aggregate worker activity mid-run.
+	latest := make(map[pvm.TaskID]WorkerStats, cfg.TSWs)
+
 	var bestTabu []tabu.Entry
 	for g := 0; g < cfg.GlobalIters; g++ {
 		reports := collectBests(env, tswIDs, cfg.HalfSync)
-		env.Work(float64(len(reports)) * cfg.WorkPerTrial)
-		for _, r := range reports {
+		env.Work(float64(len(reports.msgs)) * cfg.WorkPerTrial)
+		improved := false
+		forced := 0
+		for i, r := range reports.msgs {
 			raw = append(raw, r.Points...)
+			latest[reports.from[i]] = r.Stats
+			if r.Forced {
+				forced++
+			}
 			if r.Cost < out.bestCost {
 				out.bestCost = r.Cost
 				out.bestPerm = append(out.bestPerm[:0], r.Perm...)
 				bestTabu = r.Tabu
+				improved = true
 			}
 		}
 		out.rounds++
 		// The round-end observation keeps the trace's time axis spanning
 		// the full run even when no TSW improved this round.
 		raw = append(raw, improvement{Time: env.Now(), Cost: out.bestCost})
+
+		if cfg.Progress != nil {
+			snap := Snapshot{
+				Round:       g + 1,
+				Rounds:      cfg.GlobalIters,
+				BestCost:    out.bestCost,
+				InitialCost: initCost,
+				Elapsed:     env.Now(),
+				Improved:    improved,
+				Reports:     len(reports.msgs),
+				Forced:      forced,
+			}
+			for _, ws := range latest {
+				snap.Stats.add(ws)
+			}
+			cfg.Progress(snap)
+		}
+
+		if env.Cancelled() {
+			out.interrupted = true
+			break
+		}
+		if g == cfg.GlobalIters-1 {
+			break
+		}
 		// Broadcast the global best (solution + its tabu list) so every
 		// TSW restarts the next round from it.
 		gm := globalMsg{Perm: out.bestPerm, Tabu: bestTabu}
@@ -116,20 +156,27 @@ func envelope(raw []improvement) stats.Trace {
 	return tr
 }
 
+// bestReports pairs each collected bestMsg with its sender.
+type bestReports struct {
+	msgs []bestMsg
+	from []pvm.TaskID
+}
+
 // collectBests gathers one bestMsg per TSW; in half-sync mode it forces
 // the stragglers once half have reported.
-func collectBests(env pvm.Env, tswIDs []pvm.TaskID, halfSync bool) []bestMsg {
+func collectBests(env pvm.Env, tswIDs []pvm.TaskID, halfSync bool) bestReports {
 	n := len(tswIDs)
-	out := make([]bestMsg, 0, n)
+	out := bestReports{msgs: make([]bestMsg, 0, n), from: make([]pvm.TaskID, 0, n)}
 	reported := make(map[pvm.TaskID]bool, n)
 	take := func() {
 		m := env.Recv(TagBest)
 		reported[m.From] = true
-		out = append(out, m.Data.(bestMsg))
+		out.msgs = append(out.msgs, m.Data.(bestMsg))
+		out.from = append(out.from, m.From)
 	}
 	if halfSync && n > 1 {
 		half := (n + 1) / 2
-		for len(out) < half {
+		for len(out.msgs) < half {
 			take()
 		}
 		for _, id := range tswIDs {
@@ -138,7 +185,7 @@ func collectBests(env pvm.Env, tswIDs []pvm.TaskID, halfSync bool) []bestMsg {
 			}
 		}
 	}
-	for len(out) < n {
+	for len(out.msgs) < n {
 		take()
 	}
 	return out

@@ -78,16 +78,20 @@ type improvement struct {
 // bestMsg is the TagBest payload: the paper's TSW→master exchange is
 // the best solution plus the associated tabu list. Points carries the
 // TSW's incumbent improvements since its previous report, so the master
-// can build a fine-grained best-cost-versus-time envelope.
+// can build a fine-grained best-cost-versus-time envelope; Stats is the
+// TSW's cumulative counters, feeding the per-round progress snapshots.
 type bestMsg struct {
 	Cost   float64
 	Perm   []int32
 	Tabu   []tabu.Entry
 	Points []improvement
 	Forced bool
+	Stats  WorkerStats
 }
 
-func (m bestMsg) PVMItems() int { return len(m.Perm) + 3*len(m.Tabu) + 4*len(m.Points) + 4 }
+func (m bestMsg) PVMItems() int {
+	return len(m.Perm) + 3*len(m.Tabu) + 4*len(m.Points) + 4 + m.Stats.PVMItems()
+}
 
 // globalMsg is the TagGlobal payload.
 type globalMsg struct {

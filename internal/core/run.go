@@ -1,14 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"pts/internal/cluster"
 	"pts/internal/cost"
 	"pts/internal/netlist"
-	"pts/internal/placement"
 	"pts/internal/pvm"
-	"pts/internal/rng"
 	"pts/internal/stats"
 )
 
@@ -26,20 +25,22 @@ const (
 
 // Result is the outcome of one parallel tabu search run.
 type Result struct {
-	// BestCost is the best fuzzy cost found (lower is better, in [0,1]).
+	// Problem is the solved problem's Name().
+	Problem string
+	// BestCost is the best cost found (lower is better).
 	BestCost float64
-	// BestPerm is the best placement as a slot permutation.
+	// BestPerm is the best solution as an element permutation.
 	BestPerm []int32
-	// Objectives are the exact objective values of BestPerm.
-	Objectives cost.Objectives
-	// CriticalPath is the exact critical path delay (ns) of BestPerm.
-	CriticalPath float64
-	// InitialCost is the fuzzy cost of the shared initial solution.
+	// InitialCost is the cost of the shared initial solution.
 	InitialCost float64
 	// Elapsed is the run's make-span in seconds (virtual or wall).
 	Elapsed float64
 	// Rounds is the number of completed global iterations.
 	Rounds int
+	// Interrupted reports that the run's context was cancelled and the
+	// result is the best found up to that point rather than the full
+	// iteration budget's.
+	Interrupted bool
 	// Trace is the best-cost-versus-time curve (one point per global
 	// iteration, plus the initial point) when Config.RecordTrace is set.
 	Trace stats.Trace
@@ -47,12 +48,30 @@ type Result struct {
 	Stats WorkerStats
 	// Runtime reports the communication volume of the run.
 	Runtime pvm.Counters
+	// Details carries problem-specific exact scoring of BestPerm when
+	// the problem implements Finalizer; nil otherwise.
+	Details any
+
+	// Objectives and CriticalPath are the exact placement objectives of
+	// BestPerm. They are populated only by the placement entry points
+	// (Run, RunSequential); generic RunProblem results report
+	// problem-specific metrics through Details instead.
+	Objectives   cost.Objectives
+	CriticalPath float64
 }
 
-// Run executes the parallel tabu search over circuit nl on the given
-// cluster. The returned result is deterministic in cfg.Seed when mode is
-// Virtual.
-func Run(nl *netlist.Netlist, clus cluster.Cluster, cfg Config, mode Mode) (*Result, error) {
+// RunProblem executes the parallel tabu search over any Problem on the
+// given cluster. The returned result is deterministic in cfg.Seed when
+// mode is Virtual and ctx never fires mid-run.
+//
+// Cancellation is cooperative: when ctx is cancelled, workers abandon
+// their local iterations at the next loop boundary, the master stops
+// launching rounds, and the best solution found so far is returned with
+// Result.Interrupted set and a nil error.
+func RunProblem(ctx context.Context, prob Problem, clus cluster.Cluster, cfg Config, mode Mode) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -60,25 +79,34 @@ func Run(nl *netlist.Netlist, clus cluster.Cluster, cfg Config, mode Mode) (*Res
 		return nil, err
 	}
 
-	// Shared initial solution and the run's fuzzy goals, derived once
-	// so every worker's costs are comparable (paper: the master provides
-	// each TSW with the same initial solution).
-	p0 := newLayoutPlacement(nl, cfg)
-	p0.Randomize(rng.New(rng.Derive(cfg.Seed, "core.initial", nl.Name)))
-	ev0, err := cost.NewEvaluator(p0, cfg.Cost)
+	// Shared initial solution, derived once so every worker searches
+	// from the same point (paper: the master provides each TSW with the
+	// same initial solution).
+	st0, err := prob.Initial(cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	goals := ev0.GoalSet()
-	initPerm := ev0.ExportPerm()
-	initCost := ev0.Cost()
+	initPerm := st0.Snapshot()
+	initCost := st0.Cost()
+
+	res := &Result{
+		Problem:     prob.Name(),
+		BestCost:    initCost,
+		BestPerm:    initPerm,
+		InitialCost: initCost,
+	}
+	if ctx.Err() != nil {
+		// Pre-cancelled context: the best-so-far is the initial solution.
+		res.Interrupted = true
+		return finalize(prob, res)
+	}
 
 	var ms masterState
 	root := func(env pvm.Env) {
-		masterRun(env, nl, cfg, goals, initPerm, initCost, &ms)
+		masterRun(env, prob, cfg, initPerm, initCost, &ms)
 	}
 	var counters pvm.Counters
-	opts := pvm.Options{Cluster: clus, Seed: cfg.Seed, Counters: &counters}
+	opts := pvm.Options{Context: ctx, Cluster: clus, Seed: cfg.Seed, Counters: &counters}
 	var elapsed float64
 	switch mode {
 	case Virtual:
@@ -92,33 +120,45 @@ func Run(nl *netlist.Netlist, clus cluster.Cluster, cfg Config, mode Mode) (*Res
 		return nil, err
 	}
 
-	// Score the returned best exactly (full timing analysis).
-	if err := ev0.ImportPerm(ms.bestPerm); err != nil {
-		return nil, fmt.Errorf("core: best solution invalid: %w", err)
-	}
-	res := &Result{
-		BestCost:     ms.bestCost,
-		BestPerm:     ms.bestPerm,
-		Objectives:   ev0.Objectives(),
-		CriticalPath: ev0.CriticalPath(),
-		InitialCost:  initCost,
-		Elapsed:      elapsed,
-		Rounds:       ms.rounds,
-		Trace:        ms.trace,
-		Stats:        ms.stats,
-		Runtime:      counters,
+	res.BestCost = ms.bestCost
+	res.BestPerm = ms.bestPerm
+	res.Elapsed = elapsed
+	res.Rounds = ms.rounds
+	res.Interrupted = ms.interrupted
+	res.Trace = ms.trace
+	res.Stats = ms.stats
+	res.Runtime = counters
+	return finalize(prob, res)
+}
+
+// finalize attaches problem-specific exact scoring when the problem
+// offers it.
+func finalize(prob Problem, res *Result) (*Result, error) {
+	if f, ok := prob.(Finalizer); ok {
+		details, err := f.Finalize(res.BestPerm)
+		if err != nil {
+			return nil, fmt.Errorf("core: best solution invalid: %w", err)
+		}
+		res.Details = details
 	}
 	return res, nil
 }
 
-// newLayoutPlacement builds the slot grid every worker uses; all
-// workers must agree on it for permutations to be interchangeable.
-func newLayoutPlacement(nl *netlist.Netlist, cfg Config) *placement.Placement {
-	p, err := placement.New(nl, placement.AutoLayout(nl, cfg.Utilization))
+// Run executes the parallel tabu search for VLSI placement over circuit
+// nl on the given cluster — the original placement-only entry point,
+// now a thin wrapper over the problem-agnostic RunProblem. The returned
+// result is deterministic in cfg.Seed when mode is Virtual and includes
+// the exact placement objectives of the best solution.
+func Run(nl *netlist.Netlist, clus cluster.Cluster, cfg Config, mode Mode) (*Result, error) {
+	pp := cost.NewPlacementProblem(nl, cfg.Utilization, cfg.Cost)
+	res, err := RunProblem(context.Background(), pp, clus, cfg, mode)
 	if err != nil {
-		// AutoLayout always allocates enough slots; a failure here is a
-		// programming error, not an input error.
-		panic(fmt.Sprintf("core: layout: %v", err))
+		return nil, err
 	}
-	return p
+	obj, cpd, err := pp.Score(res.BestPerm)
+	if err != nil {
+		return nil, fmt.Errorf("core: best solution invalid: %w", err)
+	}
+	res.Objectives, res.CriticalPath = obj, cpd
+	return res, nil
 }

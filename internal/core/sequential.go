@@ -46,7 +46,7 @@ func RunSequential(nl *netlist.Netlist, cfg Config) (*Result, error) {
 	now := 0.0
 	iterWork := float64(cfg.Trials*cfg.Depth) * cfg.WorkPerTrial
 	divWork := float64(cfg.DiversifyDepth*cfg.Trials) * cfg.WorkPerTrial
-	staWork := workSTA(cfg, nl)
+	staWork := workSTA(cfg, int32(nl.NumCells()))
 
 	var trace stats.Trace
 	trace.Record(0, initCost)

@@ -4,21 +4,20 @@ import (
 	"fmt"
 	"math/rand"
 
-	"pts/internal/cost"
-	"pts/internal/netlist"
 	"pts/internal/pvm"
 	"pts/internal/tabu"
 )
 
 // tswRun is the tabu search worker body (paper Fig. 3). Per global
-// iteration it diversifies with respect to its own cell range, runs
+// iteration it diversifies with respect to its own element range, runs
 // LocalIters tabu iterations driven by its CLWs, reports its best
 // (solution + tabu list) to the master, and adopts the broadcast global
-// best.
-func tswRun(env pvm.Env, nl *netlist.Netlist, cfg Config, goals cost.Goals, master pvm.TaskID) {
+// best. Rounds are driven by the master's verdicts: a TagGlobal starts
+// the next round, a TagStop ends the run — so the master alone decides
+// when a cancelled run winds down.
+func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID) {
 	init := env.Recv(TagInit).Data.(initMsg)
-	ev := mustEvaluator(env, nl, cfg, goals, init.Perm)
-	prob := cost.Problem{Ev: ev}
+	prob := mustState(env, problem, init.Perm)
 	tune := cfg.tuningFor(init.WorkerIdx)
 
 	list := tabu.NewList()
@@ -29,7 +28,7 @@ func tswRun(env pvm.Env, nl *netlist.Netlist, cfg Config, goals cost.Goals, mast
 
 	best := prob.Cost()
 	bestPerm := prob.Snapshot()
-	staWork := workSTA(cfg, nl)
+	staWork := workSTA(cfg, prob.Size())
 	var pending []improvement // incumbent improvements since the last report
 
 	// Spawn this worker's CLWs once; they live for the whole run and
@@ -38,7 +37,7 @@ func tswRun(env pvm.Env, nl *netlist.Netlist, cfg Config, goals cost.Goals, mast
 	clwRanges := ranges(prob.Size(), cfg.CLWs)
 	for j := 0; j < cfg.CLWs; j++ {
 		clwIDs[j] = env.Spawn(fmt.Sprintf("clw%d", j), cfg.clwMachine(init.WorkerIdx, j), func(e pvm.Env) {
-			clwRun(e, nl, cfg, tune, goals, env.Self())
+			clwRun(e, problem, cfg, tune, env.Self())
 		})
 	}
 	for j, id := range clwIDs {
@@ -74,68 +73,78 @@ func tswRun(env pvm.Env, nl *netlist.Netlist, cfg Config, goals cost.Goals, mast
 	}
 
 	acceptedSinceRefresh := 0
-	for g := 0; g < cfg.GlobalIters; g++ {
-		// Diversification w.r.t. this worker's own cell range (Kelly et
-		// al. [10]): forced swaps of the least-moved cells of the range.
-		if tune.DiversifyDepth > 0 {
-			diversify(prob, env, tswRand, freq, list, iter, cfg, tune, init.RangeLo, init.RangeHi)
-			stats.Diversifications++
-			ev.Refresh()
-			env.Work(staWork)
-			noteBest()
-		}
-		resyncState()
-
+	for {
 		forcedByMaster := false
-		for l := 0; l < cfg.LocalIters; l++ {
-			// Heterogeneity: the master may force us to report early.
-			if _, ok := env.TryRecv(TagReportNow); ok {
-				forcedByMaster = true
-				stats.ForcedReports++
-				break
-			}
-			stats.LocalIters++
-			iter++
-
-			// Fan the candidate construction out to the CLWs.
-			for _, id := range clwIDs {
-				env.Send(id, TagSearch, nil)
-			}
-			cands := collectCandidates(env, clwIDs, cfg.HalfSync)
-			env.Work(float64(len(cands)) * cfg.WorkPerTrial) // selection cost
-
-			moves := make([]tabu.CompoundMove, len(cands))
-			for i, c := range cands {
-				moves[i] = c.Move
-			}
-			verdict := tabu.SelectAdmissible(moves, prob.Cost(), best, list, iter)
-			var chosen tabu.CompoundMove
-			if verdict.Index >= 0 {
-				chosen = moves[verdict.Index]
-				chosen.Apply(prob)
-				env.Work(float64(len(chosen.Swaps)) * cfg.WorkPerTrial)
-				for _, at := range chosen.Attributes() {
-					list.Add(at, iter+int64(tune.Tenure))
-				}
-				freq.BumpMove(&chosen)
-				stats.MovesAccepted++
-				acceptedSinceRefresh++
-				noteBest()
-			}
-			stats.TabuRejected += int64(verdict.TabuRejected)
-			if verdict.Aspired {
-				stats.Aspirations++
-			}
-			if verdict.Fallback {
-				stats.Fallbacks++
-			}
-			syncCLWs(chosen)
-
-			if cfg.RefreshEvery > 0 && acceptedSinceRefresh >= cfg.RefreshEvery {
-				acceptedSinceRefresh = 0
-				ev.Refresh()
+		// Cooperative cancellation: skip the round's search work and
+		// report immediately; the master will answer with TagStop once it
+		// has observed the cancellation itself.
+		if !env.Cancelled() {
+			// Diversification w.r.t. this worker's own element range (Kelly
+			// et al. [10]): forced swaps of the least-moved elements of the
+			// range.
+			if tune.DiversifyDepth > 0 {
+				diversify(prob, env, tswRand, freq, list, iter, cfg, tune, init.RangeLo, init.RangeHi)
+				stats.Diversifications++
+				refresh(prob)
 				env.Work(staWork)
 				noteBest()
+			}
+			resyncState()
+
+			for l := 0; l < cfg.LocalIters; l++ {
+				// Heterogeneity: the master may force us to report early;
+				// a cancelled context forces everyone at once.
+				if _, ok := env.TryRecv(TagReportNow); ok {
+					forcedByMaster = true
+					stats.ForcedReports++
+					break
+				}
+				if env.Cancelled() {
+					break
+				}
+				stats.LocalIters++
+				iter++
+
+				// Fan the candidate construction out to the CLWs.
+				for _, id := range clwIDs {
+					env.Send(id, TagSearch, nil)
+				}
+				cands := collectCandidates(env, clwIDs, cfg.HalfSync)
+				env.Work(float64(len(cands)) * cfg.WorkPerTrial) // selection cost
+
+				moves := make([]tabu.CompoundMove, len(cands))
+				for i, c := range cands {
+					moves[i] = c.Move
+				}
+				verdict := tabu.SelectAdmissible(moves, prob.Cost(), best, list, iter)
+				var chosen tabu.CompoundMove
+				if verdict.Index >= 0 {
+					chosen = moves[verdict.Index]
+					chosen.Apply(prob)
+					env.Work(float64(len(chosen.Swaps)) * cfg.WorkPerTrial)
+					for _, at := range chosen.Attributes() {
+						list.Add(at, iter+int64(tune.Tenure))
+					}
+					freq.BumpMove(&chosen)
+					stats.MovesAccepted++
+					acceptedSinceRefresh++
+					noteBest()
+				}
+				stats.TabuRejected += int64(verdict.TabuRejected)
+				if verdict.Aspired {
+					stats.Aspirations++
+				}
+				if verdict.Fallback {
+					stats.Fallbacks++
+				}
+				syncCLWs(chosen)
+
+				if cfg.RefreshEvery > 0 && acceptedSinceRefresh >= cfg.RefreshEvery {
+					acceptedSinceRefresh = 0
+					refresh(prob)
+					env.Work(staWork)
+					noteBest()
+				}
 			}
 		}
 
@@ -146,6 +155,7 @@ func tswRun(env pvm.Env, nl *netlist.Netlist, cfg Config, goals cost.Goals, mast
 			Tabu:   list.Export(iter),
 			Points: pending,
 			Forced: forcedByMaster,
+			Stats:  stats,
 		})
 		pending = nil
 
@@ -161,7 +171,7 @@ func tswRun(env pvm.Env, nl *netlist.Netlist, cfg Config, goals cost.Goals, mast
 				return
 			}
 			gm := m.Data.(globalMsg)
-			if err := ev.ImportPerm(gm.Perm); err != nil {
+			if err := prob.Restore(gm.Perm); err != nil {
 				panic(fmt.Sprintf("core: tsw %s: %v", env.Name(), err))
 			}
 			env.Work(staWork)
@@ -172,16 +182,6 @@ func tswRun(env pvm.Env, nl *netlist.Netlist, cfg Config, goals cost.Goals, mast
 			break
 		}
 	}
-
-	// Drain the final TagStop (the master stops us after the last round).
-	for {
-		m := env.Recv(TagStop, TagReportNow)
-		if m.Tag == TagStop {
-			break
-		}
-	}
-	shutdownCLWs(env, clwIDs, &stats)
-	env.Send(master, TagStats, stats)
 }
 
 // collectCandidates gathers one candidate per CLW. In half-sync mode it
@@ -215,11 +215,11 @@ func collectCandidates(env pvm.Env, clwIDs []pvm.TaskID, halfSync bool) []candMs
 
 // diversify performs the Kelly-style diversification "within the TSW
 // range" (paper §4.1): each of DiversifyDepth forced swaps moves the
-// least-frequently moved cell of [lo, hi) — the long-term-memory forcing
-// of Kelly et al. [10] — to the best of Trials candidate partners from
-// the same range. The move is applied regardless of sign, so each TSW
-// drifts into its own region of the solution space, but the greedy
-// partner choice bounds the damage to the incumbent. The applied
+// least-frequently moved element of [lo, hi) — the long-term-memory
+// forcing of Kelly et al. [10] — to the best of Trials candidate
+// partners from the same range. The move is applied regardless of sign,
+// so each TSW drifts into its own region of the solution space, but the
+// greedy partner choice bounds the damage to the incumbent. The applied
 // attributes become tabu so the jump is not immediately undone.
 func diversify(prob tabu.Problem, env pvm.Env, r *rand.Rand, freq *tabu.Frequency, list *tabu.List,
 	iter int64, cfg Config, tune Tuning, lo, hi int32) {

@@ -17,6 +17,7 @@
 package pvm
 
 import (
+	"context"
 	"math/rand"
 
 	"pts/internal/cluster"
@@ -83,6 +84,12 @@ type Env interface {
 	Now() float64
 	// Rand returns the task's deterministic random stream.
 	Rand() *rand.Rand
+	// Cancelled reports whether the run's context (Options.Context) has
+	// been cancelled or has passed its deadline. Task bodies poll it at
+	// loop boundaries and wind down cooperatively: the runtimes never
+	// kill a task, so protocols drain cleanly and no goroutine leaks.
+	// Always false when no context was supplied.
+	Cancelled() bool
 }
 
 // Counters reports what a run did; attach one to Options to collect.
@@ -98,6 +105,12 @@ type Counters struct {
 
 // Options configure a run.
 type Options struct {
+	// Context, when non-nil, exposes cancellation to every task via
+	// Env.Cancelled. Cancellation is cooperative: tasks observe it and
+	// shut their protocol down; the runtimes keep running until all
+	// tasks finished. Virtual runs driven by a never-cancelled context
+	// remain fully deterministic.
+	Context context.Context
 	// Cluster supplies machines and the message cost model. Defaults to
 	// a single idle speed-1.0 machine.
 	Cluster cluster.Cluster
@@ -123,6 +136,25 @@ func (o Options) withDefaults() Options {
 		o.MaxEvents = 500_000_000
 	}
 	return o
+}
+
+// doneChan extracts the cancellation channel of an optional context; a
+// nil channel never fires, so Cancelled stays false without one.
+func doneChan(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
+
+// cancelled polls a done channel without blocking.
+func cancelled(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }
 
 // matches reports whether tag is in tags (empty = match all).

@@ -16,6 +16,7 @@ type rRuntime struct {
 	c         cluster.Cluster
 	seed      uint64
 	workScale float64
+	done      <-chan struct{}
 	start     time.Time
 
 	spawns atomic.Int64
@@ -46,6 +47,7 @@ func (t *rTask) Name() string      { return t.name }
 func (t *rTask) MachineIndex() int { return t.machine }
 func (t *rTask) Rand() *rand.Rand  { return t.r }
 func (t *rTask) Now() float64      { return time.Since(t.rt.start).Seconds() }
+func (t *rTask) Cancelled() bool   { return cancelled(t.rt.done) }
 
 func (t *rTask) Spawn(name string, machine int, fn TaskFunc) TaskID {
 	return t.rt.spawn(t.name+"/"+name, machine, fn)
@@ -133,6 +135,7 @@ func RunReal(opts Options, root TaskFunc) (elapsed float64, err error) {
 		c:         opts.Cluster,
 		seed:      opts.Seed,
 		workScale: opts.RealWorkScale,
+		done:      doneChan(opts.Context),
 		start:     time.Now(),
 	}
 	rt.spawn("root", 0, root)

@@ -14,6 +14,7 @@ type vRuntime struct {
 	k      *vtime.Kernel
 	c      cluster.Cluster
 	seed   uint64
+	done   <-chan struct{}
 	task   []*vTask
 	spawns int64
 	sends  int64
@@ -44,6 +45,7 @@ func (t *vTask) Name() string      { return t.name }
 func (t *vTask) MachineIndex() int { return t.machine }
 func (t *vTask) Rand() *rand.Rand  { return t.r }
 func (t *vTask) Now() float64      { return float64(t.rt.k.Now()) }
+func (t *vTask) Cancelled() bool   { return cancelled(t.rt.done) }
 
 func (t *vTask) Spawn(name string, machine int, fn TaskFunc) TaskID {
 	return t.rt.spawn(t.name+"/"+name, machine, fn)
@@ -138,6 +140,7 @@ func RunVirtual(opts Options, root TaskFunc) (elapsed float64, err error) {
 		k:    vtime.NewKernel(),
 		c:    opts.Cluster,
 		seed: opts.Seed,
+		done: doneChan(opts.Context),
 	}
 	rt.k.MaxEvents = opts.MaxEvents
 	rt.spawn("root", 0, root)

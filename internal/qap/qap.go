@@ -22,6 +22,31 @@ type Instance struct {
 	Flow [][]float64 // facility-to-facility flows, symmetric, zero diagonal
 }
 
+// New builds an instance from explicit distance and flow matrices,
+// validating that both are square, of equal size, and nonnegative.
+func New(dist, flow [][]float64) (*Instance, error) {
+	n := len(dist)
+	if n == 0 {
+		return nil, fmt.Errorf("qap: empty distance matrix")
+	}
+	if len(flow) != n {
+		return nil, fmt.Errorf("qap: flow is %dx?, distance %dx?", len(flow), n)
+	}
+	for name, m := range map[string][][]float64{"distance": dist, "flow": flow} {
+		for i, row := range m {
+			if len(row) != n {
+				return nil, fmt.Errorf("qap: %s row %d has %d entries, want %d", name, i, len(row), n)
+			}
+			for j, v := range row {
+				if v < 0 {
+					return nil, fmt.Errorf("qap: negative %s[%d][%d]", name, i, j)
+				}
+			}
+		}
+	}
+	return &Instance{N: n, Dist: dist, Flow: flow}, nil
+}
+
 // Random generates a random symmetric instance of size n with entries in
 // [1, 100), deterministic in seed.
 func Random(n int, seed uint64) *Instance {
@@ -71,6 +96,16 @@ func NewState(ins *Instance, seed uint64) *State {
 		perm[i] = int32(v)
 	}
 	return &State{ins: ins, perm: perm, cost: ins.Cost(perm)}
+}
+
+// NewStateAt creates a state positioned at the assignment snap,
+// validating it is a permutation of the instance's size.
+func NewStateAt(ins *Instance, snap []int32) (*State, error) {
+	s := &State{ins: ins, perm: make([]int32, ins.N)}
+	if err := s.Restore(snap); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 // Instance returns the underlying instance.

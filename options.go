@@ -1,0 +1,141 @@
+package pts
+
+import (
+	"pts/internal/cluster"
+	"pts/internal/core"
+)
+
+// Option configures one Solve call. Options apply in order over the
+// paper's default parameter set (the experiments' configuration); an
+// unset knob keeps its default.
+type Option func(*settings)
+
+// settings is the resolved configuration of one run.
+type settings struct {
+	cfg  core.Config
+	clus cluster.Cluster
+	mode core.Mode
+}
+
+// defaultSettings returns the zero-option configuration: the paper's
+// default search parameters on the loaded 12-machine testbed, executed
+// on the deterministic virtual runtime.
+func defaultSettings() settings {
+	return settings{
+		cfg:  core.DefaultConfig(),
+		clus: cluster.Testbed12(defaultTestbedSeed),
+		mode: core.Virtual,
+	}
+}
+
+// defaultTestbedSeed drives the default cluster's load traces — the
+// value the repository's walkthroughs use.
+const defaultTestbedSeed = 12
+
+// apply folds options over the defaults.
+func apply(opts []Option) settings {
+	s := defaultSettings()
+	for _, o := range opts {
+		if o != nil {
+			o(&s)
+		}
+	}
+	return s
+}
+
+// WithWorkers sets the two parallelization degrees: tsws tabu search
+// workers (multi-search threads), each driving clws candidate-list
+// workers (functional decomposition).
+func WithWorkers(tsws, clws int) Option {
+	return func(s *settings) {
+		s.cfg.TSWs = tsws
+		s.cfg.CLWs = clws
+	}
+}
+
+// WithIterations sets the iteration budget: global master
+// synchronization rounds times local tabu iterations per worker per
+// round.
+func WithIterations(global, local int) Option {
+	return func(s *settings) {
+		s.cfg.GlobalIters = global
+		s.cfg.LocalIters = local
+	}
+}
+
+// WithHalfSync toggles the heterogeneity adaptation: when on, parents
+// force stragglers to report as soon as half their children finished
+// (the paper's §4.2 collection scheme); when off, every child is
+// awaited (the homogeneous baseline).
+func WithHalfSync(on bool) Option {
+	return func(s *settings) { s.cfg.HalfSync = on }
+}
+
+// WithCluster selects the machines the run executes on.
+func WithCluster(c Cluster) Option {
+	return func(s *settings) { s.clus = c.c }
+}
+
+// WithSeed fixes the run seed: the initial solution and every worker's
+// sampling derive from it, so virtual-time runs are bit-reproducible.
+func WithSeed(seed uint64) Option {
+	return func(s *settings) { s.cfg.Seed = seed }
+}
+
+// WithVirtualTime runs on the deterministic discrete-event runtime:
+// compute and messages cost modeled time on the configured cluster, and
+// results are bit-identical across hosts and runs.
+func WithVirtualTime() Option {
+	return func(s *settings) { s.mode = core.Virtual }
+}
+
+// WithRealTime runs on plain goroutines with wall-clock timing — the
+// same algorithm code executing genuinely in parallel. The modeled
+// per-trial work charge does not apply (real compute is the cost), and
+// results are not deterministic.
+func WithRealTime() Option {
+	return func(s *settings) { s.mode = core.Real }
+}
+
+// WithProgress streams one Snapshot per completed global iteration to
+// fn, delivered by the master as soon as the round's reports are
+// collected. fn runs on the run's own thread of execution: keep it
+// fast, and do not call back into the solver from it. Cancelling the
+// run's context from fn is the supported way to stop early based on
+// observed progress.
+func WithProgress(fn func(Snapshot)) Option {
+	return func(s *settings) {
+		if fn == nil {
+			s.cfg.Progress = nil
+			return
+		}
+		s.cfg.Progress = func(cs core.Snapshot) { fn(newSnapshot(cs)) }
+	}
+}
+
+// WithTrace toggles recording of the best-cost-versus-time curve in
+// Result.Trace (on by default). Turn it off for long runs where the
+// per-improvement points are not needed; WithProgress covers the
+// per-round granularity either way.
+func WithTrace(on bool) Option {
+	return func(s *settings) { s.cfg.RecordTrace = on }
+}
+
+// WithTabu sets the core tabu search parameters: tenure (iterations an
+// attribute stays tabu), trials (candidate pairs per compound-move
+// step, the paper's m) and depth (maximum swaps per compound move, the
+// paper's d).
+func WithTabu(tenure, trials, depth int) Option {
+	return func(s *settings) {
+		s.cfg.Tenure = tenure
+		s.cfg.Trials = trials
+		s.cfg.Depth = depth
+	}
+}
+
+// WithDiversification sets the number of forced Kelly-style
+// diversification swaps each worker performs at every global iteration;
+// 0 disables diversification.
+func WithDiversification(depth int) Option {
+	return func(s *settings) { s.cfg.DiversifyDepth = depth }
+}
