@@ -8,6 +8,7 @@
 //	ptsbench -fig 11 -v          # one figure, with per-run progress
 //	ptsbench -scale 0.25         # quarter iteration budgets (quick look)
 //	ptsbench -circuits highway,c532 -out results
+//	ptsbench -hotpath            # trial-kernel microbench -> BENCH_hotpath.json
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"pts/internal/bench"
 )
@@ -32,8 +34,28 @@ func main() {
 		out         = flag.String("out", "results", "directory for CSV output")
 		timeout     = flag.Duration("timeout", 0, "abort the sweep after this long (0 = unbounded)")
 		verbose     = flag.Bool("v", false, "print one line per completed run")
+		hotpath     = flag.Bool("hotpath", false, "measure the trial-evaluation hot path and write BENCH_hotpath.json")
+		hotpathDur  = flag.Duration("hotpath-dur", time.Second, "measurement duration per hot-path kernel")
 	)
 	flag.Parse()
+
+	if *hotpath {
+		var subset []string
+		if *circuits != "" {
+			subset = strings.Split(*circuits, ",")
+		}
+		rep, err := bench.Hotpath(subset, *hotpathDur)
+		if err != nil {
+			fatal(err)
+		}
+		path, err := bench.WriteHotpath(rep, *out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.RenderHotpath(rep))
+		fmt.Printf("wrote %s\n", path)
+		return
+	}
 
 	// Ctrl-C (or -timeout) cancels the sweep at the next protocol
 	// boundary instead of leaving a half-written results directory.

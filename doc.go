@@ -41,7 +41,32 @@
 // of the paper's evaluation uses. WithRealTime executes the same
 // algorithm code on goroutines with wall-clock timing.
 //
+// # Evaluator complexity guarantees
+//
+// The search's throughput rests on the placement evaluator's trial
+// kernel, which maintains these bounds:
+//
+//   - A trial swap or relocation (cost deltas for wirelength, weighted
+//     delay and area together) is O(1) per affected net and performs no
+//     heap allocation. Each net's bounding box stores, per axis, the
+//     boundary coordinates plus their runner-up order statistics, so
+//     removing a boundary pin exposes the runner-up and adding a pin can
+//     only push a boundary outward — no pin rescan, ever, on the trial
+//     path.
+//   - Nets connecting both swapped cells are skipped outright (their pin
+//     multiset is unchanged), detected by a merge walk over the two
+//     cells' sorted CSR net lists.
+//   - The area objective (maximum row width) answers trial queries in
+//     O(1) from a top-two row-width cache.
+//   - Committing a move updates the total wirelength exactly in O(1) per
+//     net; a net's runner-up statistics are rebuilt by an O(degree) pin
+//     rescan only when the moved pin was at (or tied with) one of the
+//     four tracked statistics on some axis — amortized away by the
+//     Trials-per-commit ratio of the search. Row-width commits rescan
+//     rows only when a top-two row shrinks below the runner-up.
+//
 // The implementation lives under internal/; cmd/ holds the executables
 // and examples/ runnable walkthroughs. bench_test.go carries the
-// per-figure benchmark harness.
+// per-figure benchmark harness; cmd/ptsbench -hotpath measures the
+// trial kernel and writes results/BENCH_hotpath.json.
 package pts

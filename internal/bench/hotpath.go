@@ -1,0 +1,175 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"pts/internal/cost"
+	"pts/internal/netlist"
+	"pts/internal/placement"
+)
+
+// Hot-path microbenchmark driver: measures the trial-evaluation kernel
+// (the full evaluator SwapDelta a CLW runs per trial) and the commit
+// kernel (ApplySwap) on the paper's circuits, in-process and without the
+// testing package, so cmd/ptsbench -hotpath can emit machine-readable
+// numbers for the perf trajectory. The per-worker trial throughput is
+// what bounds the whole parallel search (Figs. 5–8): every CLW iteration
+// is Trials × SwapDelta plus one ApplySwap.
+
+// HotpathResult is the measurement for one circuit.
+type HotpathResult struct {
+	Circuit string `json:"circuit"`
+	Cells   int    `json:"cells"`
+	Nets    int    `json:"nets"`
+	Pins    int    `json:"pins"`
+
+	NsPerTrial     float64 `json:"ns_per_trial"`
+	TrialsPerSec   float64 `json:"trials_per_sec"`
+	AllocsPerTrial float64 `json:"allocs_per_trial"`
+	NsPerApply     float64 `json:"ns_per_apply"`
+}
+
+// HotpathReport is the BENCH_hotpath.json schema. Baseline carries the
+// numbers of an earlier kernel for before/after comparison; WriteHotpath
+// preserves any baseline already present in the output file, so
+// regenerating the report keeps the historical reference.
+type HotpathReport struct {
+	Note            string          `json:"note,omitempty"`
+	GoVersion       string          `json:"go_version"`
+	GeneratedAt     string          `json:"generated_at"`
+	BaselineComment string          `json:"baseline_comment,omitempty"`
+	Baseline        []HotpathResult `json:"baseline,omitempty"`
+	Results         []HotpathResult `json:"results"`
+}
+
+// measure runs fn in timed batches until targetDur is spent and returns
+// ns/op and allocs/op.
+func measure(targetDur time.Duration, fn func(i int)) (nsPerOp, allocsPerOp float64) {
+	const batch = 4096
+	var ms0, ms1 runtime.MemStats
+	// Warm-up batch (populates caches and scratch buffers).
+	for i := 0; i < batch; i++ {
+		fn(i)
+	}
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	ops := 0
+	// At least one timed batch, so a degenerate duration can never yield
+	// a zero-op (Inf/NaN) measurement.
+	for ops == 0 || time.Since(start) < targetDur {
+		for i := 0; i < batch; i++ {
+			fn(ops + i)
+		}
+		ops += batch
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	return float64(elapsed.Nanoseconds()) / float64(ops),
+		float64(ms1.Mallocs-ms0.Mallocs) / float64(ops)
+}
+
+// Hotpath measures the trial-evaluation and commit kernels on the named
+// circuits (default: the paper's four) for roughly dur per kernel.
+func Hotpath(circuits []string, dur time.Duration) (*HotpathReport, error) {
+	if len(circuits) == 0 {
+		circuits = netlist.BenchmarkNames()
+	}
+	if dur <= 0 {
+		dur = time.Second
+	}
+	rep := &HotpathReport{
+		Note:        "trial-evaluation hot path; regenerate with: ptsbench -hotpath",
+		GoVersion:   runtime.Version(),
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, name := range circuits {
+		nl, err := netlist.Benchmark(name)
+		if err != nil {
+			return nil, err
+		}
+		p, err := placement.New(nl, placement.AutoLayout(nl, 0.9))
+		if err != nil {
+			return nil, err
+		}
+		p.Randomize(rand.New(rand.NewSource(1)))
+		ev, err := cost.NewEvaluator(p, cost.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		pairs := netlist.BenchmarkPairs(1024, nl.NumCells())
+		st := nl.ComputeStats()
+
+		trialNs, trialAllocs := measure(dur, func(i int) {
+			pr := pairs[i&1023]
+			ev.SwapDelta(pr[0], pr[1])
+		})
+		applyNs, _ := measure(dur/4, func(i int) {
+			pr := pairs[i&1023]
+			ev.ApplySwap(pr[0], pr[1])
+		})
+		rep.Results = append(rep.Results, HotpathResult{
+			Circuit:        name,
+			Cells:          st.Cells,
+			Nets:           st.Nets,
+			Pins:           st.Pins,
+			NsPerTrial:     trialNs,
+			TrialsPerSec:   1e9 / trialNs,
+			AllocsPerTrial: trialAllocs,
+			NsPerApply:     applyNs,
+		})
+	}
+	return rep, nil
+}
+
+// WriteHotpath writes the report as <dir>/BENCH_hotpath.json. When the
+// file already exists, its baseline section (or, lacking one, its
+// previous results) is carried over as the new file's baseline so the
+// before/after comparison survives regeneration.
+func WriteHotpath(rep *HotpathReport, dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_hotpath.json")
+	if prev, err := os.ReadFile(path); err == nil {
+		var old HotpathReport
+		if json.Unmarshal(prev, &old) == nil {
+			rep.Baseline = old.Baseline
+			rep.BaselineComment = old.BaselineComment
+			if len(rep.Baseline) == 0 {
+				rep.Baseline = old.Results
+				rep.BaselineComment = fmt.Sprintf("previous results (%s, %s)", old.GeneratedAt, old.GoVersion)
+			}
+		}
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// RenderHotpath renders the report as an aligned text table, with
+// speedup columns when a baseline is present.
+func RenderHotpath(rep *HotpathReport) string {
+	base := make(map[string]HotpathResult, len(rep.Baseline))
+	for _, r := range rep.Baseline {
+		base[r.Circuit] = r
+	}
+	out := fmt.Sprintf("hot path (%s)\n%-10s %8s %10s %14s %12s %10s\n",
+		rep.GoVersion, "circuit", "cells", "ns/trial", "trials/sec", "allocs/trial", "ns/apply")
+	for _, r := range rep.Results {
+		out += fmt.Sprintf("%-10s %8d %10.1f %14.0f %12.2f %10.1f",
+			r.Circuit, r.Cells, r.NsPerTrial, r.TrialsPerSec, r.AllocsPerTrial, r.NsPerApply)
+		if b, ok := base[r.Circuit]; ok && r.NsPerTrial > 0 {
+			out += fmt.Sprintf("   (%.2fx trials/sec vs baseline)", b.NsPerTrial/r.NsPerTrial)
+		}
+		out += "\n"
+	}
+	return out
+}

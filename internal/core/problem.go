@@ -71,3 +71,19 @@ func refresh(st State) {
 		rf.Refresh()
 	}
 }
+
+// snapshotterInto is an optional State capability: write the snapshot
+// into a caller-owned buffer instead of allocating a fresh slice.
+type snapshotterInto interface {
+	SnapshotInto(dst []int32) []int32
+}
+
+// snapshotInto captures st's solution, reusing dst when the state
+// supports it; the TSW's incumbent tracking calls this on every
+// improvement, so the hot path stays allocation-free for such states.
+func snapshotInto(st State, dst []int32) []int32 {
+	if si, ok := st.(snapshotterInto); ok {
+		return si.SnapshotInto(dst)
+	}
+	return st.Snapshot()
+}

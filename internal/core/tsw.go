@@ -27,7 +27,7 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID) {
 	var stats WorkerStats
 
 	best := prob.Cost()
-	bestPerm := prob.Snapshot()
+	bestPerm := prob.Snapshot() // reused buffer; copied on report
 	staWork := workSTA(cfg, prob.Size())
 	var pending []improvement // incumbent improvements since the last report
 
@@ -52,7 +52,7 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID) {
 	noteBest := func() {
 		if c := prob.Cost(); c < best {
 			best = c
-			bestPerm = prob.Snapshot()
+			bestPerm = snapshotInto(prob, bestPerm)
 			pending = append(pending, improvement{Time: env.Now(), Cost: c})
 		}
 	}
@@ -71,6 +71,11 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID) {
 			env.Send(id, TagNewState, stateMsg{Perm: perm})
 		}
 	}
+
+	// Hot-loop scratch, reused across every local iteration so the
+	// selection path allocates only when a move is actually accepted.
+	collector := newCandCollector(clwIDs)
+	var moves []tabu.CompoundMove
 
 	acceptedSinceRefresh := 0
 	for {
@@ -109,12 +114,12 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID) {
 				for _, id := range clwIDs {
 					env.Send(id, TagSearch, nil)
 				}
-				cands := collectCandidates(env, clwIDs, cfg.HalfSync)
+				cands := collector.collect(env, cfg.HalfSync)
 				env.Work(float64(len(cands)) * cfg.WorkPerTrial) // selection cost
 
-				moves := make([]tabu.CompoundMove, len(cands))
-				for i, c := range cands {
-					moves[i] = c.Move
+				moves = moves[:0]
+				for _, c := range cands {
+					moves = append(moves, c.Move)
 				}
 				verdict := tabu.SelectAdmissible(moves, prob.Cost(), best, list, iter)
 				var chosen tabu.CompoundMove
@@ -122,8 +127,8 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID) {
 					chosen = moves[verdict.Index]
 					chosen.Apply(prob)
 					env.Work(float64(len(chosen.Swaps)) * cfg.WorkPerTrial)
-					for _, at := range chosen.Attributes() {
-						list.Add(at, iter+int64(tune.Tenure))
+					for _, s := range chosen.Swaps {
+						list.Add(s.Attribute(), iter+int64(tune.Tenure))
 					}
 					freq.BumpMove(&chosen)
 					stats.MovesAccepted++
@@ -148,10 +153,12 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID) {
 			}
 		}
 
-		// Report the best to the master (solution + tabu list, §4.1).
+		// Report the best to the master (solution + tabu list, §4.1). The
+		// permutation is copied because bestPerm is a reused buffer the
+		// next round keeps writing into.
 		env.Send(master, TagBest, bestMsg{
 			Cost:   best,
-			Perm:   bestPerm,
+			Perm:   append([]int32(nil), bestPerm...),
 			Tabu:   list.Export(iter),
 			Points: pending,
 			Forced: forcedByMaster,
@@ -184,33 +191,53 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID) {
 	}
 }
 
-// collectCandidates gathers one candidate per CLW. In half-sync mode it
-// waits for half of them, forces the rest with TagReportNow, then waits
-// for the remainder (they arrive promptly, truncated).
-func collectCandidates(env pvm.Env, clwIDs []pvm.TaskID, halfSync bool) []candMsg {
-	n := len(clwIDs)
-	out := make([]candMsg, 0, n)
-	reported := make(map[pvm.TaskID]bool, n)
+// candCollector gathers one candidate per CLW each local iteration. Its
+// buffers (the output slice and the reported set) are allocated once per
+// TSW and reused for every iteration of the run.
+type candCollector struct {
+	clwIDs   []pvm.TaskID
+	out      []candMsg
+	reported map[pvm.TaskID]bool
+}
+
+func newCandCollector(clwIDs []pvm.TaskID) *candCollector {
+	return &candCollector{
+		clwIDs:   clwIDs,
+		out:      make([]candMsg, 0, len(clwIDs)),
+		reported: make(map[pvm.TaskID]bool, len(clwIDs)),
+	}
+}
+
+// collect returns one candidate per CLW; the returned slice is valid
+// until the next collect. In half-sync mode it waits for half of them,
+// forces the rest with TagReportNow, then waits for the remainder (they
+// arrive promptly, truncated).
+func (cc *candCollector) collect(env pvm.Env, halfSync bool) []candMsg {
+	n := len(cc.clwIDs)
+	cc.out = cc.out[:0]
+	for id := range cc.reported {
+		delete(cc.reported, id)
+	}
 	take := func() {
 		m := env.Recv(TagCandidate)
-		reported[m.From] = true
-		out = append(out, m.Data.(candMsg))
+		cc.reported[m.From] = true
+		cc.out = append(cc.out, m.Data.(candMsg))
 	}
 	if halfSync && n > 1 {
 		half := (n + 1) / 2
-		for len(out) < half {
+		for len(cc.out) < half {
 			take()
 		}
-		for _, id := range clwIDs {
-			if !reported[id] {
+		for _, id := range cc.clwIDs {
+			if !cc.reported[id] {
 				env.Send(id, TagReportNow, nil)
 			}
 		}
 	}
-	for len(out) < n {
+	for len(cc.out) < n {
 		take()
 	}
-	return out
+	return cc.out
 }
 
 // diversify performs the Kelly-style diversification "within the TSW

@@ -193,18 +193,14 @@ func (e *Evaluator) CostOf(o Objectives) float64 {
 }
 
 // swapObjectives computes the objective vector that would result from
-// swapping cells a and b, in one pass over the affected nets.
+// swapping cells a and b, in one allocation-free pass over the affected
+// nets: the placement folds the plain and criticality-weighted HPWL
+// deltas together, and the area objective reads the top-two row cache.
 func (e *Evaluator) swapObjectives(a, b netlist.CellID) Objectives {
-	dWL, dDelay := 0.0, 0.0
-	wireK := e.t.Config().WireDelayPerUnit
-	e.p.VisitSwapDeltas(a, b, func(n netlist.NetID, oldLen, newLen float64) {
-		d := newLen - oldLen
-		dWL += d
-		dDelay += e.t.Criticality(n) * wireK * d
-	})
+	dWL, dCrit := e.p.SwapDeltaWeighted(a, b, e.t.Criticalities())
 	return Objectives{
 		Wirelength: e.cur.Wirelength + dWL,
-		Delay:      e.cur.Delay + dDelay,
+		Delay:      e.cur.Delay + e.t.Config().WireDelayPerUnit*dCrit,
 		Area:       float64(e.p.MaxRowWidthAfterSwap(a, b)),
 	}
 }
@@ -219,18 +215,13 @@ func (e *Evaluator) SwapDelta(a, b netlist.CellID) float64 {
 }
 
 // moveObjectives computes the objective vector that would result from
-// relocating cell c to the empty slot at `to`.
+// relocating cell c to the empty slot at `to`; the allocation-free
+// relocation counterpart of swapObjectives.
 func (e *Evaluator) moveObjectives(c netlist.CellID, to placement.Pos) Objectives {
-	dWL, dDelay := 0.0, 0.0
-	wireK := e.t.Config().WireDelayPerUnit
-	e.p.VisitMoveDeltas(c, to, func(n netlist.NetID, oldLen, newLen float64) {
-		d := newLen - oldLen
-		dWL += d
-		dDelay += e.t.Criticality(n) * wireK * d
-	})
+	dWL, dCrit := e.p.MoveDeltaWeighted(c, to, e.t.Criticalities())
 	return Objectives{
 		Wirelength: e.cur.Wirelength + dWL,
-		Delay:      e.cur.Delay + dDelay,
+		Delay:      e.cur.Delay + e.t.Config().WireDelayPerUnit*dCrit,
 		Area:       float64(e.p.MaxRowWidthAfterMove(c, to)),
 	}
 }
@@ -287,6 +278,10 @@ func (e *Evaluator) CriticalPath() float64 { return e.t.CriticalPath() }
 
 // ExportPerm returns the current solution as a slot permutation.
 func (e *Evaluator) ExportPerm() []int32 { return e.p.Export() }
+
+// ExportPermInto writes the current solution into dst (reusing its
+// storage when large enough) and returns it.
+func (e *Evaluator) ExportPermInto(dst []int32) []int32 { return e.p.ExportInto(dst) }
 
 // ImportPerm replaces the current solution and refreshes everything.
 func (e *Evaluator) ImportPerm(perm []int32) error {

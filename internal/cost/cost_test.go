@@ -231,22 +231,5 @@ func TestImprovingSwapsReduceCost(t *testing.T) {
 	}
 }
 
-func BenchmarkSwapDelta(b *testing.B) {
-	e := newEval(b, 1451, 1)
-	r := rng.New(2)
-	n := int(e.NumCells())
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		_ = e.SwapDelta(netlist.CellID(r.Intn(n)), netlist.CellID(r.Intn(n)))
-	}
-}
-
-func BenchmarkApplySwap(b *testing.B) {
-	e := newEval(b, 1451, 1)
-	r := rng.New(2)
-	n := int(e.NumCells())
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		e.ApplySwap(netlist.CellID(r.Intn(n)), netlist.CellID(r.Intn(n)))
-	}
-}
+// The hot-path benchmarks (BenchmarkSwapDelta, BenchmarkApplySwap) live
+// in bench_test.go and run on the paper's named circuits.

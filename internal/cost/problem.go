@@ -28,6 +28,10 @@ func (p Problem) ApplySwap(a, b int32) {
 // Snapshot captures the solution as a slot permutation.
 func (p Problem) Snapshot() []int32 { return p.Ev.ExportPerm() }
 
+// SnapshotInto captures the solution into dst, reusing its storage when
+// large enough; the allocation-free variant the parallel engine prefers.
+func (p Problem) SnapshotInto(dst []int32) []int32 { return p.Ev.ExportPermInto(dst) }
+
 // Restore replaces the solution with a prior snapshot and refreshes the
 // timing model.
 func (p Problem) Restore(snap []int32) error { return p.Ev.ImportPerm(snap) }

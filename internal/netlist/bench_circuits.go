@@ -2,6 +2,7 @@ package netlist
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 )
 
@@ -59,4 +60,23 @@ func MustBenchmark(name string) *Netlist {
 // generating it, or 0 if the name is unknown.
 func BenchmarkCells(name string) int {
 	return benchSpecs[name].Cells
+}
+
+// BenchmarkPairs returns n deterministic pseudo-random pairs of distinct
+// cells from a circuit of the given size — the shared trial workload of
+// the hot-path microbenchmarks (the go-test benches in
+// internal/placement and internal/cost and the ptsbench -hotpath
+// driver), so they all measure the identical kernel.
+func BenchmarkPairs(n, cells int) [][2]CellID {
+	r := rand.New(rand.NewSource(2))
+	pairs := make([][2]CellID, n)
+	for i := range pairs {
+		a := CellID(r.Intn(cells))
+		b := CellID(r.Intn(cells))
+		for b == a {
+			b = CellID(r.Intn(cells))
+		}
+		pairs[i] = [2]CellID{a, b}
+	}
+	return pairs
 }

@@ -71,17 +71,30 @@ func (n *Net) Degree() int { return 1 + len(n.Sinks) }
 
 // Netlist is an immutable circuit description plus derived indexes.
 // Build the indexes with Finish before using the accessor methods.
+//
+// The adjacency indexes are stored in CSR (compressed sparse row) form:
+// one contiguous flat array per relation plus an offsets array, so that
+// the placement evaluator's per-trial walks over a cell's nets and a
+// net's pins touch consecutive memory instead of chasing per-cell slice
+// headers. Accessors return subslices of the flat arrays.
 type Netlist struct {
 	Name  string
 	Cells []Cell
 	Nets  []Net
 
-	// Derived indexes (built by Finish).
-	cellNets [][]NetID // all nets touching a cell (as driver or sink)
-	drives   [][]NetID // nets driven by a cell
-	sinksOf  [][]NetID // nets for which the cell is a sink
-	order    []CellID  // topological order, inputs first
-	level    []int32   // topological level per cell
+	// Derived CSR indexes (built by Finish). For each relation, off has
+	// len+1 entries and row i is flat[off[i]:off[i+1]].
+	cellNetsFlat []NetID // all nets touching a cell (as driver or sink)
+	cellNetsOff  []int32
+	drivesFlat   []NetID // nets driven by a cell
+	drivesOff    []int32
+	sinksOfFlat  []NetID // nets for which the cell is a sink
+	sinksOfOff   []int32
+	pinsFlat     []CellID // per net: driver first, then sinks
+	pinsOff      []int32
+
+	order    []CellID // topological order, inputs first
+	level    []int32  // topological level per cell
 	maxLevel int32
 }
 
@@ -91,15 +104,31 @@ func (nl *Netlist) NumCells() int { return len(nl.Cells) }
 // NumNets returns the number of nets.
 func (nl *Netlist) NumNets() int { return len(nl.Nets) }
 
-// CellNets returns the IDs of all nets touching cell c. The returned
-// slice is shared; callers must not modify it.
-func (nl *Netlist) CellNets(c CellID) []NetID { return nl.cellNets[c] }
+// CellNets returns the IDs of all nets touching cell c, sorted by
+// ascending net id — the placement engine's swap evaluator relies on
+// the ordering to merge-detect nets shared by two cells. The returned
+// slice is a view into the shared CSR index; callers must not modify it.
+func (nl *Netlist) CellNets(c CellID) []NetID {
+	return nl.cellNetsFlat[nl.cellNetsOff[c]:nl.cellNetsOff[c+1]]
+}
 
 // Drives returns the nets driven by cell c.
-func (nl *Netlist) Drives(c CellID) []NetID { return nl.drives[c] }
+func (nl *Netlist) Drives(c CellID) []NetID {
+	return nl.drivesFlat[nl.drivesOff[c]:nl.drivesOff[c+1]]
+}
 
 // SinkNets returns the nets that feed cell c (c is a sink).
-func (nl *Netlist) SinkNets(c CellID) []NetID { return nl.sinksOf[c] }
+func (nl *Netlist) SinkNets(c CellID) []NetID {
+	return nl.sinksOfFlat[nl.sinksOfOff[c]:nl.sinksOfOff[c+1]]
+}
+
+// Pins returns every terminal of net n — the driver first, then the
+// sinks — as a view into the shared CSR index; callers must not modify
+// it. The placement engine's box rescans iterate this instead of the
+// Driver field plus the Sinks slice so one net is one contiguous read.
+func (nl *Netlist) Pins(n NetID) []CellID {
+	return nl.pinsFlat[nl.pinsOff[n]:nl.pinsOff[n+1]]
+}
 
 // TopoOrder returns the cells in topological order (primary inputs
 // first). Valid only if the netlist is acyclic.
@@ -137,20 +166,21 @@ func (nl *Netlist) Finish() error {
 			return fmt.Errorf("netlist %q: cell %d (%s) has negative delay", nl.Name, i, c.Name)
 		}
 	}
-	nl.cellNets = make([][]NetID, n)
-	nl.drives = make([][]NetID, n)
-	nl.sinksOf = make([][]NetID, n)
+	// Validation pass, counting each relation's row sizes.
+	totalPins := 0
+	cellNetsCnt := make([]int32, n)
+	drivesCnt := make([]int32, n)
+	sinksOfCnt := make([]int32, n)
 	for i := range nl.Nets {
 		net := &nl.Nets[i]
-		id := NetID(i)
 		if net.Driver < 0 || int(net.Driver) >= n {
 			return fmt.Errorf("netlist %q: net %d (%s) has invalid driver %d", nl.Name, i, net.Name, net.Driver)
 		}
 		if len(net.Sinks) == 0 {
 			return fmt.Errorf("netlist %q: net %d (%s) has no sinks", nl.Name, i, net.Name)
 		}
-		nl.drives[net.Driver] = append(nl.drives[net.Driver], id)
-		nl.cellNets[net.Driver] = append(nl.cellNets[net.Driver], id)
+		drivesCnt[net.Driver]++
+		cellNetsCnt[net.Driver]++
 		seen := map[CellID]bool{net.Driver: true}
 		for _, s := range net.Sinks {
 			if s < 0 || int(s) >= n {
@@ -160,9 +190,48 @@ func (nl *Netlist) Finish() error {
 				return fmt.Errorf("netlist %q: net %d (%s) lists cell %d twice", nl.Name, i, net.Name, s)
 			}
 			seen[s] = true
-			nl.sinksOf[s] = append(nl.sinksOf[s], id)
-			nl.cellNets[s] = append(nl.cellNets[s], id)
+			sinksOfCnt[s]++
+			cellNetsCnt[s]++
 		}
+		totalPins += net.Degree()
+	}
+
+	// CSR offsets from the counts, then the fill pass. Row order matches
+	// the historical per-cell append order (nets in ascending id).
+	offsets := func(cnt []int32) []int32 {
+		off := make([]int32, len(cnt)+1)
+		for i, c := range cnt {
+			off[i+1] = off[i] + c
+		}
+		return off
+	}
+	nl.cellNetsOff = offsets(cellNetsCnt)
+	nl.drivesOff = offsets(drivesCnt)
+	nl.sinksOfOff = offsets(sinksOfCnt)
+	nl.cellNetsFlat = make([]NetID, nl.cellNetsOff[n])
+	nl.drivesFlat = make([]NetID, nl.drivesOff[n])
+	nl.sinksOfFlat = make([]NetID, nl.sinksOfOff[n])
+	nl.pinsOff = make([]int32, len(nl.Nets)+1)
+	nl.pinsFlat = make([]CellID, 0, totalPins)
+	cellNetsCur := append([]int32(nil), nl.cellNetsOff[:n]...)
+	drivesCur := append([]int32(nil), nl.drivesOff[:n]...)
+	sinksOfCur := append([]int32(nil), nl.sinksOfOff[:n]...)
+	for i := range nl.Nets {
+		net := &nl.Nets[i]
+		id := NetID(i)
+		nl.drivesFlat[drivesCur[net.Driver]] = id
+		drivesCur[net.Driver]++
+		nl.cellNetsFlat[cellNetsCur[net.Driver]] = id
+		cellNetsCur[net.Driver]++
+		nl.pinsFlat = append(nl.pinsFlat, net.Driver)
+		for _, s := range net.Sinks {
+			nl.sinksOfFlat[sinksOfCur[s]] = id
+			sinksOfCur[s]++
+			nl.cellNetsFlat[cellNetsCur[s]] = id
+			cellNetsCur[s]++
+			nl.pinsFlat = append(nl.pinsFlat, s)
+		}
+		nl.pinsOff[i+1] = int32(len(nl.pinsFlat))
 	}
 	return nl.levelize()
 }
@@ -173,7 +242,7 @@ func (nl *Netlist) levelize() error {
 	n := len(nl.Cells)
 	indeg := make([]int32, n)
 	for c := 0; c < n; c++ {
-		indeg[c] = int32(len(nl.sinksOf[c]))
+		indeg[c] = int32(len(nl.SinkNets(CellID(c))))
 	}
 	nl.order = make([]CellID, 0, n)
 	nl.level = make([]int32, n)
@@ -188,7 +257,7 @@ func (nl *Netlist) levelize() error {
 		c := queue[0]
 		queue = queue[1:]
 		nl.order = append(nl.order, c)
-		for _, netID := range nl.drives[c] {
+		for _, netID := range nl.Drives(c) {
 			net := &nl.Nets[netID]
 			for _, s := range net.Sinks {
 				if lv := nl.level[c] + 1; lv > nl.level[s] {
@@ -256,7 +325,7 @@ func (nl *Netlist) ComputeStats() Stats {
 			continue
 		}
 		gateCells++
-		fi := len(nl.sinksOf[c])
+		fi := len(nl.SinkNets(CellID(c)))
 		faninSum += fi
 		if fi > s.MaxFanin {
 			s.MaxFanin = fi

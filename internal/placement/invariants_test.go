@@ -1,0 +1,198 @@
+package placement
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pts/internal/netlist"
+)
+
+// This file is the drift catcher for the incremental engine: long random
+// swap+move sequences, after each of which every maintained quantity —
+// net boxes with their runner-up statistics, total HPWL, row widths, and
+// the top-two row cache — must exactly match a from-scratch recompute,
+// and every trial function must match its brute-force
+// clone-apply-recompute oracle.
+
+// checkConsistency compares all of p's maintained state against a
+// from-scratch recompute.
+func checkConsistency(p *Placement) error {
+	hpwl := 0.0
+	for n := range p.boxes {
+		ref := p.scanBox(netlist.NetID(n))
+		if p.boxes[n] != ref {
+			return fmt.Errorf("net %d box drifted: have %+v want %+v", n, p.boxes[n], ref)
+		}
+		hpwl += ref.length()
+	}
+	if math.Abs(hpwl-p.hpwl) > 1e-6*(1+math.Abs(hpwl)) {
+		return fmt.Errorf("hpwl drifted: have %v want %v", p.hpwl, hpwl)
+	}
+	widths := make([]int, p.L.Rows)
+	for c := 0; c < p.nl.NumCells(); c++ {
+		widths[p.pos[c].Row] += p.nl.Cells[c].Width
+	}
+	for r, w := range widths {
+		if p.rowWidth[r] != w {
+			return fmt.Errorf("row %d width drifted: have %d want %d", r, p.rowWidth[r], w)
+		}
+	}
+	// Top-two invariants. The cached rows may differ from a fresh rescan
+	// on ties, so check the defining properties, not the identities.
+	max1 := 0
+	for _, w := range widths {
+		if w > max1 {
+			max1 = w
+		}
+	}
+	if p.top1W != max1 || widths[p.top1Row] != p.top1W {
+		return fmt.Errorf("top1 drifted: have (w=%d,row=%d) want max %d", p.top1W, p.top1Row, max1)
+	}
+	if p.L.Rows > 1 {
+		max2 := -1
+		for r, w := range widths {
+			if int32(r) != p.top1Row && w > max2 {
+				max2 = w
+			}
+		}
+		if p.top2Row == p.top1Row || p.top2W != max2 || widths[p.top2Row] != p.top2W {
+			return fmt.Errorf("top2 drifted: have (w=%d,row=%d) want runner-up %d (top1 row %d)",
+				p.top2W, p.top2Row, max2, p.top1Row)
+		}
+	}
+	return nil
+}
+
+// randomPair returns two distinct random cells.
+func randomPair(r *rand.Rand, cells int) (netlist.CellID, netlist.CellID) {
+	a := netlist.CellID(r.Intn(cells))
+	b := netlist.CellID(r.Intn(cells))
+	for b == a {
+		b = netlist.CellID(r.Intn(cells))
+	}
+	return a, b
+}
+
+func TestIncrementalMatchesRecomputeUnderRandomOps(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		util float64
+	}{
+		{"full-grid", 1.0},   // swaps only (no empty slots)
+		{"spare-slots", 0.8}, // swaps + relocations
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			nl := testNetlist(t, 120, 7)
+			p, err := New(nl, AutoLayout(nl, tc.util))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rand.New(rand.NewSource(11))
+			p.Randomize(r)
+			cells := nl.NumCells()
+			for step := 0; step < 4000; step++ {
+				if tc.util < 1 && r.Intn(3) == 0 {
+					c := netlist.CellID(r.Intn(cells))
+					slot := p.RandomEmptySlot(r)
+					if slot < 0 {
+						t.Fatal("no empty slot on a spare layout")
+					}
+					to := p.L.SlotPos(slot)
+					// Oracle the trial functions before committing.
+					wantD, err := p.HPWLDeltaMove(c, to)
+					if err != nil {
+						t.Fatal(err)
+					}
+					wantArea := p.MaxRowWidthAfterMove(c, to)
+					before := p.HPWL()
+					if err := p.MoveToSlot(c, to); err != nil {
+						t.Fatal(err)
+					}
+					if got := p.HPWL() - before; math.Abs(got-wantD) > 1e-6 {
+						t.Fatalf("step %d: HPWLDeltaMove predicted %v, commit yielded %v", step, wantD, got)
+					}
+					if p.MaxRowWidth() != wantArea {
+						t.Fatalf("step %d: MaxRowWidthAfterMove predicted %d, commit yielded %d",
+							step, wantArea, p.MaxRowWidth())
+					}
+				} else {
+					a, b := randomPair(r, cells)
+					wantD := p.HPWLDeltaSwap(a, b)
+					wantArea := p.MaxRowWidthAfterSwap(a, b)
+					before := p.HPWL()
+					p.SwapCells(a, b)
+					if got := p.HPWL() - before; math.Abs(got-wantD) > 1e-6 {
+						t.Fatalf("step %d: HPWLDeltaSwap predicted %v, commit yielded %v", step, wantD, got)
+					}
+					if p.MaxRowWidth() != wantArea {
+						t.Fatalf("step %d: MaxRowWidthAfterSwap predicted %d, commit yielded %d",
+							step, wantArea, p.MaxRowWidth())
+					}
+				}
+				// Full-state audit periodically plus the final step; every
+				// step would make the test quadratic in sequence length.
+				if step%97 == 0 || step == 3999 {
+					if err := checkConsistency(p); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSwapDeltaWeightedMatchesVisit(t *testing.T) {
+	nl := testNetlist(t, 90, 3)
+	p, err := New(nl, AutoLayout(nl, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	p.Randomize(r)
+	w := make([]float64, nl.NumNets())
+	for n := range w {
+		w[n] = r.Float64()
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := randomPair(r, nl.NumCells())
+		wantLen, wantW := 0.0, 0.0
+		p.VisitSwapDeltas(a, b, func(n netlist.NetID, oldLen, newLen float64) {
+			wantLen += newLen - oldLen
+			wantW += w[n] * (newLen - oldLen)
+		})
+		gotLen, gotW := p.SwapDeltaWeighted(a, b, w)
+		if math.Abs(gotLen-wantLen) > 1e-9 || math.Abs(gotW-wantW) > 1e-9 {
+			t.Fatalf("trial %d: SwapDeltaWeighted = (%v,%v), visit oracle = (%v,%v)",
+				trial, gotLen, gotW, wantLen, wantW)
+		}
+		p.SwapCells(a, b)
+	}
+}
+
+// TestTrialEvaluationAllocFree asserts the zero-allocation contract of
+// the trial kernel; the CI bench-smoke job runs it with -benchmem to
+// catch regressions by numbers too.
+func TestTrialEvaluationAllocFree(t *testing.T) {
+	nl := netlist.MustBenchmark("c532")
+	p, err := New(nl, AutoLayout(nl, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Randomize(rand.New(rand.NewSource(1)))
+	w := make([]float64, nl.NumNets())
+	a, b := netlist.CellID(3), netlist.CellID(251)
+	p.SwapCells(a, b) // warm the rescan scratch buffer to steady-state capacity
+	p.SwapCells(a, b)
+	for name, fn := range map[string]func(){
+		"SwapDeltaWeighted":    func() { p.SwapDeltaWeighted(a, b, w) },
+		"HPWLDeltaSwap":        func() { p.HPWLDeltaSwap(a, b) },
+		"MaxRowWidthAfterSwap": func() { p.MaxRowWidthAfterSwap(a, b) },
+		"SwapCells":            func() { p.SwapCells(a, b) },
+	} {
+		if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f per op, want 0", name, allocs)
+		}
+	}
+}

@@ -40,24 +40,34 @@ func (p *Placement) RandomEmptySlot(r *rand.Rand) int {
 	}
 }
 
+// MoveDeltaWeighted returns the total HPWL change and the w-weighted
+// HPWL change if cell c relocated to `to`, without modifying the
+// placement and without allocating. Pass w == nil to skip the weighted
+// sum. O(1) per net of c (see netBox.trialDelta).
+func (p *Placement) MoveDeltaWeighted(c netlist.CellID, to Pos, w []float64) (dLen, dWeighted float64) {
+	from := p.pos[c]
+	if from == to {
+		return 0, 0
+	}
+	var di int32
+	for _, n := range p.nl.CellNets(c) {
+		if d := p.boxes[n].trialDelta(from, to); d != 0 {
+			di += d
+			if w != nil {
+				dWeighted += w[n] * float64(d)
+			}
+		}
+	}
+	return float64(di), dWeighted
+}
+
 // HPWLDeltaMove returns the total HPWL change if cell c moved to the
 // empty slot at `to`, without modifying the placement.
 func (p *Placement) HPWLDeltaMove(c netlist.CellID, to Pos) (float64, error) {
 	if p.CellAt(to) != netlist.None {
 		return 0, fmt.Errorf("placement: slot %v is occupied", to)
 	}
-	d := 0.0
-	p.stampGen++
-	gen := p.stampGen
-	for _, n := range p.nl.CellNets(c) {
-		if p.netStamp[n] == gen {
-			continue
-		}
-		p.netStamp[n] = gen
-		oldLen := p.boxes[n].length()
-		newLen := p.computeBox(n, c, netlist.None, to, Pos{}).length()
-		d += newLen - oldLen
-	}
+	d, _ := p.MoveDeltaWeighted(c, to, nil)
 	return d, nil
 }
 
@@ -65,45 +75,37 @@ func (p *Placement) HPWLDeltaMove(c netlist.CellID, to Pos) (float64, error) {
 // cell c moved to the (empty) slot at `to`, with old and new
 // half-perimeters; the relocation counterpart of VisitSwapDeltas.
 func (p *Placement) VisitMoveDeltas(c netlist.CellID, to Pos, fn func(n netlist.NetID, oldLen, newLen float64)) {
-	if p.pos[c] == to {
+	from := p.pos[c]
+	if from == to {
 		return
 	}
-	p.stampGen++
-	gen := p.stampGen
 	for _, n := range p.nl.CellNets(c) {
-		if p.netStamp[n] == gen {
-			continue
-		}
-		p.netStamp[n] = gen
-		oldLen := p.boxes[n].length()
-		newLen := p.computeBox(n, c, netlist.None, to, Pos{}).length()
-		if oldLen != newLen {
-			fn(n, oldLen, newLen)
+		if d := p.boxes[n].trialDelta(from, to); d != 0 {
+			old := p.boxes[n].length()
+			fn(n, old, old+float64(d))
 		}
 	}
 }
 
 // MaxRowWidthAfterMove returns the area objective's value if cell c
-// moved to slot `to`, without modifying the placement.
+// moved to slot `to`, without modifying the placement. O(1) via the
+// top-two row cache.
 func (p *Placement) MaxRowWidthAfterMove(c netlist.CellID, to Pos) int {
 	from := p.pos[c]
 	if from.Row == to.Row {
-		return p.maxRowW
+		return p.top1W
 	}
 	w := p.nl.Cells[c].Width
-	max := 0
-	for r, rw := range p.rowWidth {
-		switch int32(r) {
-		case from.Row:
-			rw -= w
-		case to.Row:
-			rw += w
-		}
-		if rw > max {
-			max = rw
-		}
+	na := p.rowWidth[from.Row] - w
+	nb := p.rowWidth[to.Row] + w
+	m := p.topExcluding(from.Row, to.Row)
+	if na > m {
+		m = na
 	}
-	return max
+	if nb > m {
+		m = nb
+	}
+	return m
 }
 
 // MoveToSlot relocates cell c into an empty slot, updating all
@@ -116,26 +118,18 @@ func (p *Placement) MoveToSlot(c netlist.CellID, to Pos) error {
 	if from == to {
 		return nil
 	}
-	p.stampGen++
-	gen := p.stampGen
 	for _, n := range p.nl.CellNets(c) {
-		if p.netStamp[n] == gen {
-			continue
-		}
-		p.netStamp[n] = gen
-		nb := p.computeBox(n, c, netlist.None, to, Pos{})
-		p.hpwl += nb.length() - p.boxes[n].length()
-		p.boxes[n] = nb
+		p.commitPinMove(n, from, to)
 	}
 	if from.Row != to.Row {
 		w := p.nl.Cells[c].Width
-		p.rowWidth[from.Row] -= w
-		p.rowWidth[to.Row] += w
-		p.refreshMaxRow()
+		p.updateRowWidth(from.Row, -w)
+		p.updateRowWidth(to.Row, w)
 	}
 	p.pos[c] = to
 	p.slot[p.L.SlotIndex(from)] = netlist.None
 	p.slot[p.L.SlotIndex(to)] = c
+	p.flushRescans()
 	return nil
 }
 

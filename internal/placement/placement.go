@@ -2,44 +2,96 @@ package placement
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 
 	"pts/internal/netlist"
 )
 
-// bbox is a net's bounding box over its terminals' slot coordinates.
-type bbox struct {
-	minX, maxX, minY, maxY int32
+// netBox is a net's bounding box over its terminals' slot coordinates,
+// augmented per axis with the runner-up order statistics: minX2 is the
+// second-smallest pin column (equal to minX when several pins share the
+// boundary — the boundary-multiplicity encoding), maxX2 the second
+// largest, and likewise for rows. The runner-ups make every single-pin
+// trial move O(1) with no fallback: removing the pin at a boundary
+// exposes the runner-up as the new extreme, removing any other pin
+// leaves the boundary alone, and the added pin can only push a boundary
+// outward — the classic HPWL bookkeeping of timing-driven placers.
+// Nets always have ≥ 2 pins (netlist.Finish enforces a driver plus at
+// least one sink), so both statistics exist.
+type netBox struct {
+	minX, minX2, maxX2, maxX int32
+	minY, minY2, maxY2, maxY int32
 }
 
 // length returns the half-perimeter of the box.
-func (b bbox) length() float64 {
+func (b *netBox) length() float64 {
 	return float64(b.maxX-b.minX) + float64(b.maxY-b.minY)
+}
+
+// axisExtent returns one axis' extent after removing a pin at `from`
+// and adding one at `to`, given the (m1 ≤ m2 … M2 ≤ M1) order
+// statistics: the runner-up takes over when the boundary pin leaves,
+// and the new pin can only push a boundary outward. Small enough to
+// inline, and every conditional compiles to a CMOV.
+func axisExtent(m1, m2, M2, M1, from, to int32) int32 {
+	lo, hi := m1, M1
+	if from == lo {
+		lo = m2
+	}
+	if from == hi {
+		hi = M2
+	}
+	if to < lo {
+		lo = to
+	}
+	if to > hi {
+		hi = to
+	}
+	return hi - lo
+}
+
+// trialDelta returns the integer change of the net's half-perimeter if
+// one pin relocated from `from` to `to`, in O(1) with no pin access.
+func (b *netBox) trialDelta(from, to Pos) int32 {
+	return axisExtent(b.minX, b.minX2, b.maxX2, b.maxX, from.Col, to.Col) - (b.maxX - b.minX) +
+		axisExtent(b.minY, b.minY2, b.maxY2, b.maxY, from.Row, to.Row) - (b.maxY - b.minY)
 }
 
 // Placement assigns every cell of a netlist to a distinct slot of a
 // layout and maintains, incrementally and exactly:
 //
-//   - each net's bounding box and the total HPWL,
-//   - each row's occupied width (sum of cell widths).
+//   - each net's bounding box (with runner-up boundary statistics) and
+//     the total HPWL,
+//   - each row's occupied width plus the top-two widest rows.
 //
-// Placement is not safe for concurrent use; parallel workers clone it.
+// Trial evaluation (SwapDeltaWeighted, MaxRowWidthAfterSwap and their
+// move counterparts) is O(1) amortized per affected net and allocates
+// nothing. Placement is not safe for concurrent use; parallel workers
+// clone it.
 type Placement struct {
 	nl *netlist.Netlist
 	L  Layout
 
 	pos   []Pos            // cell -> slot position
 	slot  []netlist.CellID // linear slot index -> cell (None if empty)
-	boxes []bbox           // per-net bounding boxes
+	boxes []netBox         // per-net counted bounding boxes
 	hpwl  float64          // total half-perimeter wirelength
 
 	rowWidth []int // per-row sum of cell widths
-	maxRowW  int   // cached max of rowWidth
 
-	// Scratch for deduplicating affected nets during delta evaluation.
-	netStamp []uint32
-	stampGen uint32
+	// Top-two row tracking: the widest and second-widest rows (distinct
+	// rows; ties broken by first occurrence). top2Row is -1 on
+	// single-row layouts. This answers MaxRowWidthAfterSwap/AfterMove in
+	// O(1) — see topExcluding for why two entries suffice.
+	top1W, top2W     int
+	top1Row, top2Row int32
+
+	// Scratch: rescan queues nets whose box needs a full recompute after
+	// a commit, importSeen backs Import validation.
+	rescan     []netlist.NetID
+	importSeen []bool
 }
 
 // New creates a placement with cells assigned to slots in index order
@@ -56,9 +108,8 @@ func New(nl *netlist.Netlist, l Layout) (*Placement, error) {
 		L:        l,
 		pos:      make([]Pos, nl.NumCells()),
 		slot:     make([]netlist.CellID, l.Slots()),
-		boxes:    make([]bbox, nl.NumNets()),
+		boxes:    make([]netBox, nl.NumNets()),
 		rowWidth: make([]int, l.Rows),
-		netStamp: make([]uint32, nl.NumNets()),
 	}
 	for i := range p.slot {
 		p.slot[i] = netlist.None
@@ -96,17 +147,17 @@ func (p *Placement) HPWL() float64 { return p.hpwl }
 func (p *Placement) NetHPWL(n netlist.NetID) float64 { return p.boxes[n].length() }
 
 // MaxRowWidth returns the width of the widest row, the area objective.
-func (p *Placement) MaxRowWidth() int { return p.maxRowW }
+func (p *Placement) MaxRowWidth() int { return p.top1W }
 
 // RowWidth returns the occupied width of one row.
 func (p *Placement) RowWidth(row int) int { return p.rowWidth[row] }
 
-// recomputeAll rebuilds every net box, the total HPWL, and the row
-// widths from scratch. O(pins + rows).
+// recomputeAll rebuilds every net box, the total HPWL, the row widths
+// and the top-two cache from scratch. O(pins + rows).
 func (p *Placement) recomputeAll() {
 	p.hpwl = 0
 	for n := 0; n < p.nl.NumNets(); n++ {
-		p.boxes[n] = p.computeBox(netlist.NetID(n), netlist.None, netlist.None, Pos{}, Pos{})
+		p.boxes[n] = p.scanBox(netlist.NetID(n))
 		p.hpwl += p.boxes[n].length()
 	}
 	for r := range p.rowWidth {
@@ -115,113 +166,289 @@ func (p *Placement) recomputeAll() {
 	for c := 0; c < p.nl.NumCells(); c++ {
 		p.rowWidth[p.pos[c].Row] += p.nl.Cells[c].Width
 	}
-	p.maxRowW = 0
-	for _, w := range p.rowWidth {
-		if w > p.maxRowW {
-			p.maxRowW = w
-		}
-	}
+	p.refreshTopRows()
 }
 
-// computeBox computes a net's bounding box, pretending that cells ca and
-// cb (when not None) sit at pa and pb respectively. Passing None for both
-// computes the current box.
-func (p *Placement) computeBox(n netlist.NetID, ca, cb netlist.CellID, pa, pb Pos) bbox {
-	net := &p.nl.Nets[n]
-	at := func(c netlist.CellID) Pos {
-		switch c {
-		case ca:
-			return pa
-		case cb:
-			return pb
-		default:
-			return p.pos[c]
-		}
+// scanBox computes net n's bounding box with runner-up statistics from
+// the current positions by scanning its pins. O(degree); recomputeAll
+// and the commit fallback use it. The running two-smallest/two-largest
+// updates are phrased as min/max pairs so they compile to conditional
+// moves instead of data-dependent branches.
+func (p *Placement) scanBox(n netlist.NetID) netBox {
+	pins := p.nl.Pins(n)
+	q := p.pos[pins[0]]
+	b := netBox{
+		minX: q.Col, minX2: math.MaxInt32, maxX2: math.MinInt32, maxX: q.Col,
+		minY: q.Row, minY2: math.MaxInt32, maxY2: math.MinInt32, maxY: q.Row,
 	}
-	first := at(net.Driver)
-	b := bbox{minX: first.Col, maxX: first.Col, minY: first.Row, maxY: first.Row}
-	for _, s := range net.Sinks {
-		q := at(s)
-		if q.Col < b.minX {
-			b.minX = q.Col
-		}
-		if q.Col > b.maxX {
-			b.maxX = q.Col
-		}
-		if q.Row < b.minY {
-			b.minY = q.Row
-		}
-		if q.Row > b.maxY {
-			b.maxY = q.Row
-		}
+	for _, c := range pins[1:] {
+		q := p.pos[c]
+		b.minX2 = min(b.minX2, max(b.minX, q.Col))
+		b.minX = min(b.minX, q.Col)
+		b.maxX2 = max(b.maxX2, min(b.maxX, q.Col))
+		b.maxX = max(b.maxX, q.Col)
+		b.minY2 = min(b.minY2, max(b.minY, q.Row))
+		b.minY = min(b.minY, q.Row)
+		b.maxY2 = max(b.maxY2, min(b.maxY, q.Row))
+		b.maxY = max(b.maxY, q.Row)
 	}
 	return b
 }
 
+// SwapDeltaWeighted returns the total HPWL change and the w-weighted
+// HPWL change (sum of w[n] × net delta) if cells a and b exchanged
+// positions, without modifying the placement and without allocating.
+// Pass w == nil to skip the weighted sum. O(1) per affected net, no
+// rescans. Shared nets — those on which both cells sit — are detected
+// by a merge walk over the two sorted CSR net lists and skipped
+// outright: exchanging two of a net's pins leaves its pin multiset, and
+// hence its box, unchanged.
+func (p *Placement) SwapDeltaWeighted(a, b netlist.CellID, w []float64) (dLen, dWeighted float64) {
+	pa, pb := p.pos[a], p.pos[b]
+	if pa == pb {
+		return 0, 0
+	}
+	an, bn := p.nl.CellNets(a), p.nl.CellNets(b)
+	var di int32
+	i, j := 0, 0
+	for i < len(an) && j < len(bn) {
+		switch na, nb := an[i], bn[j]; {
+		case na == nb: // shared net: box unchanged
+			i++
+			j++
+		case na < nb:
+			if d := p.boxes[na].trialDelta(pa, pb); d != 0 {
+				di += d
+				if w != nil {
+					dWeighted += w[na] * float64(d)
+				}
+			}
+			i++
+		default:
+			if d := p.boxes[nb].trialDelta(pb, pa); d != 0 {
+				di += d
+				if w != nil {
+					dWeighted += w[nb] * float64(d)
+				}
+			}
+			j++
+		}
+	}
+	for ; i < len(an); i++ {
+		if d := p.boxes[an[i]].trialDelta(pa, pb); d != 0 {
+			di += d
+			if w != nil {
+				dWeighted += w[an[i]] * float64(d)
+			}
+		}
+	}
+	for ; j < len(bn); j++ {
+		if d := p.boxes[bn[j]].trialDelta(pb, pa); d != 0 {
+			di += d
+			if w != nil {
+				dWeighted += w[bn[j]] * float64(d)
+			}
+		}
+	}
+	return float64(di), dWeighted
+}
+
 // VisitSwapDeltas calls fn once for every net whose bounding box changes
 // when cells a and b exchange positions, passing the net and its old and
-// new half-perimeter lengths. It does not modify the placement. The cost
-// evaluator uses this single pass to derive both the wirelength delta and
-// the criticality-weighted timing delta of a trial swap.
+// new half-perimeter lengths. It does not modify the placement. Prefer
+// SwapDeltaWeighted in hot paths: it computes both objective deltas in
+// the same pass with no callback.
 func (p *Placement) VisitSwapDeltas(a, b netlist.CellID, fn func(n netlist.NetID, oldLen, newLen float64)) {
 	pa, pb := p.pos[a], p.pos[b]
 	if pa == pb {
 		return
 	}
-	p.stampGen++
-	gen := p.stampGen
-	visit := func(nets []netlist.NetID) {
-		for _, n := range nets {
-			if p.netStamp[n] == gen {
-				continue
-			}
-			p.netStamp[n] = gen
-			oldLen := p.boxes[n].length()
-			newLen := p.computeBox(n, a, b, pb, pa).length()
-			if oldLen != newLen {
-				fn(n, oldLen, newLen)
-			}
+	visit := func(n netlist.NetID, from, to Pos) {
+		if d := p.boxes[n].trialDelta(from, to); d != 0 {
+			old := p.boxes[n].length()
+			fn(n, old, old+float64(d))
 		}
 	}
-	visit(p.nl.CellNets(a))
-	visit(p.nl.CellNets(b))
+	an, bn := p.nl.CellNets(a), p.nl.CellNets(b)
+	i, j := 0, 0
+	for i < len(an) && j < len(bn) {
+		switch na, nb := an[i], bn[j]; {
+		case na == nb: // shared net: box unchanged
+			i++
+			j++
+		case na < nb:
+			visit(na, pa, pb)
+			i++
+		default:
+			visit(nb, pb, pa)
+			j++
+		}
+	}
+	for ; i < len(an); i++ {
+		visit(an[i], pa, pb)
+	}
+	for ; j < len(bn); j++ {
+		visit(bn[j], pb, pa)
+	}
 }
 
 // HPWLDeltaSwap returns the total HPWL change if cells a and b exchanged
 // positions, without modifying the placement.
 func (p *Placement) HPWLDeltaSwap(a, b netlist.CellID) float64 {
-	d := 0.0
-	p.VisitSwapDeltas(a, b, func(_ netlist.NetID, oldLen, newLen float64) {
-		d += newLen - oldLen
-	})
+	d, _ := p.SwapDeltaWeighted(a, b, nil)
 	return d
 }
 
+// topExcluding returns the widest row outside {ra, rb}, rows whose
+// width a trial is about to change. When both top-two rows are the
+// changed rows themselves, 0 is returned; that is safe for every caller
+// because the changed rows then dominate: a swap preserves their summed
+// width, so max(new widths) ≥ (top1+top2)/2 ≥ top2 ≥ any third row, and
+// a move's gaining row starts at ≥ top2 and only grows.
+func (p *Placement) topExcluding(ra, rb int32) int {
+	if p.top1Row != ra && p.top1Row != rb {
+		return p.top1W
+	}
+	if p.top2Row >= 0 && p.top2Row != ra && p.top2Row != rb {
+		return p.top2W
+	}
+	return 0
+}
+
 // MaxRowWidthAfterSwap returns the area objective's value if cells a and
-// b exchanged positions, without modifying the placement. O(rows) when
-// the swap crosses rows, O(1) otherwise.
+// b exchanged positions, without modifying the placement. O(1) via the
+// top-two row cache.
 func (p *Placement) MaxRowWidthAfterSwap(a, b netlist.CellID) int {
 	ra, rb := p.pos[a].Row, p.pos[b].Row
 	if ra == rb {
-		return p.maxRowW
+		return p.top1W
 	}
 	wa, wb := p.nl.Cells[a].Width, p.nl.Cells[b].Width
 	if wa == wb {
-		return p.maxRowW
+		return p.top1W
 	}
-	max := 0
+	na := p.rowWidth[ra] + wb - wa
+	nb := p.rowWidth[rb] + wa - wb
+	m := p.topExcluding(ra, rb)
+	if na > m {
+		m = na
+	}
+	if nb > m {
+		m = nb
+	}
+	return m
+}
+
+// updateRowWidth applies a width delta to one row and maintains the
+// top-two cache, falling back to an O(rows) rescan only when a top row
+// shrinks below the known runner-up.
+func (p *Placement) updateRowWidth(row int32, delta int) {
+	w := p.rowWidth[row] + delta
+	p.rowWidth[row] = w
+	switch {
+	case row == p.top1Row:
+		if w >= p.top2W {
+			p.top1W = w
+		} else {
+			p.refreshTopRows()
+		}
+	case row == p.top2Row:
+		switch {
+		case w > p.top1W:
+			p.top2W, p.top2Row = p.top1W, p.top1Row
+			p.top1W, p.top1Row = w, row
+		case delta > 0:
+			p.top2W = w
+		default:
+			p.refreshTopRows()
+		}
+	case w > p.top1W:
+		p.top2W, p.top2Row = p.top1W, p.top1Row
+		p.top1W, p.top1Row = w, row
+	case w > p.top2W:
+		p.top2W, p.top2Row = w, row
+	}
+}
+
+// refreshTopRows rebuilds the top-two row cache from scratch. O(rows).
+func (p *Placement) refreshTopRows() {
+	t1w, t2w := -1, -1
+	t1r, t2r := int32(-1), int32(-1)
 	for r, w := range p.rowWidth {
-		switch int32(r) {
-		case ra:
-			w += wb - wa
-		case rb:
-			w += wa - wb
-		}
-		if w > max {
-			max = w
+		if w > t1w {
+			t2w, t2r = t1w, t1r
+			t1w, t1r = w, int32(r)
+		} else if w > t2w {
+			t2w, t2r = w, int32(r)
 		}
 	}
-	return max
+	p.top1W, p.top1Row = t1w, t1r
+	p.top2W, p.top2Row = t2w, t2r
+}
+
+// commitPinMove updates net n's box for the committed single-pin move
+// from→to. The HPWL delta is always exact and O(1) via trialDelta; the
+// box statistics update in place when the moved pin sits strictly
+// between the runner-up statistics, and otherwise the net is queued on
+// p.rescan for a stats rebuild after the caller updates the position
+// arrays. Trials never rescan (see netBox.trialDelta); this amortized
+// fallback runs only on the rare committed moves.
+func (p *Placement) commitPinMove(n netlist.NetID, from, to Pos) {
+	b := &p.boxes[n]
+	p.hpwl += float64(b.trialDelta(from, to))
+	if len(p.nl.Pins(n)) <= 3 {
+		// Every pin of a 2- or 3-pin net is one of the four tracked
+		// statistics on each axis, so the O(1) update can never apply.
+		p.rescan = append(p.rescan, n)
+		return
+	}
+	loX, loX2, hiX2, hiX, okX := commitAxis(b.minX, b.minX2, b.maxX2, b.maxX, from.Col, to.Col)
+	if okX {
+		loY, loY2, hiY2, hiY, okY := commitAxis(b.minY, b.minY2, b.maxY2, b.maxY, from.Row, to.Row)
+		if okY {
+			*b = netBox{
+				minX: loX, minX2: loX2, maxX2: hiX2, maxX: hiX,
+				minY: loY, minY2: loY2, maxY2: hiY2, maxY: hiY,
+			}
+			return
+		}
+	}
+	p.rescan = append(p.rescan, n)
+}
+
+// commitAxis resolves one axis of a committed single-pin move against
+// the (m1 ≤ m2 … M2 ≤ M1) order statistics. Removing a pin that sits at
+// one of the four tracked statistics would expose an untracked third
+// statistic, so ok=false demands a rescan; otherwise the removal leaves
+// the statistics alone and the addition updates them exactly.
+func commitAxis(m1, m2, M2, M1, from, to int32) (int32, int32, int32, int32, bool) {
+	if from == to {
+		return m1, m2, M2, M1, true
+	}
+	if from <= m2 || from >= M2 {
+		return 0, 0, 0, 0, false
+	}
+	if to <= m1 {
+		m2, m1 = m1, to
+	} else if to < m2 {
+		m2 = to
+	}
+	if to >= M1 {
+		M2, M1 = M1, to
+	} else if to > M2 {
+		M2 = to
+	}
+	return m1, m2, M2, M1, true
+}
+
+// flushRescans rebuilds the queued nets' box statistics from the (now
+// current) positions; the HPWL was already adjusted exactly at commit
+// time.
+func (p *Placement) flushRescans() {
+	for _, n := range p.rescan {
+		p.boxes[n] = p.scanBox(n)
+	}
+	p.rescan = p.rescan[:0]
 }
 
 // SwapCells exchanges the positions of two cells and updates all
@@ -233,47 +460,44 @@ func (p *Placement) SwapCells(a, b netlist.CellID) {
 	}
 	pa, pb := p.pos[a], p.pos[b]
 
-	// Net boxes and total HPWL.
-	p.stampGen++
-	gen := p.stampGen
-	update := func(nets []netlist.NetID) {
-		for _, n := range nets {
-			if p.netStamp[n] == gen {
-				continue
-			}
-			p.netStamp[n] = gen
-			nb := p.computeBox(n, a, b, pb, pa)
-			p.hpwl += nb.length() - p.boxes[n].length()
-			p.boxes[n] = nb
+	// Net boxes and total HPWL; nets carrying both cells keep their box
+	// (merge walk over the sorted CSR net lists, as in SwapDeltaWeighted).
+	an, bn := p.nl.CellNets(a), p.nl.CellNets(b)
+	i, j := 0, 0
+	for i < len(an) && j < len(bn) {
+		switch na, nb := an[i], bn[j]; {
+		case na == nb:
+			i++
+			j++
+		case na < nb:
+			p.commitPinMove(na, pa, pb)
+			i++
+		default:
+			p.commitPinMove(nb, pb, pa)
+			j++
 		}
 	}
-	update(p.nl.CellNets(a))
-	update(p.nl.CellNets(b))
+	for ; i < len(an); i++ {
+		p.commitPinMove(an[i], pa, pb)
+	}
+	for ; j < len(bn); j++ {
+		p.commitPinMove(bn[j], pb, pa)
+	}
 
-	// Row widths.
+	// Row widths and the top-two cache.
 	if pa.Row != pb.Row {
 		wa, wb := p.nl.Cells[a].Width, p.nl.Cells[b].Width
 		if wa != wb {
-			p.rowWidth[pa.Row] += wb - wa
-			p.rowWidth[pb.Row] += wa - wb
-			p.refreshMaxRow()
+			p.updateRowWidth(pa.Row, wb-wa)
+			p.updateRowWidth(pb.Row, wa-wb)
 		}
 	}
 
-	// Positions last (computeBox consults p.pos for unrelated cells).
+	// Positions, then deferred box rescans against the new positions.
 	p.pos[a], p.pos[b] = pb, pa
 	p.slot[p.L.SlotIndex(pa)] = b
 	p.slot[p.L.SlotIndex(pb)] = a
-}
-
-func (p *Placement) refreshMaxRow() {
-	max := 0
-	for _, w := range p.rowWidth {
-		if w > max {
-			max = w
-		}
-	}
-	p.maxRowW = max
+	p.flushRescans()
 }
 
 // Randomize shuffles all cells across all slots using r.
@@ -295,11 +519,22 @@ func (p *Placement) Randomize(r *rand.Rand) {
 // slot index of cell c. The result is independent of p's internals and
 // safe to send between workers.
 func (p *Placement) Export() []int32 {
-	out := make([]int32, p.nl.NumCells())
-	for c := range out {
-		out[c] = int32(p.L.SlotIndex(p.pos[c]))
+	return p.ExportInto(nil)
+}
+
+// ExportInto writes the permutation into dst (reallocating only when it
+// is too small) and returns it; the allocation-free variant of Export
+// for callers that reuse a buffer across reports.
+func (p *Placement) ExportInto(dst []int32) []int32 {
+	n := p.nl.NumCells()
+	if cap(dst) < n {
+		dst = make([]int32, n)
 	}
-	return out
+	dst = dst[:n]
+	for c := range dst {
+		dst[c] = int32(p.L.SlotIndex(p.pos[c]))
+	}
+	return dst
 }
 
 // Import replaces the assignment with the given exported permutation and
@@ -309,7 +544,13 @@ func (p *Placement) Import(perm []int32) error {
 	if len(perm) != p.nl.NumCells() {
 		return fmt.Errorf("placement: import length %d != %d cells", len(perm), p.nl.NumCells())
 	}
-	seen := make([]bool, p.L.Slots())
+	if p.importSeen == nil {
+		p.importSeen = make([]bool, p.L.Slots())
+	}
+	seen := p.importSeen
+	for i := range seen {
+		seen[i] = false
+	}
 	for c, s := range perm {
 		if s < 0 || int(s) >= p.L.Slots() {
 			return fmt.Errorf("placement: import: cell %d slot %d out of range", c, s)
@@ -338,11 +579,13 @@ func (p *Placement) Clone() *Placement {
 		L:        p.L,
 		pos:      append([]Pos(nil), p.pos...),
 		slot:     append([]netlist.CellID(nil), p.slot...),
-		boxes:    append([]bbox(nil), p.boxes...),
+		boxes:    append([]netBox(nil), p.boxes...),
 		hpwl:     p.hpwl,
 		rowWidth: append([]int(nil), p.rowWidth...),
-		maxRowW:  p.maxRowW,
-		netStamp: make([]uint32, p.nl.NumNets()),
+		top1W:    p.top1W,
+		top2W:    p.top2W,
+		top1Row:  p.top1Row,
+		top2Row:  p.top2Row,
 	}
 	return q
 }
@@ -353,7 +596,7 @@ func (p *Placement) Clone() *Placement {
 func (p *Placement) ASCII(maxCols int) string {
 	if p.L.Cols > maxCols {
 		return fmt.Sprintf("[%dx%d layout, hpwl=%.0f, maxRowWidth=%d]",
-			p.L.Rows, p.L.Cols, p.hpwl, p.maxRowW)
+			p.L.Rows, p.L.Cols, p.hpwl, p.top1W)
 	}
 	var sb strings.Builder
 	for r := 0; r < p.L.Rows; r++ {

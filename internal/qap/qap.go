@@ -151,6 +151,18 @@ func (s *State) ApplySwap(a, b int32) {
 // Snapshot copies the current assignment.
 func (s *State) Snapshot() []int32 { return append([]int32(nil), s.perm...) }
 
+// SnapshotInto copies the current assignment into dst, reusing its
+// storage when large enough; the allocation-free variant the parallel
+// engine prefers.
+func (s *State) SnapshotInto(dst []int32) []int32 {
+	if cap(dst) < len(s.perm) {
+		dst = make([]int32, len(s.perm))
+	}
+	dst = dst[:len(s.perm)]
+	copy(dst, s.perm)
+	return dst
+}
+
 // Restore replaces the assignment with a snapshot and recomputes the
 // cost exactly.
 func (s *State) Restore(snap []int32) error {

@@ -81,6 +81,11 @@ func BuildCompound(prob Problem, r *rand.Rand, p CompoundParams, step func() boo
 			continue
 		}
 		prob.ApplySwap(bestA, bestB)
+		if move.Swaps == nil {
+			// One right-sized allocation per candidate: the move is sent
+			// across workers, so it must own its memory.
+			move.Swaps = make([]Swap, 0, p.Depth)
+		}
 		move.Swaps = append(move.Swaps, Swap{A: bestA, B: bestB})
 		move.Delta += bestDelta
 		interrupted := step != nil && step()
@@ -116,7 +121,10 @@ type Verdict struct {
 // If everything is tabu, fall back to the candidate whose tabu tenure
 // expires soonest.
 func SelectAdmissible(cands []CompoundMove, curCost, bestCost float64, list *List, iter int64) Verdict {
-	order := make([]int, 0, len(cands))
+	// Stack-backed order buffer: candidate counts are tiny (#CLWs), so
+	// the whole selection allocates nothing in the common case.
+	var orderBuf [16]int
+	order := orderBuf[:0]
 	for i := range cands {
 		if !cands[i].Empty() {
 			order = append(order, i)
@@ -125,7 +133,7 @@ func SelectAdmissible(cands []CompoundMove, curCost, bestCost float64, list *Lis
 	if len(order) == 0 {
 		return Verdict{Index: -1}
 	}
-	// Insertion sort by delta: candidate counts are tiny (#CLWs).
+	// Insertion sort by delta.
 	for i := 1; i < len(order); i++ {
 		for j := i; j > 0 && cands[order[j]].Delta < cands[order[j-1]].Delta; j-- {
 			order[j], order[j-1] = order[j-1], order[j]
@@ -133,8 +141,7 @@ func SelectAdmissible(cands []CompoundMove, curCost, bestCost float64, list *Lis
 	}
 	v := Verdict{Index: -1}
 	for _, i := range order {
-		attrs := cands[i].Attributes()
-		if !list.AnyTabu(attrs, iter) {
+		if !list.AnyTabuSwaps(cands[i].Swaps, iter) {
 			v.Index = i
 			return v
 		}
@@ -148,7 +155,7 @@ func SelectAdmissible(cands []CompoundMove, curCost, bestCost float64, list *Lis
 	// Everything tabu and unaspired: least-tabu fallback.
 	bestIdx, bestTenure := -1, int64(0)
 	for _, i := range order {
-		t := list.RemainingTenure(cands[i].Attributes(), iter)
+		t := list.RemainingTenureSwaps(cands[i].Swaps, iter)
 		if bestIdx == -1 || t < bestTenure ||
 			(t == bestTenure && cands[i].Delta < cands[bestIdx].Delta) {
 			bestIdx, bestTenure = i, t

@@ -58,6 +58,17 @@ func (l *List) AnyTabu(attrs []Attribute, iter int64) bool {
 	return false
 }
 
+// AnyTabuSwaps is AnyTabu over a swap sequence, deriving each attribute
+// in place so the per-iteration selection path allocates nothing.
+func (l *List) AnyTabuSwaps(swaps []Swap, iter int64) bool {
+	for _, s := range swaps {
+		if l.IsTabu(s.Attribute(), iter) {
+			return true
+		}
+	}
+	return false
+}
+
 // RemainingTenure returns the number of iterations (at iter) until every
 // attribute in attrs expires; 0 when nothing is tabu. Used as the
 // least-tabu fallback ordering when no candidate is admissible.
@@ -65,6 +76,20 @@ func (l *List) RemainingTenure(attrs []Attribute, iter int64) int64 {
 	var max int64
 	for _, at := range attrs {
 		if e, ok := l.expiry[at]; ok && e > iter {
+			if r := e - iter; r > max {
+				max = r
+			}
+		}
+	}
+	return max
+}
+
+// RemainingTenureSwaps is RemainingTenure over a swap sequence, deriving
+// each attribute in place.
+func (l *List) RemainingTenureSwaps(swaps []Swap, iter int64) int64 {
+	var max int64
+	for _, s := range swaps {
+		if e, ok := l.expiry[s.Attribute()]; ok && e > iter {
 			if r := e - iter; r > max {
 				max = r
 			}

@@ -196,13 +196,10 @@ func (a *Analyzer) WeightedWireDelay(p *placement.Placement) float64 {
 }
 
 // WeightedDeltaSwap returns the change of WeightedWireDelay if cells x
-// and y exchanged positions, without modifying anything. One pass over
-// the affected nets, shared with the wirelength delta via
-// placement.VisitSwapDeltas.
+// and y exchanged positions, without modifying anything. One
+// allocation-free pass over the affected nets via
+// placement.SwapDeltaWeighted.
 func (a *Analyzer) WeightedDeltaSwap(p *placement.Placement, x, y netlist.CellID) float64 {
-	d := 0.0
-	p.VisitSwapDeltas(x, y, func(n netlist.NetID, oldLen, newLen float64) {
-		d += a.crit[n] * a.cfg.WireDelayPerUnit * (newLen - oldLen)
-	})
-	return d
+	_, dCrit := p.SwapDeltaWeighted(x, y, a.crit)
+	return a.cfg.WireDelayPerUnit * dCrit
 }
