@@ -11,6 +11,12 @@
 //	pts -qap 64                                # quadratic assignment instead
 //	pts -circuit c3540 -timeout 2s -progress   # bounded, streamed run
 //
+// Distributed mode runs the same protocol across OS processes over TCP
+// (every process must be given the same problem inputs):
+//
+//	pts -circuit c532 -serve :9017 -net-workers 3   # master: wait for 3 workers, then run
+//	pts -circuit c532 -worker host:9017 -speed 0.55 # worker daemon: join and host tasks
+//
 // The run is context-bound: -timeout and Ctrl-C both cancel it, and the
 // best solution found so far is printed.
 package main
@@ -49,6 +55,16 @@ func main() {
 		path     = flag.Bool("path", false, "print the critical path of the best placement")
 		jsonOut  = flag.String("json", "", "write the full result as JSON to this file ('-' = stdout)")
 		svgOut   = flag.String("svg", "", "write a congestion heat map of the best placement to this SVG file")
+
+		// Distributed mode (real TCP processes instead of goroutines).
+		serveAddr  = flag.String("serve", "", "master mode: listen on this address and run distributed (implies -mode real)")
+		netWorkers = flag.Int("net-workers", 1, "master mode: worker processes to wait for before starting")
+		workerAddr = flag.String("worker", "", "worker mode: join the master at this address and host tasks")
+		nodeName   = flag.String("node-name", "", "worker mode: cluster-unique node name (default hostname:pid)")
+		speed      = flag.Float64("speed", 1.0, "worker mode: declared relative speed factor of this node")
+		capacity   = flag.Int("capacity", 1, "worker mode: machine slots this node contributes")
+		jobs       = flag.Int("jobs", 1, "worker mode: jobs to serve before exiting (0 = until Ctrl-C)")
+		workScale  = flag.Float64("workscale", 0, "real/master mode: emulate machine speed by sleeping this many wall seconds per modeled second of work (workers receive the scale from the master's job)")
 	)
 	flag.Parse()
 
@@ -84,6 +100,11 @@ func main() {
 		fmt.Printf("circuit %s: %s\n", placed.Name(), placed.Describe())
 	}
 
+	if *workerAddr != "" {
+		runWorker(ctx, problem, *workerAddr, *nodeName, *speed, *capacity, *jobs)
+		return
+	}
+
 	opts := []pts.Option{
 		pts.WithWorkers(*tsws, *clws),
 		pts.WithIterations(*gIters, *lIters),
@@ -92,6 +113,14 @@ func main() {
 		pts.WithHalfSync(*het),
 		pts.WithSeed(*seed),
 		pts.WithCluster(pts.Testbed12(*loadSeed)),
+		pts.WithWorkScale(*workScale),
+	}
+	if *serveAddr != "" {
+		if *mode == "virtual" {
+			*mode = "real" // a distributed run is a real-time run
+		}
+		opts = append(opts, pts.WithListen(*serveAddr, *netWorkers))
+		fmt.Printf("serving on %s, waiting for %d worker(s)\n", *serveAddr, *netWorkers)
 	}
 	switch *mode {
 	case "virtual":
@@ -157,6 +186,31 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *svgOut)
+	}
+}
+
+// runWorker runs the worker daemon: join the master, host this node's
+// share of the search for each job, and print each job's outcome.
+func runWorker(ctx context.Context, problem pts.Problem, addr, name string, speed float64, capacity, jobs int) {
+	node := pts.NodeOptions{
+		Name:     name,
+		Speed:    speed,
+		Capacity: capacity,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	fmt.Printf("worker joining %s (speed %.2f, capacity %d)\n", addr, speed, capacity)
+	err := pts.Worker(ctx, problem, addr, node, jobs, func(res *pts.Result) {
+		state := "completed"
+		if res.Interrupted {
+			state = "interrupted"
+		}
+		fmt.Printf("job %s: best cost %.4f (%.1f%% better) after %d rounds in %.3fs\n",
+			state, res.BestCost, 100*res.Improvement(), res.Rounds, res.Elapsed)
+	})
+	if err != nil && ctx.Err() == nil {
+		fatal(err)
 	}
 }
 

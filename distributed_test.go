@@ -1,0 +1,156 @@
+package pts
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// distOpts is the shared search configuration of the cross-transport
+// equality tests. Half-sync stays off: with full collection the search
+// outcome depends only on the seed-derived random streams (which every
+// transport derives from the task spawn paths), not on message timing —
+// so the TCP run must reproduce the in-process run exactly.
+func distOpts() []Option {
+	return []Option{
+		WithWorkers(3, 2),
+		WithIterations(4, 10),
+		WithTabu(10, 6, 3),
+		WithSeed(7),
+		WithHalfSync(false),
+	}
+}
+
+// TestDistributedMatchesInProcess is the acceptance gate of the TCP
+// transport: a fixed-seed run over loopback TCP — one master plus three
+// worker processes with distinct speed factors — returns the same best
+// cost (and permutation) as the single-process real-mode run.
+func TestDistributedMatchesInProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed loopback run")
+	}
+	ctx := context.Background()
+	newProblem := func() Problem { return RandomQAP(26, 11) }
+
+	single, err := Solve(ctx, newProblem(), append(distOpts(), WithRealTime())...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	master, err := ListenMaster("127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+
+	// Three workers with the paper's three speed classes; each builds
+	// the problem from the same inputs, as separate processes would.
+	speeds := []float64{1.0, 0.55, 0.3}
+	var wg sync.WaitGroup
+	workerRes := make([]*Result, len(speeds))
+	workerErr := make([]error, len(speeds))
+	for i, sp := range speeds {
+		wg.Add(1)
+		go func(i int, sp float64) {
+			defer wg.Done()
+			workerRes[i], workerErr[i] = Solve(ctx, newProblem(),
+				WithJoin(master.Addr()),
+				WithNode(fmt.Sprintf("node%d", i), sp, 1),
+			)
+		}(i, sp)
+	}
+
+	dist, err := Solve(ctx, newProblem(), append(distOpts(), WithTransport(master.Transport()))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if dist.BestCost != single.BestCost {
+		t.Errorf("best cost differs: TCP %.9f, in-process %.9f", dist.BestCost, single.BestCost)
+	}
+	if !reflect.DeepEqual(dist.Best, single.Best) {
+		t.Error("best permutation differs between TCP and in-process runs")
+	}
+	if dist.Tasks != single.Tasks || dist.Messages != single.Messages {
+		t.Errorf("runtime counters differ: TCP %d tasks/%d msgs, in-process %d/%d",
+			dist.Tasks, dist.Messages, single.Tasks, single.Messages)
+	}
+	for i, wr := range workerRes {
+		if workerErr[i] != nil {
+			t.Errorf("worker %d: %v", i, workerErr[i])
+			continue
+		}
+		if wr.BestCost != dist.BestCost || wr.Rounds != dist.Rounds {
+			t.Errorf("worker %d saw best %.9f after %d rounds, master %.9f after %d",
+				i, wr.BestCost, wr.Rounds, dist.BestCost, dist.Rounds)
+		}
+		if !reflect.DeepEqual(wr.Best, dist.Best) {
+			t.Errorf("worker %d's best permutation differs from the master's", i)
+		}
+	}
+}
+
+// TestDistributedWithListenSugar covers the WithListen form and a
+// worker daemon (Worker) serving the job.
+func TestDistributedWithListenSugar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed loopback run")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	newProblem := func() Problem { return RandomQAP(20, 3) }
+
+	// The master's port must be known before Solve binds it, so pick one
+	// by probing (WithListen is the CLI's path, where the operator picks
+	// the port).
+	probe, err := ListenMaster("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr()
+	probe.Close()
+
+	workerDone := make(chan error, 1)
+	var workerSaw *Result
+	go func() {
+		workerDone <- Worker(ctx, newProblem(), addr,
+			NodeOptions{Name: "daemon0", Speed: 0.5, Capacity: 2}, 1,
+			func(r *Result) { workerSaw = r })
+	}()
+
+	res, err := Solve(ctx, newProblem(), append(distOpts(), WithListen(addr, 1))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-workerDone; err != nil {
+		t.Fatalf("worker daemon: %v", err)
+	}
+	if workerSaw == nil || workerSaw.BestCost != res.BestCost {
+		t.Errorf("daemon result %+v does not match master best %.9f", workerSaw, res.BestCost)
+	}
+	if res.BestCost >= res.InitialCost {
+		t.Error("no improvement over the initial solution")
+	}
+}
+
+// TestDistributedOptionValidation pins the configuration errors.
+func TestDistributedOptionValidation(t *testing.T) {
+	ctx := context.Background()
+	q := RandomQAP(8, 1)
+	if _, err := Solve(ctx, q, WithListen("127.0.0.1:0", 1), WithVirtualTime()); err == nil {
+		t.Error("WithListen + WithVirtualTime accepted")
+	}
+	if _, err := Solve(ctx, q, WithJoin("127.0.0.1:1"), WithListen("127.0.0.1:0", 1)); err == nil {
+		t.Error("WithJoin + WithListen accepted")
+	}
+	if _, err := Solve(ctx, q, WithListen("127.0.0.1:0", 0)); err == nil {
+		t.Error("WithListen with zero workers accepted")
+	}
+	if _, err := Solve(ctx, q, WithJoin("127.0.0.1:1"), WithVirtualTime()); err == nil {
+		t.Error("WithJoin + WithVirtualTime accepted")
+	}
+}

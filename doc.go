@@ -41,6 +41,21 @@
 // of the paper's evaluation uses. WithRealTime executes the same
 // algorithm code on goroutines with wall-clock timing.
 //
+// # Distributed mode
+//
+// Real-time runs can leave the process: WithListen makes a Solve the
+// master of a distributed run over TCP, and worker processes join it
+// with WithJoin (one job) or Worker (a daemon), each declaring a
+// relative speed factor and slot capacity in the master's registry —
+// the heterogeneity the paper's PVM testbed had in hardware. Every
+// process builds the same Problem from the same inputs; only protocol
+// messages cross the wire, and with half-sync off a fixed-seed
+// distributed run returns exactly the single-process result.
+//
+// Virtual mode stays single-process by design: it is the deterministic
+// reference the distributed and goroutine transports are checked
+// against, not a mode they replace.
+//
 // # Evaluator complexity guarantees
 //
 // The search's throughput rests on the placement evaluator's trial

@@ -4,17 +4,41 @@
 // runtime on a cluster with mixed machine speeds and background load.
 //
 //	go run ./examples/heterogeneous
+//
+// After the simulated comparison, the example leaves the single address
+// space: it re-launches itself as three worker processes of mixed
+// declared speeds (the paper's fast/medium/slow classes) and runs the
+// same search distributed over loopback TCP, master plus workers.
+// Skip that half with -distributed=false.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/exec"
 
 	"pts"
 )
 
 func main() {
+	distributed := flag.Bool("distributed", true, "follow up with the multi-process TCP run")
+	workerOf := flag.String("as-worker-of", "", "internal: run as a worker process joining this master")
+	workerSpeed := flag.Float64("worker-speed", 1.0, "internal: declared speed of the worker process")
+	flag.Parse()
+	if *workerOf != "" {
+		runAsWorker(*workerOf, *workerSpeed)
+		return
+	}
+	virtualComparison()
+	if *distributed {
+		distributedRun()
+	}
+}
+
+func virtualComparison() {
 	p, err := pts.PlacementBenchmark("c532")
 	if err != nil {
 		log.Fatal(err)
@@ -63,5 +87,82 @@ func main() {
 	for i := 0; i < n; i++ {
 		hp, op := het.Trace[i], hom.Trace[i]
 		fmt.Printf("%-8d %8.3fs -> %-8.4f %8.3fs -> %-8.4f\n", i, hp.Time, hp.Cost, op.Time, op.Cost)
+	}
+}
+
+// exampleProblem is the circuit every process of the distributed run
+// builds locally — SPMD style, only protocol messages cross the wire.
+func exampleProblem() pts.Problem {
+	p, err := pts.PlacementBenchmark("c532")
+	if err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+// distributedRun leaves the simulation: one master (this process) plus
+// three re-executed worker processes with the paper's speed classes,
+// exchanging the same TSW/CLW protocol over loopback TCP.
+func distributedRun() {
+	fmt.Println("\n--- distributed: the same search across real processes ---")
+	exe, err := os.Executable()
+	if err != nil {
+		log.Fatalf("cannot re-exec for worker processes: %v", err)
+	}
+
+	master, err := pts.ListenMaster("127.0.0.1:0", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer master.Close()
+	fmt.Printf("master listening on %s\n", master.Addr())
+
+	speeds := []float64{1.0, 0.55, 0.3} // one node per paper speed class
+	var workers []*exec.Cmd
+	for i, sp := range speeds {
+		cmd := exec.Command(exe,
+			"-as-worker-of", master.Addr(),
+			"-worker-speed", fmt.Sprint(sp))
+		cmd.Stdout = os.Stdout
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			log.Fatalf("worker %d: %v", i, err)
+		}
+		fmt.Printf("launched worker pid %d (speed %.2f)\n", cmd.Process.Pid, sp)
+		workers = append(workers, cmd)
+	}
+
+	res, err := pts.Solve(context.Background(), exampleProblem(),
+		pts.WithWorkers(4, 2),
+		pts.WithIterations(6, 30),
+		pts.WithSeed(3),
+		pts.WithTransport(master.Transport()),
+		// A touch of speed emulation so the declared factors matter: fast
+		// nodes really do answer sooner, and half-sync forces the slow one.
+		pts.WithWorkScale(1e-3),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, w := range workers {
+		if err := w.Wait(); err != nil {
+			log.Printf("worker pid %d: %v", w.Process.Pid, err)
+		}
+	}
+	fmt.Printf("\ndistributed best cost %.4f (%.1f%% better) in %.3fs wall\n",
+		res.BestCost, 100*res.Improvement(), res.Elapsed)
+	fmt.Printf("%d tasks across 4 processes, %d protocol messages, %d forced reports\n",
+		res.Tasks, res.Messages, res.Stats.ForcedReports)
+}
+
+// runAsWorker is the re-executed child: build the same problem, join
+// the master, host tasks for one job.
+func runAsWorker(addr string, speed float64) {
+	err := pts.Worker(context.Background(), exampleProblem(), addr,
+		pts.NodeOptions{Speed: speed}, 1, func(res *pts.Result) {
+			fmt.Printf("worker pid %d done: best %.4f\n", os.Getpid(), res.BestCost)
+		})
+	if err != nil {
+		log.Fatal(err)
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"fmt"
 
 	"pts/internal/cost"
+	"pts/internal/pvm"
 )
 
 // Config parameterizes one parallel tabu search run.
@@ -77,6 +78,17 @@ type Config struct {
 	// kernel's single goroutine in Virtual mode): keep it fast and do
 	// not call back into the run from it.
 	Progress func(Snapshot)
+	// Transport, when non-nil, hosts Real-mode runs: the in-process
+	// goroutine transport when nil, or a nettrans master for
+	// distributed runs across processes. Process-local, never
+	// serialized.
+	Transport pvm.Transport
+	// WorkScale, when positive, makes Real-mode runs emulate machine
+	// speed: every Env.Work(s) sleeps s*WorkScale/speed wall seconds on
+	// its node. It is how a distributed run expresses the paper's
+	// heterogeneity on nodes that declared different speed factors; 0
+	// (the default) makes Work free in real time.
+	WorkScale float64
 	// CorrelatedWorkers gives all sibling workers the same random
 	// stream instead of independent ones. This emulates the classic
 	// unseeded-PRNG deployment of the paper's era, where every PVM
@@ -207,6 +219,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: DiversifyDepth %d < 0", c.DiversifyDepth)
 	case c.WorkPerTrial < 0:
 		return fmt.Errorf("core: WorkPerTrial %v < 0", c.WorkPerTrial)
+	case c.WorkScale < 0:
+		return fmt.Errorf("core: WorkScale %v < 0", c.WorkScale)
 	}
 	return nil
 }

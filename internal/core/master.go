@@ -42,9 +42,12 @@ func masterRun(env pvm.Env, prob Problem, cfg Config,
 	// policy says.
 	tswIDs := make([]pvm.TaskID, cfg.TSWs)
 	for i := 0; i < cfg.TSWs; i++ {
-		i := i
-		tswIDs[i] = env.Spawn(fmt.Sprintf("tsw%d", i), cfg.tswMachine(i), func(e pvm.Env) {
-			tswRun(e, prob, cfg, env.Self())
+		tswIDs[i] = env.SpawnSpec(fmt.Sprintf("tsw%d", i), cfg.tswMachine(i), pvm.Spec{
+			Kind: taskKindTSW,
+			Data: tswSpec{Master: env.Self()},
+			Fn: func(e pvm.Env) {
+				tswRun(e, prob, cfg, env.Self())
+			},
 		})
 	}
 	divRanges := ranges(prob.Size(), cfg.TSWs)

@@ -1,0 +1,282 @@
+// Distributed execution: what crosses a process boundary when the
+// parallel tabu search runs on the nettrans TCP transport.
+//
+// The deployment is SPMD like classic PVM applications: every process —
+// master and workers — constructs the same Problem from its own inputs
+// (the same circuit file, the same QAP seed), so only the protocol
+// messages, a small job description and tiny spawn specs travel on the
+// wire. The job description carries a problem fingerprint (name + size)
+// so a worker pointed at the wrong inputs refuses the job instead of
+// corrupting the search.
+package core
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"math"
+
+	"pts/internal/cost"
+	"pts/internal/pvm"
+	"pts/internal/pvm/nettrans"
+)
+
+// Portable task kinds of the PTS protocol.
+const (
+	taskKindTSW = "pts.tsw"
+	taskKindCLW = "pts.clw"
+)
+
+// tswSpec rebuilds a TSW body on whichever process hosts it.
+type tswSpec struct {
+	Master pvm.TaskID
+}
+
+// clwSpec rebuilds a CLW body on whichever process hosts it.
+type clwSpec struct {
+	Parent pvm.TaskID
+	Tune   Tuning
+}
+
+// jobPayload is the job description the master ships to every worker
+// when a distributed run starts.
+type jobPayload struct {
+	// Problem, Size and InitialCost fingerprint the master's problem; a
+	// worker whose locally constructed problem disagrees refuses the
+	// job. InitialCost is the discriminating part: it is derived from
+	// the full instance data (matrices, netlist, cost goals) by the
+	// deterministic Initial(seed), so two same-named instances of equal
+	// size but different content (e.g. RandomQAP with another seed)
+	// still collide with probability ~0.
+	Problem     string
+	Size        int32
+	InitialCost float64
+	Cfg         wireConfig
+}
+
+// runSummary is the final outcome the master reports back to workers,
+// so a joining process returns the same result as the master.
+type runSummary struct {
+	Problem     string
+	BestCost    float64
+	BestPerm    []int32
+	InitialCost float64
+	Elapsed     float64
+	Rounds      int
+	Interrupted bool
+}
+
+// wireConfig mirrors Config's serializable fields for the job payload;
+// process-local fields (Progress, Transport) stay behind. Keep it in
+// sync when Config grows a field workers need.
+type wireConfig struct {
+	TSWs, CLWs              int
+	GlobalIters, LocalIters int
+	Trials, Depth, Tenure   int
+	DiversifyDepth          int
+	HalfSync                bool
+	RefreshEvery            int
+	Utilization             float64
+	Cost                    cost.Config
+	WorkPerTrial            float64
+	Seed                    uint64
+	RecordTrace             bool
+	CorrelatedWorkers       bool
+	Assignment              Assignment
+	PerTSW                  []Tuning
+}
+
+func (c Config) wire() wireConfig {
+	return wireConfig{
+		TSWs: c.TSWs, CLWs: c.CLWs,
+		GlobalIters: c.GlobalIters, LocalIters: c.LocalIters,
+		Trials: c.Trials, Depth: c.Depth, Tenure: c.Tenure,
+		DiversifyDepth:    c.DiversifyDepth,
+		HalfSync:          c.HalfSync,
+		RefreshEvery:      c.RefreshEvery,
+		Utilization:       c.Utilization,
+		Cost:              c.Cost,
+		WorkPerTrial:      c.WorkPerTrial,
+		Seed:              c.Seed,
+		RecordTrace:       c.RecordTrace,
+		CorrelatedWorkers: c.CorrelatedWorkers,
+		Assignment:        c.Assignment,
+		PerTSW:            c.PerTSW,
+	}
+}
+
+func (w wireConfig) config() Config {
+	cfg := Config{
+		TSWs: w.TSWs, CLWs: w.CLWs,
+		GlobalIters: w.GlobalIters, LocalIters: w.LocalIters,
+		Trials: w.Trials, Depth: w.Depth, Tenure: w.Tenure,
+		DiversifyDepth:    w.DiversifyDepth,
+		HalfSync:          w.HalfSync,
+		RefreshEvery:      w.RefreshEvery,
+		Utilization:       w.Utilization,
+		WorkPerTrial:      w.WorkPerTrial,
+		Seed:              w.Seed,
+		RecordTrace:       w.RecordTrace,
+		CorrelatedWorkers: w.CorrelatedWorkers,
+		Assignment:        w.Assignment,
+		PerTSW:            w.PerTSW,
+	}
+	cfg.Cost = w.Cost
+	return cfg
+}
+
+func init() {
+	// Everything that crosses the wire as an interface value must be
+	// gob-registered identically in every process of the cluster.
+	gob.Register(initMsg{})
+	gob.Register(candMsg{})
+	gob.Register(syncMsg{})
+	gob.Register(stateMsg{})
+	gob.Register(bestMsg{})
+	gob.Register(globalMsg{})
+	gob.Register(WorkerStats{})
+	gob.Register(tswSpec{})
+	gob.Register(clwSpec{})
+	gob.Register(jobPayload{})
+	gob.Register(runSummary{})
+}
+
+// taskFactory rebuilds the protocol's portable task bodies over the
+// process's own problem and configuration — pvm.Options.Spawner on the
+// master, the nettrans.TaskFactory on workers. The same factory serving
+// both sides is what keeps a task's behavior independent of where it
+// lands.
+func taskFactory(prob Problem, cfg Config) pvm.TaskFactory {
+	return func(kind string, data any) (pvm.TaskFunc, error) {
+		switch kind {
+		case taskKindTSW:
+			spec, ok := data.(tswSpec)
+			if !ok {
+				return nil, fmt.Errorf("core: task kind %q wants tswSpec, got %T", kind, data)
+			}
+			return func(env pvm.Env) { tswRun(env, prob, cfg, spec.Master) }, nil
+		case taskKindCLW:
+			spec, ok := data.(clwSpec)
+			if !ok {
+				return nil, fmt.Errorf("core: task kind %q wants clwSpec, got %T", kind, data)
+			}
+			return func(env pvm.Env) { clwRun(env, prob, cfg, spec.Tune, spec.Parent) }, nil
+		default:
+			return nil, fmt.Errorf("core: unknown task kind %q", kind)
+		}
+	}
+}
+
+// nearlyEqual compares fingerprint costs to within 1e-9 relative — far
+// below any real instance difference, above any FMA-contraction drift.
+func nearlyEqual(a, b float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= 1e-9*scale
+}
+
+// WorkerOptions configures a worker process of a distributed run.
+type WorkerOptions struct {
+	// Addr is the master's TCP address.
+	Addr string
+	// Name uniquely identifies the worker in the master registry.
+	Name string
+	// Speed is the node's declared relative compute speed (default 1.0).
+	Speed float64
+	// Capacity is how many machine slots the node contributes
+	// (default 1).
+	Capacity int
+	// Jobs bounds how many jobs to serve (0 = until ctx cancels).
+	Jobs int
+	// Logf, when non-nil, receives connection and job lifecycle lines.
+	Logf func(format string, args ...any)
+}
+
+// workerHandler is the program half of a worker daemon: it validates
+// incoming jobs against the locally constructed problem and records the
+// final summaries.
+type workerHandler struct {
+	prob  Problem
+	onJob func(*Result)
+}
+
+func (h *workerHandler) Start(payload any) (nettrans.TaskFactory, error) {
+	jp, ok := payload.(jobPayload)
+	if !ok {
+		return nil, fmt.Errorf("core: unexpected job payload %T", payload)
+	}
+	if jp.Problem != h.prob.Name() || jp.Size != h.prob.Size() {
+		return nil, fmt.Errorf("core: job is %s (%d elements) but this worker built %s (%d elements); start the worker with the master's inputs",
+			jp.Problem, jp.Size, h.prob.Name(), h.prob.Size())
+	}
+	cfg := jp.Cfg.config()
+	// Derive the run-scoped shared context (e.g. the placement fuzzy
+	// goals) exactly as the master did, so locally minted states score
+	// identically. Initial is deterministic in the seed, so the state
+	// itself is discarded — but its cost must reproduce the master's
+	// exactly, or this process was built over different instance data
+	// (or different cost goals) and would corrupt the search.
+	st, err := h.prob.Initial(cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("core: deriving shared initial state: %w", err)
+	}
+	// A tight relative tolerance (not bitwise equality): hardware that
+	// contracts a*b+c into an FMA may differ from the master in the last
+	// ulps on identical inputs, while genuinely different instance data
+	// lands orders of magnitude away.
+	if c := st.Cost(); !nearlyEqual(c, jp.InitialCost) {
+		return nil, fmt.Errorf("core: job %s: this worker's initial cost %v does not reproduce the master's %v; the problem inputs (or cost configuration) differ",
+			jp.Problem, c, jp.InitialCost)
+	}
+	return taskFactory(h.prob, cfg), nil
+}
+
+func (h *workerHandler) Done(summary any) {
+	rs, ok := summary.(runSummary)
+	if !ok || h.onJob == nil {
+		return
+	}
+	res := &Result{
+		Problem:     rs.Problem,
+		BestCost:    rs.BestCost,
+		BestPerm:    rs.BestPerm,
+		InitialCost: rs.InitialCost,
+		Elapsed:     rs.Elapsed,
+		Rounds:      rs.Rounds,
+		Interrupted: rs.Interrupted,
+	}
+	if r, err := finalize(h.prob, res); err == nil {
+		res = r
+	}
+	h.onJob(res)
+}
+
+// ServeWorker runs a worker daemon for distributed solves: join the
+// master at opts.Addr (reconnecting with backoff while unreachable),
+// host this node's share of TSW/CLW tasks for each job, and hand every
+// job's final result — the same outcome the master returns — to onJob
+// (which may be nil). It returns after opts.Jobs jobs, or when ctx is
+// cancelled.
+func ServeWorker(ctx context.Context, prob Problem, opts WorkerOptions, onJob func(*Result)) error {
+	return nettrans.RunWorker(ctx, nettrans.WorkerConfig{
+		Addr:     opts.Addr,
+		Name:     opts.Name,
+		Speed:    opts.Speed,
+		Capacity: opts.Capacity,
+		Jobs:     opts.Jobs,
+		Logf:     opts.Logf,
+	}, &workerHandler{prob: prob, onJob: onJob})
+}
+
+// JoinWorker serves exactly one job as a worker of a distributed run
+// and returns that job's final result.
+func JoinWorker(ctx context.Context, prob Problem, opts WorkerOptions) (*Result, error) {
+	opts.Jobs = 1
+	var res *Result
+	if err := ServeWorker(ctx, prob, opts, func(r *Result) { res = r }); err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("core: job ended without a result from the master")
+	}
+	return res, nil
+}

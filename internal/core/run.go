@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"pts/internal/cluster"
@@ -106,7 +107,34 @@ func RunProblem(ctx context.Context, prob Problem, clus cluster.Cluster, cfg Con
 		masterRun(env, prob, cfg, initPerm, initCost, &ms)
 	}
 	var counters pvm.Counters
-	opts := pvm.Options{Context: ctx, Cluster: clus, Seed: cfg.Seed, Counters: &counters}
+	opts := pvm.Options{
+		Context:       ctx,
+		Cluster:       clus,
+		Seed:          cfg.Seed,
+		Counters:      &counters,
+		RealWorkScale: cfg.WorkScale,
+	}
+	if mode == Real && cfg.Transport != nil {
+		opts.Transport = cfg.Transport
+		opts.JobPayload = jobPayload{
+			Problem:     prob.Name(),
+			Size:        prob.Size(),
+			InitialCost: initCost,
+			Cfg:         cfg.wire(),
+		}
+		opts.Spawner = taskFactory(prob, cfg)
+	}
+	// Whatever happens from here on, a remote-capable transport must
+	// release its worker processes: on success Finish carries the final
+	// summary, on any error path it carries nil and just closes the
+	// session, so joined daemons never wait forever for a result.
+	var summary any
+	if f, ok := cfg.Transport.(pvm.Finisher); ok && mode == Real {
+		defer func() {
+			_ = f.Finish(summary) // failures are the workers' daemons to recover from
+		}()
+	}
+
 	var elapsed float64
 	switch mode {
 	case Virtual:
@@ -116,19 +144,39 @@ func RunProblem(ctx context.Context, prob Problem, clus cluster.Cluster, cfg Con
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", mode)
 	}
-	if err != nil {
+	// A transport abort (a worker process died or refused the job
+	// mid-run) is not a failed solve: the master state accumulated up to
+	// the abort is intact, so report the best-so-far as an interrupted
+	// run — exactly like cooperative cancellation.
+	aborted := errors.Is(err, pvm.ErrAborted)
+	if err != nil && !aborted {
 		return nil, err
 	}
 
-	res.BestCost = ms.bestCost
-	res.BestPerm = ms.bestPerm
+	if ms.bestPerm != nil { // nil only when an abort beat the master's first step
+		res.BestCost = ms.bestCost
+		res.BestPerm = ms.bestPerm
+	}
 	res.Elapsed = elapsed
 	res.Rounds = ms.rounds
-	res.Interrupted = ms.interrupted
+	res.Interrupted = ms.interrupted || aborted
 	res.Trace = ms.trace
 	res.Stats = ms.stats
 	res.Runtime = counters
-	return finalize(prob, res)
+	res, err = finalize(prob, res)
+	if err != nil {
+		return nil, err
+	}
+	summary = runSummary{
+		Problem:     res.Problem,
+		BestCost:    res.BestCost,
+		BestPerm:    res.BestPerm,
+		InitialCost: res.InitialCost,
+		Elapsed:     res.Elapsed,
+		Rounds:      res.Rounds,
+		Interrupted: res.Interrupted,
+	}
+	return res, nil
 }
 
 // finalize attaches problem-specific exact scoring when the problem

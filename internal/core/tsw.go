@@ -36,8 +36,12 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID) {
 	clwIDs := make([]pvm.TaskID, cfg.CLWs)
 	clwRanges := ranges(prob.Size(), cfg.CLWs)
 	for j := 0; j < cfg.CLWs; j++ {
-		clwIDs[j] = env.Spawn(fmt.Sprintf("clw%d", j), cfg.clwMachine(init.WorkerIdx, j), func(e pvm.Env) {
-			clwRun(e, problem, cfg, tune, env.Self())
+		clwIDs[j] = env.SpawnSpec(fmt.Sprintf("clw%d", j), cfg.clwMachine(init.WorkerIdx, j), pvm.Spec{
+			Kind: taskKindCLW,
+			Data: clwSpec{Parent: env.Self(), Tune: tune},
+			Fn: func(e pvm.Env) {
+				clwRun(e, problem, cfg, tune, env.Self())
+			},
 		})
 	}
 	for j, id := range clwIDs {

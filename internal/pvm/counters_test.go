@@ -1,16 +1,32 @@
-package pvm
+package pvm_test
 
-import "testing"
+// External test package: the cross-transport assertions need
+// pvm/nettrans, which imports pvm — an in-package test would cycle.
+
+import (
+	"context"
+	"encoding/gob"
+	"fmt"
+	"testing"
+
+	"pts/internal/pvm"
+	"pts/internal/pvm/nettrans"
+)
+
+const (
+	ctrPing pvm.Tag = iota + 101
+	ctrPong
+)
 
 func TestCountersVirtual(t *testing.T) {
-	var c Counters
-	_, err := RunVirtual(Options{Seed: 31, Counters: &c}, func(env Env) {
-		child := env.Spawn("c", 0, func(e Env) {
-			e.Recv(tagPing)
-			e.Send(0, tagPong, nil)
+	var c pvm.Counters
+	_, err := pvm.RunVirtual(pvm.Options{Seed: 31, Counters: &c}, func(env pvm.Env) {
+		child := env.Spawn("c", 0, func(e pvm.Env) {
+			e.Recv(ctrPing)
+			e.Send(0, ctrPong, nil)
 		})
-		env.Send(child, tagPing, nil)
-		env.Recv(tagPong)
+		env.Send(child, ctrPing, nil)
+		env.Recv(ctrPong)
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -27,16 +43,16 @@ func TestCountersVirtual(t *testing.T) {
 }
 
 func TestCountersReal(t *testing.T) {
-	var c Counters
-	_, err := RunReal(Options{Seed: 32, Counters: &c}, func(env Env) {
+	var c pvm.Counters
+	_, err := pvm.RunReal(pvm.Options{Seed: 32, Counters: &c}, func(env pvm.Env) {
 		for i := 0; i < 3; i++ {
-			child := env.Spawn("c", 0, func(e Env) {
-				e.Send(0, tagPong, nil)
+			child := env.Spawn("c", 0, func(e pvm.Env) {
+				e.Send(0, ctrPong, nil)
 			})
 			_ = child
 		}
 		for i := 0; i < 3; i++ {
-			env.Recv(tagPong)
+			env.Recv(ctrPong)
 		}
 	})
 	if err != nil {
@@ -52,7 +68,115 @@ func TestCountersReal(t *testing.T) {
 
 func TestCountersOptional(t *testing.T) {
 	// No counters attached: must not crash.
-	if _, err := RunVirtual(Options{Seed: 33}, func(env Env) {}); err != nil {
+	if _, err := pvm.RunVirtual(pvm.Options{Seed: 33}, func(env pvm.Env) {}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// ctrSpec parameterizes the portable relay task of the parity test.
+type ctrSpec struct {
+	Parent pvm.TaskID
+	Hops   int
+}
+
+func init() { gob.Register(ctrSpec{}) }
+
+// ctrFactory builds a relay: receive Hops pings, answer each.
+func ctrFactory(kind string, data any) (pvm.TaskFunc, error) {
+	spec, ok := data.(ctrSpec)
+	if !ok {
+		return nil, fmt.Errorf("want ctrSpec, got %T", data)
+	}
+	return func(env pvm.Env) {
+		for i := 0; i < spec.Hops; i++ {
+			env.Recv(ctrPing)
+			env.Send(spec.Parent, ctrPong, nil)
+		}
+	}, nil
+}
+
+// countersProgram is the same portable program run on every transport:
+// root spawns 4 relays across machines, plays 3 rounds with each.
+func countersProgram(env pvm.Env) {
+	const relays, hops = 4, 3
+	ids := make([]pvm.TaskID, relays)
+	for i := range ids {
+		spec := ctrSpec{Parent: env.Self(), Hops: hops}
+		fn, err := ctrFactory("ctr.relay", spec)
+		if err != nil {
+			panic(err)
+		}
+		ids[i] = env.SpawnSpec(fmt.Sprintf("relay%d", i), 1+i, pvm.Spec{
+			Kind: "ctr.relay", Data: spec, Fn: fn,
+		})
+	}
+	for h := 0; h < hops; h++ {
+		for _, id := range ids {
+			env.Send(id, ctrPing, nil)
+		}
+		for range ids {
+			env.Recv(ctrPong)
+		}
+	}
+}
+
+type ctrHandler struct{}
+
+func (ctrHandler) Start(payload any) (nettrans.TaskFactory, error) { return ctrFactory, nil }
+func (ctrHandler) Done(any)                                        {}
+
+// TestCountersIdenticalAcrossTransports is the cross-transport
+// contract: one Env.Spawn* is one Spawns tick and one Env.Send is one
+// Sends tick on every transport — in-process channels and the TCP
+// transport must agree exactly, whichever process a task landed in.
+func TestCountersIdenticalAcrossTransports(t *testing.T) {
+	run := func(tr pvm.Transport) pvm.Counters {
+		t.Helper()
+		var c pvm.Counters
+		_, err := pvm.RunReal(pvm.Options{
+			Seed: 34, Counters: &c, Transport: tr, Spawner: ctrFactory,
+		}, countersProgram)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return c
+	}
+
+	inproc := run(nil) // default in-process channel transport
+
+	m, err := nettrans.Listen(nettrans.MasterConfig{Addr: "127.0.0.1:0", Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	workerErrs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		cfg := nettrans.WorkerConfig{
+			Addr: m.Addr(), Name: fmt.Sprintf("ctr%d", i),
+			Speed: 1 - 0.4*float64(i), Jobs: 1,
+		}
+		go func() { workerErrs <- nettrans.RunWorker(context.Background(), cfg, ctrHandler{}) }()
+	}
+	dist := run(m)
+	if err := m.Finish(nil); err != nil {
+		t.Errorf("finish: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-workerErrs; err != nil {
+			t.Errorf("worker: %v", err)
+		}
+	}
+
+	if inproc.Spawns != 5 { // root + 4 relays
+		t.Errorf("in-process Spawns = %d, want 5", inproc.Spawns)
+	}
+	if inproc.Sends != 24 { // 3 rounds x 4 relays x (ping + pong)
+		t.Errorf("in-process Sends = %d, want 24", inproc.Sends)
+	}
+	if dist.Spawns != inproc.Spawns {
+		t.Errorf("Spawns differ: TCP %d, in-process %d", dist.Spawns, inproc.Spawns)
+	}
+	if dist.Sends != inproc.Sends {
+		t.Errorf("Sends differ: TCP %d, in-process %d", dist.Sends, inproc.Sends)
 	}
 }

@@ -1,0 +1,911 @@
+package nettrans
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"pts/internal/pvm"
+	"pts/internal/rng"
+)
+
+// MasterConfig configures the master side of a distributed run.
+type MasterConfig struct {
+	// Addr is the TCP listen address (e.g. ":9017" or "127.0.0.1:0").
+	Addr string
+	// Workers is the minimum number of workers that must have joined
+	// before a run starts; every worker joined by then participates.
+	Workers int
+	// JoinWait bounds how long Run waits for Workers workers to join
+	// (default 2 minutes).
+	JoinWait time.Duration
+	// ByeWait bounds the post-run counter collection per worker
+	// (default 5 seconds).
+	ByeWait time.Duration
+	// Logf, when non-nil, receives one line per registry event (joins,
+	// refusals, losses).
+	Logf func(format string, args ...any)
+}
+
+// Master is the hub transport: it listens for worker joins, records
+// their capacity and speed in the registry, and hosts runs whose tasks
+// execute partly in this process and partly on the joined workers. It
+// implements pvm.Transport and pvm.Finisher and serves one run; use
+// Close to release it if the run never happens.
+type Master struct {
+	cfg MasterConfig
+	ln  net.Listener
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	lobby  []*node
+	names  map[string]*node
+	closed bool
+	job    *job
+}
+
+// node is one registered worker process.
+type node struct {
+	name     string
+	speed    float64
+	capacity int
+	c        *conn
+
+	firstSlot, slots int
+
+	alive   bool
+	claimed bool
+	sends   int64
+	bye     chan struct{}
+}
+
+// NodeInfo describes one registry entry.
+type NodeInfo struct {
+	Name     string
+	Speed    float64
+	Capacity int
+}
+
+// Listen starts a master: it binds cfg.Addr immediately and accepts
+// worker joins in the background, so workers may connect before the run
+// starts.
+func Listen(cfg MasterConfig) (*Master, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("nettrans: master needs at least 1 worker, got %d", cfg.Workers)
+	}
+	if cfg.JoinWait <= 0 {
+		cfg.JoinWait = 2 * time.Minute
+	}
+	if cfg.ByeWait <= 0 {
+		cfg.ByeWait = 5 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	m := &Master{cfg: cfg, ln: ln, names: make(map[string]*node)}
+	m.cond = sync.NewCond(&m.mu)
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (m *Master) Addr() string { return m.ln.Addr().String() }
+
+// Nodes lists the currently joined workers.
+func (m *Master) Nodes() []NodeInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []NodeInfo
+	for _, n := range m.lobby {
+		out = append(out, NodeInfo{Name: n.name, Speed: n.speed, Capacity: n.capacity})
+	}
+	if m.job != nil {
+		for _, n := range m.job.nodes {
+			out = append(out, NodeInfo{Name: n.name, Speed: n.speed, Capacity: n.capacity})
+		}
+	}
+	return out
+}
+
+// Close shuts the master down: the listener stops and every worker
+// connection — idle in the lobby or claimed by a run — is dropped, so
+// worker daemons never hang on a master that errored out between
+// claiming them and finishing a job (their dial loops back off or give
+// up). Safe to call more than once.
+func (m *Master) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	lobby := m.lobby
+	m.lobby = nil
+	var claimed []*node
+	if m.job != nil {
+		claimed = m.job.nodes
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	for _, n := range lobby {
+		n.c.close()
+	}
+	for _, n := range claimed {
+		n.c.close()
+	}
+	return m.ln.Close()
+}
+
+// acceptLoop admits workers: each connection must open with a valid
+// fJoin naming a not-yet-registered worker; everything else — garbage
+// bytes, oversized frames, duplicate names — is refused and dropped
+// without disturbing the registry.
+func (m *Master) acceptLoop() {
+	for {
+		nc, err := m.ln.Accept()
+		if err != nil {
+			return
+		}
+		go m.admit(nc)
+	}
+}
+
+func (m *Master) admit(nc net.Conn) {
+	c := newConn(nc)
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	f, err := c.read()
+	if err != nil || f.Type != fJoin || f.Worker == "" {
+		m.cfg.Logf("nettrans: refused connection from %s: malformed join (%v)", nc.RemoteAddr(), err)
+		c.close()
+		return
+	}
+	nc.SetReadDeadline(time.Time{})
+	if f.Speed <= 0 {
+		f.Speed = 1
+	}
+	if f.Capacity < 1 {
+		f.Capacity = 1
+	}
+	m.mu.Lock()
+	switch {
+	case m.closed:
+		m.mu.Unlock()
+		c.write(&frame{Type: fJoinAck, Err: "master closed"})
+		c.close()
+		return
+	case m.names[f.Worker] != nil:
+		m.mu.Unlock()
+		m.cfg.Logf("nettrans: refused duplicate join %q from %s", f.Worker, nc.RemoteAddr())
+		c.write(&frame{Type: fJoinAck, Err: fmt.Sprintf("worker name %q already joined", f.Worker)})
+		c.close()
+		return
+	}
+	n := &node{name: f.Worker, speed: f.Speed, capacity: f.Capacity, c: c, alive: true, bye: make(chan struct{})}
+	// Reserve the name but do not publish the node yet: the ack must be
+	// on the wire before a racing Run can claim the node and write fJob,
+	// or the worker would see the job frame ahead of its join ack.
+	m.names[f.Worker] = n
+	m.mu.Unlock()
+	if err := c.write(&frame{Type: fJoinAck}); err != nil {
+		m.mu.Lock()
+		delete(m.names, n.name)
+		m.mu.Unlock()
+		c.close()
+		return
+	}
+	m.mu.Lock()
+	if m.closed {
+		delete(m.names, n.name)
+		m.mu.Unlock()
+		c.close()
+		return
+	}
+	m.lobby = append(m.lobby, n)
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.cfg.Logf("nettrans: worker %q joined (speed %.2f, capacity %d)", n.name, n.speed, n.capacity)
+	// One persistent reader owns the connection from here on: it spots a
+	// worker dying while idle in the lobby (freeing its name so the
+	// daemon's reconnect is not refused as a duplicate, and keeping dead
+	// nodes out of the next run) and serves the job frames once claimed.
+	go m.serveConn(n)
+}
+
+// serveConn is the per-connection read loop, from admission to
+// disconnect: lobby frames are protocol violations, job frames are
+// dispatched to the run that claimed the node, and read errors retire
+// the node from whichever state it is in.
+func (m *Master) serveConn(n *node) {
+	for {
+		f, err := n.c.read()
+		j := m.jobOf(n)
+		if err != nil {
+			if j != nil {
+				j.nodeLost(n, err)
+			} else {
+				m.dropLobby(n, err)
+			}
+			return
+		}
+		if j == nil {
+			m.dropLobby(n, fmt.Errorf("unexpected frame type %d while idle", f.Type))
+			return
+		}
+		if !j.handleFrame(n, f) {
+			return
+		}
+	}
+}
+
+// jobOf returns the run that claimed n, if any.
+func (m *Master) jobOf(n *node) *job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n.claimed {
+		return m.job
+	}
+	return nil
+}
+
+// freeName releases a worker name so a reconnecting daemon can rejoin.
+func (m *Master) freeName(name string) {
+	m.mu.Lock()
+	delete(m.names, name)
+	m.mu.Unlock()
+}
+
+// dropLobby retires a worker that died (or misbehaved) before being
+// claimed by a run.
+func (m *Master) dropLobby(n *node, cause error) {
+	m.mu.Lock()
+	for i, ln := range m.lobby {
+		if ln == n {
+			m.lobby = append(m.lobby[:i], m.lobby[i+1:]...)
+			break
+		}
+	}
+	delete(m.names, n.name)
+	m.mu.Unlock()
+	n.c.close()
+	m.cfg.Logf("nettrans: worker %q left the lobby: %v", n.name, cause)
+}
+
+// Run implements pvm.Transport: wait for the registry to fill, assign
+// machine slots, broadcast the job, then execute root here while the
+// joined workers host their share of the spawned tasks.
+func (m *Master) Run(opts pvm.Options, root pvm.TaskFunc) (float64, error) {
+	nodes, err := m.takeWorkers(opts)
+	if err != nil {
+		return 0, err
+	}
+
+	j := &job{
+		m:       m,
+		opts:    opts,
+		nodes:   nodes,
+		local:   make(map[pvm.TaskID]*mTask),
+		start:   time.Now(),
+		allDone: make(chan struct{}),
+	}
+	// Slot 0 is this process; each worker contributes capacity slots.
+	// The slot table must be complete before the job is published: once
+	// m.job is set, frames from (possibly misbehaving) claimed workers
+	// are dispatched into j and must never observe totalSlots == 0.
+	slot := 1
+	for _, n := range nodes {
+		n.firstSlot, n.slots = slot, n.capacity
+		slot += n.capacity
+	}
+	j.totalSlots = slot
+	m.mu.Lock()
+	m.job = j
+	m.mu.Unlock()
+
+	payload, err := encodePayload(opts.JobPayload)
+	if err != nil {
+		return 0, err
+	}
+	for _, n := range nodes {
+		err := n.c.write(&frame{
+			Type: fJob, Seed: opts.Seed, WorkScale: opts.RealWorkScale,
+			Slot: n.firstSlot, Slots: n.slots, TotalSlots: j.totalSlots,
+			Payload: payload,
+		})
+		if err != nil {
+			j.nodeLost(n, err)
+		}
+	}
+	// Cooperative cancellation: tasks everywhere observe Cancelled()
+	// and drain the protocol; nothing is killed.
+	stopCancel := make(chan struct{})
+	defer close(stopCancel)
+	if ctxDone := doneChan(opts); ctxDone != nil {
+		go func() {
+			select {
+			case <-ctxDone:
+				j.cancel()
+			case <-stopCancel:
+			}
+		}()
+	}
+
+	j.spawn("root", 0, pvm.Spec{Fn: root}, nil) //nolint:errcheck // an aborting run closes allDone itself
+	<-j.allDone
+	elapsed := time.Since(j.start).Seconds()
+
+	j.mu.Lock()
+	aborted, abortErr := j.aborted, j.abortErr
+	j.mu.Unlock()
+	if aborted {
+		// Workers volunteer their counters while unwinding from fAbort;
+		// collect what arrives quickly so even an interrupted result
+		// accounts for the surviving nodes' sends.
+		j.awaitByes(time.Second)
+	} else {
+		j.collectByes()
+	}
+	if opts.Counters != nil {
+		opts.Counters.Spawns = j.spawnCount()
+		opts.Counters.Sends = j.sendCount()
+	}
+	if aborted {
+		return elapsed, fmt.Errorf("%w: %v", pvm.ErrAborted, abortErr)
+	}
+	return elapsed, nil
+}
+
+// doneChan mirrors pvm's optional-context handling.
+func doneChan(opts pvm.Options) <-chan struct{} {
+	if opts.Context == nil {
+		return nil
+	}
+	return opts.Context.Done()
+}
+
+// takeWorkers blocks until the configured minimum of workers joined,
+// then claims every joined worker for the run.
+func (m *Master) takeWorkers(opts pvm.Options) ([]*node, error) {
+	deadline := time.Now().Add(m.cfg.JoinWait)
+	ctxDone := doneChan(opts)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for len(m.lobby) < m.cfg.Workers {
+		if m.closed {
+			return nil, fmt.Errorf("nettrans: master closed while waiting for workers")
+		}
+		select {
+		case <-ctxDone:
+			return nil, fmt.Errorf("nettrans: cancelled while waiting for workers (%d of %d joined)", len(m.lobby), m.cfg.Workers)
+		default:
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("nettrans: %d of %d workers joined within %v", len(m.lobby), m.cfg.Workers, m.cfg.JoinWait)
+		}
+		// Timed wait: re-check cancellation and the deadline every 100ms.
+		wake := time.AfterFunc(100*time.Millisecond, m.cond.Broadcast)
+		m.cond.Wait()
+		wake.Stop()
+	}
+	nodes := m.lobby
+	m.lobby = nil
+	for _, n := range nodes {
+		n.claimed = true
+	}
+	return nodes, nil
+}
+
+// Finish implements pvm.Finisher: deliver the program's final summary
+// to every surviving worker, then shut the master down.
+func (m *Master) Finish(summary any) error {
+	m.mu.Lock()
+	j := m.job
+	m.mu.Unlock()
+	var firstErr error
+	if j != nil {
+		payload, err := encodePayload(summary)
+		if err != nil {
+			firstErr = err
+		} else {
+			for _, n := range j.nodes {
+				j.mu.Lock()
+				alive := n.alive
+				j.mu.Unlock()
+				if !alive {
+					continue
+				}
+				if err := n.c.write(&frame{Type: fResult, Payload: payload}); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+		}
+		for _, n := range j.nodes {
+			n.c.close()
+		}
+	}
+	if err := m.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// job is the state of one distributed run.
+type job struct {
+	m    *Master
+	opts pvm.Options
+
+	nodes      []*node
+	totalSlots int
+	start      time.Time
+
+	mu         sync.Mutex
+	owners     []taskOwner // indexed by TaskID
+	local      map[pvm.TaskID]*mTask
+	localLive  int
+	remoteLive int
+	finished   bool
+	allDone    chan struct{}
+	aborted    bool
+	abortErr   error
+	cancelled  bool
+	spawns     int64
+	localSends int64
+}
+
+// taskOwner records where a task lives; a nil node means this process.
+type taskOwner struct {
+	node *node
+	done bool
+}
+
+func (j *job) spawnCount() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.spawns
+}
+
+func (j *job) sendCount() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	total := j.localSends
+	for _, n := range j.nodes {
+		total += n.sends
+	}
+	return total
+}
+
+// slotOwner maps a wrapped machine slot to its owning node (nil: the
+// master process itself).
+func (j *job) slotOwner(slot int) *node {
+	if slot == 0 {
+		return nil
+	}
+	for _, n := range j.nodes {
+		if slot >= n.firstSlot && slot < n.firstSlot+n.slots {
+			return n
+		}
+	}
+	return nil
+}
+
+// wrapSlot normalizes a machine index onto the slot ring, exactly like
+// the in-process transports wrap onto the cluster size.
+func (j *job) wrapSlot(machine int) int {
+	return ((machine % j.totalSlots) + j.totalSlots) % j.totalSlots
+}
+
+// errAborting reports that a spawn was refused because the run is
+// already tearing down.
+var errAborting = fmt.Errorf("nettrans: run aborting")
+
+// spawn allocates a TaskID and places the task: in this process when
+// its slot is the master's, else on the owning worker. payload, when
+// non-nil, is the already-encoded spec data (forwarded spawn requests);
+// otherwise spec.Data is encoded on demand for remote placement. A
+// non-portable spec aimed at a worker slot is a programming error and
+// panics; an aborting run returns errAborting.
+func (j *job) spawn(fullName string, machine int, spec pvm.Spec, payload []byte) (pvm.TaskID, error) {
+	slot := j.wrapSlot(machine)
+	owner := j.slotOwner(slot)
+	if owner != nil && payload == nil {
+		if spec.Kind == "" {
+			panic(fmt.Sprintf("nettrans: task %q is not portable (no spec kind) but machine %d belongs to worker %q",
+				fullName, machine, owner.name))
+		}
+		var err error
+		payload, err = encodePayload(spec.Data)
+		if err != nil {
+			panic(fmt.Sprintf("nettrans: spawn %q: %v", fullName, err))
+		}
+	}
+
+	j.mu.Lock()
+	if j.aborted {
+		j.mu.Unlock()
+		return 0, errAborting
+	}
+	id := pvm.TaskID(len(j.owners))
+	var t *mTask
+	if owner == nil {
+		fn := spec.Fn
+		if fn == nil {
+			// A spec-only spawn landing on the master's slot (its own
+			// task issued no closure, or a worker's request was forwarded
+			// here): rebuild the body like a worker would.
+			var err error
+			fn, err = j.buildTask(spec.Kind, spec.Data, payload)
+			if err != nil {
+				j.mu.Unlock()
+				j.abort(err)
+				return 0, err
+			}
+		}
+		t = &mTask{j: j, id: id, name: fullName, machine: slot, fn: fn,
+			r: rng.NewChild(j.opts.Seed, "pvm.task", fullName)}
+		t.box.init()
+		j.local[id] = t
+		j.localLive++
+	} else {
+		j.remoteLive++
+	}
+	j.owners = append(j.owners, taskOwner{node: owner})
+	j.spawns++
+	j.mu.Unlock()
+
+	if owner == nil {
+		go t.run()
+		return id, nil
+	}
+	err := owner.c.write(&frame{
+		Type: fSpawn, Task: id, Name: fullName, Machine: slot,
+		Kind: spec.Kind, Payload: payload,
+	})
+	if err != nil {
+		j.nodeLost(owner, err)
+	}
+	return id, nil
+}
+
+// buildTask rebuilds a portable task body via the program's Spawner,
+// from the in-process spec data when the spawner gave one, else from
+// the encoded payload of a forwarded request. Callers hold j.mu.
+func (j *job) buildTask(kind string, data any, payload []byte) (pvm.TaskFunc, error) {
+	if j.opts.Spawner == nil {
+		return nil, fmt.Errorf("nettrans: no Spawner configured, cannot host remote-spawned task kind %q", kind)
+	}
+	if data == nil && payload != nil {
+		var err error
+		data, err = decodePayload(payload)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return j.opts.Spawner(kind, data)
+}
+
+// send routes one message from a master-local task.
+func (j *job) send(from, to pvm.TaskID, tag pvm.Tag, data any) {
+	j.mu.Lock()
+	j.localSends++
+	if int(to) < 0 || int(to) >= len(j.owners) {
+		j.mu.Unlock()
+		panic(fmt.Sprintf("pvm: send to unknown task %d", to))
+	}
+	owner := j.owners[to]
+	var dst *mTask
+	if owner.node == nil {
+		dst = j.local[to]
+	}
+	j.mu.Unlock()
+
+	if dst != nil {
+		dst.box.deliver(pvm.Message{From: from, Tag: tag, Data: data})
+		return
+	}
+	if owner.node == nil || owner.done {
+		return // task of a lost worker: the run is aborting anyway
+	}
+	payload, err := encodePayload(data)
+	if err != nil {
+		panic(fmt.Sprintf("nettrans: send tag %d to task %d: %v", tag, to, err))
+	}
+	if err := owner.node.c.write(&frame{Type: fMsg, From: from, To: to, Tag: tag, Payload: payload}); err != nil {
+		j.nodeLost(owner.node, err)
+	}
+}
+
+// route forwards or delivers a message frame arriving from a worker.
+func (j *job) route(src *node, f *frame) {
+	j.mu.Lock()
+	if int(f.To) < 0 || int(f.To) >= len(j.owners) {
+		j.mu.Unlock()
+		j.abortFrom(src, fmt.Errorf("message to unknown task %d", f.To))
+		return
+	}
+	owner := j.owners[f.To]
+	var dst *mTask
+	if owner.node == nil {
+		dst = j.local[f.To]
+	}
+	j.mu.Unlock()
+
+	if dst != nil {
+		data, err := decodePayload(f.Payload)
+		if err != nil {
+			j.abortFrom(src, err)
+			return
+		}
+		dst.box.deliver(pvm.Message{From: f.From, Tag: f.Tag, Data: data})
+		return
+	}
+	if owner.node == nil || !j.ownerAlive(owner.node) {
+		return
+	}
+	if err := owner.node.c.write(f); err != nil {
+		j.nodeLost(owner.node, err)
+	}
+}
+
+func (j *job) ownerAlive(n *node) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return n.alive
+}
+
+// handleFrame services one frame from a claimed worker; false stops
+// the connection's read loop.
+func (j *job) handleFrame(n *node, f *frame) bool {
+	switch f.Type {
+	case fSpawnReq:
+		id, err := j.spawn(f.Name, f.Machine, pvm.Spec{Kind: f.Kind}, f.Payload)
+		if err != nil {
+			// The run is aborting; the requester unwinds via fAbort.
+			return true
+		}
+		if err := n.c.write(&frame{Type: fSpawnAck, Seq: f.Seq, Task: id}); err != nil {
+			j.nodeLost(n, err)
+			return false
+		}
+	case fMsg:
+		j.route(n, f)
+	case fTaskDone:
+		j.taskDone(f.Task)
+	case fJobErr:
+		j.abortFrom(n, fmt.Errorf("job refused: %s", f.Err))
+	case fBye:
+		j.mu.Lock()
+		n.sends = f.Sends
+		j.mu.Unlock()
+		select {
+		case <-n.bye:
+		default:
+			close(n.bye)
+		}
+	default:
+		j.abortFrom(n, fmt.Errorf("unexpected frame type %d", f.Type))
+	}
+	return true
+}
+
+// taskDone marks a remotely hosted task as finished.
+func (j *job) taskDone(id pvm.TaskID) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(j.owners) || j.owners[id].done {
+		return
+	}
+	j.owners[id].done = true
+	if j.owners[id].node != nil {
+		j.remoteLive--
+	}
+	j.checkDoneLocked()
+}
+
+// localTaskDone marks a master-local task as finished.
+func (j *job) localTaskDone(id pvm.TaskID) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.owners[id].done {
+		return
+	}
+	j.owners[id].done = true
+	j.localLive--
+	j.checkDoneLocked()
+}
+
+func (j *job) checkDoneLocked() {
+	if !j.finished && j.localLive == 0 && j.remoteLive == 0 {
+		j.finished = true
+		close(j.allDone)
+	}
+}
+
+// cancel flips the cooperative-cancellation flag everywhere.
+func (j *job) cancel() {
+	j.mu.Lock()
+	if j.cancelled {
+		j.mu.Unlock()
+		return
+	}
+	j.cancelled = true
+	nodes := append([]*node(nil), j.nodes...)
+	j.mu.Unlock()
+	for _, n := range nodes {
+		if j.ownerAlive(n) {
+			n.c.write(&frame{Type: fCancel})
+		}
+	}
+}
+
+func (j *job) isCancelled() bool {
+	select {
+	case <-doneChanJob(j):
+	default:
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.cancelled || j.aborted
+	}
+	return true
+}
+
+func doneChanJob(j *job) <-chan struct{} { return doneChan(j.opts) }
+
+// nodeLost handles a worker dying or misbehaving mid-job: its tasks
+// are written off and the run aborts. After the run finished, a
+// dropped connection is just the natural end of the session — the node
+// is retired without aborting anything.
+func (j *job) nodeLost(n *node, cause error) {
+	j.mu.Lock()
+	if !n.alive {
+		j.mu.Unlock()
+		return
+	}
+	n.alive = false
+	finished := j.finished
+	j.mu.Unlock()
+	n.c.close()
+	j.m.freeName(n.name)
+	if finished {
+		return
+	}
+	j.m.cfg.Logf("nettrans: worker %q lost: %v", n.name, cause)
+	j.abort(fmt.Errorf("worker %q lost: %v", n.name, cause))
+}
+
+func (j *job) abortFrom(n *node, cause error) {
+	j.nodeLost(n, cause)
+}
+
+// abort tears the run down: every remote task is written off, every
+// blocked local task unwinds, surviving workers are told to do the
+// same. The master's best-so-far state accumulated before the abort
+// stays intact, so the program can still report it.
+func (j *job) abort(cause error) {
+	j.mu.Lock()
+	if j.aborted {
+		j.mu.Unlock()
+		return
+	}
+	j.aborted = true
+	j.abortErr = cause
+	for i := range j.owners {
+		if j.owners[i].node != nil && !j.owners[i].done {
+			j.owners[i].done = true
+			j.remoteLive--
+		}
+	}
+	var wake []*mTask
+	for _, t := range j.local {
+		wake = append(wake, t)
+	}
+	nodes := append([]*node(nil), j.nodes...)
+	j.checkDoneLocked()
+	j.mu.Unlock()
+
+	for _, n := range nodes {
+		if j.ownerAlive(n) {
+			n.c.write(&frame{Type: fAbort})
+		}
+	}
+	for _, t := range wake {
+		t.box.wake()
+	}
+}
+
+func (j *job) isAborted() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.aborted
+}
+
+// collectByes gathers per-worker send counters after a clean drain.
+func (j *job) collectByes() {
+	for _, n := range j.nodes {
+		if !j.ownerAlive(n) {
+			continue
+		}
+		if err := n.c.write(&frame{Type: fEndJob}); err != nil {
+			j.nodeLost(n, err)
+		}
+	}
+	j.awaitByes(j.m.cfg.ByeWait)
+}
+
+// awaitByes waits up to d for the counter reports of workers that are
+// still reachable; whatever fails to arrive is simply not counted.
+func (j *job) awaitByes(d time.Duration) {
+	timeout := time.After(d)
+	for _, n := range j.nodes {
+		if !j.ownerAlive(n) {
+			continue
+		}
+		select {
+		case <-n.bye:
+		case <-timeout:
+			return
+		}
+	}
+}
+
+// mTask is a task hosted in the master process.
+type mTask struct {
+	j       *job
+	id      pvm.TaskID
+	name    string
+	machine int
+	fn      pvm.TaskFunc
+	r       *rand.Rand
+	box     mailbox
+}
+
+var _ pvm.Env = (*mTask)(nil)
+
+func (t *mTask) run() {
+	pvm.RunTask(t, t.fn)
+	t.j.localTaskDone(t.id)
+}
+
+func (t *mTask) Self() pvm.TaskID  { return t.id }
+func (t *mTask) Name() string      { return t.name }
+func (t *mTask) MachineIndex() int { return t.machine }
+func (t *mTask) Rand() *rand.Rand  { return t.r }
+func (t *mTask) Now() float64      { return time.Since(t.j.start).Seconds() }
+func (t *mTask) Cancelled() bool   { return t.j.isCancelled() }
+
+func (t *mTask) Spawn(name string, machine int, fn pvm.TaskFunc) pvm.TaskID {
+	return t.SpawnSpec(name, machine, pvm.Spec{Fn: fn})
+}
+
+func (t *mTask) SpawnSpec(name string, machine int, spec pvm.Spec) pvm.TaskID {
+	id, err := t.j.spawn(t.name+"/"+name, machine, spec, nil)
+	if err != nil {
+		pvm.AbortTask()
+	}
+	return id
+}
+
+func (t *mTask) Send(to pvm.TaskID, tag pvm.Tag, data any) {
+	t.j.send(t.id, to, tag, data)
+}
+
+func (t *mTask) Recv(tags ...pvm.Tag) pvm.Message {
+	return t.box.recv(t.j.isAborted, tags)
+}
+
+func (t *mTask) TryRecv(tags ...pvm.Tag) (pvm.Message, bool) {
+	return t.box.tryRecv(tags)
+}
+
+func (t *mTask) Work(seconds float64) {
+	scale := t.j.opts.RealWorkScale
+	if seconds <= 0 || scale <= 0 {
+		return
+	}
+	// The master's slot is the reference speed-1.0 machine.
+	time.Sleep(time.Duration(seconds * scale * float64(time.Second)))
+}

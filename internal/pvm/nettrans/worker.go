@@ -1,0 +1,504 @@
+package nettrans
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"syscall"
+	"time"
+
+	"pts/internal/pvm"
+	"pts/internal/rng"
+)
+
+// TaskFactory rebuilds a portable task body from its spec kind and
+// decoded data — the worker-process counterpart of pvm.Options.Spawner,
+// and the same type.
+type TaskFactory = pvm.TaskFactory
+
+// Handler is the program side of a worker process: nettrans moves the
+// frames, the Handler supplies what the frames mean.
+type Handler interface {
+	// Start is called when the master opens a job, with the decoded
+	// program payload. It validates that this process is prepared for
+	// the job (e.g. that its locally constructed problem matches the
+	// master's fingerprint) and returns the factory that builds the
+	// bodies of tasks placed here. A non-nil error refuses the job and
+	// aborts the master's run.
+	Start(payload any) (TaskFactory, error)
+	// Done is called when the job closed cleanly, with the master's
+	// final summary (nil when the master finished without one).
+	Done(summary any)
+}
+
+// WorkerConfig configures one worker daemon.
+type WorkerConfig struct {
+	// Addr is the master's TCP address.
+	Addr string
+	// Name identifies this worker in the master registry; it must be
+	// unique across the cluster (default "<hostname>:<pid>" chosen by
+	// the caller — nettrans refuses an empty name).
+	Name string
+	// Speed is the node's relative compute speed recorded in the
+	// registry, the heterogeneity knob matching the in-process cluster
+	// model's machine speed factors (default 1.0).
+	Speed float64
+	// Capacity is how many machine slots this node contributes — how
+	// many of the run's round-robin task placements land here per cycle
+	// (default 1).
+	Capacity int
+	// Jobs bounds how many jobs to serve before returning (0 = serve
+	// until the context is cancelled).
+	Jobs int
+	// MaxBackoff caps the reconnect backoff (default 5s; dialing starts
+	// at 100ms and doubles per failure).
+	MaxBackoff time.Duration
+	// Logf, when non-nil, receives one line per connection event.
+	Logf func(format string, args ...any)
+}
+
+// ErrJoinRefused is wrapped by RunWorker errors when the master
+// explicitly refused the registration (duplicate name, closed master) —
+// retrying would refuse again, so the daemon stops instead of backing
+// off.
+var ErrJoinRefused = errors.New("nettrans: join refused")
+
+// RunWorker runs a worker daemon: dial the master (reconnecting with
+// exponential backoff while it is unreachable), register, then host
+// this node's share of tasks for each job the master starts. It
+// returns once cfg.Jobs jobs ended — nil when the last ended cleanly,
+// its error when it aborted or was refused — or ctx.Err() once the
+// context is cancelled, or the refusal error if the master rejects the
+// registration.
+func RunWorker(ctx context.Context, cfg WorkerConfig, h Handler) error {
+	if cfg.Name == "" {
+		return fmt.Errorf("nettrans: worker needs a name")
+	}
+	if cfg.Speed <= 0 {
+		cfg.Speed = 1
+	}
+	if cfg.Capacity < 1 {
+		cfg.Capacity = 1
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	served := 0
+	everJoined := false
+	backoff := 100 * time.Millisecond
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		c, err := dialJoin(ctx, cfg)
+		if err != nil {
+			if errors.Is(err, ErrJoinRefused) || ctx.Err() != nil {
+				return err
+			}
+			// A bounded worker that once reached its master and now finds
+			// nobody listening is waiting for a job that cannot come (a
+			// restarted master would be listening again); only unbounded
+			// daemons keep waiting for the address to come back to life.
+			if cfg.Jobs > 0 && everJoined && errors.Is(err, syscall.ECONNREFUSED) {
+				return fmt.Errorf("nettrans: master %s is gone before the job ended: %w", cfg.Addr, err)
+			}
+			cfg.Logf("nettrans: worker %q: %v (retrying in %v)", cfg.Name, err, backoff)
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			if backoff *= 2; backoff > cfg.MaxBackoff {
+				backoff = cfg.MaxBackoff
+			}
+			continue
+		}
+		backoff = 100 * time.Millisecond
+		everJoined = true
+		cfg.Logf("nettrans: worker %q joined %s", cfg.Name, cfg.Addr)
+		// The session blocks in reads; honoring cancellation means
+		// closing the connection out from under them.
+		stop := context.AfterFunc(ctx, func() { c.close() })
+		n, err := serveSession(ctx, cfg, c, h)
+		stop()
+		served += n
+		if cfg.Jobs > 0 && served >= cfg.Jobs {
+			// The budget is met by ended jobs; err reports whether the
+			// last one finished cleanly or aborted under us.
+			return err
+		}
+		if err != nil && ctx.Err() == nil {
+			cfg.Logf("nettrans: worker %q session ended: %v", cfg.Name, err)
+		}
+	}
+}
+
+// dialJoin connects and registers, distinguishing refusals (terminal)
+// from unreachability (retried).
+func dialJoin(ctx context.Context, cfg WorkerConfig) (*conn, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	c := newConn(nc)
+	if err := c.write(&frame{Type: fJoin, Worker: cfg.Name, Speed: cfg.Speed, Capacity: cfg.Capacity}); err != nil {
+		c.close()
+		return nil, err
+	}
+	nc.SetReadDeadline(time.Now().Add(10 * time.Second))
+	ack, err := c.read()
+	if err != nil {
+		c.close()
+		return nil, err
+	}
+	nc.SetReadDeadline(time.Time{})
+	if ack.Type != fJoinAck {
+		c.close()
+		return nil, fmt.Errorf("nettrans: unexpected %d frame instead of join ack", ack.Type)
+	}
+	if ack.Err != "" {
+		c.close()
+		return nil, fmt.Errorf("%w: %s", ErrJoinRefused, ack.Err)
+	}
+	return c, nil
+}
+
+// serveSession hosts jobs over one registered connection until it
+// drops, returning how many jobs ended — cleanly or not. A job that
+// aborted still counts as ended: it is over for good (the master never
+// replays it), so bounded daemons and JoinWorker must not wait for a
+// replacement that cannot come.
+func serveSession(ctx context.Context, cfg WorkerConfig, c *conn, h Handler) (int, error) {
+	defer c.close()
+	ended := 0
+	for {
+		f, err := c.read()
+		if err != nil {
+			return ended, err
+		}
+		if f.Type != fJob {
+			return ended, fmt.Errorf("nettrans: unexpected %d frame while idle", f.Type)
+		}
+		err = serveJob(ctx, cfg, c, h, f)
+		ended++
+		if cfg.Jobs > 0 && ended >= cfg.Jobs {
+			return ended, err
+		}
+		if err != nil {
+			return ended, err
+		}
+	}
+}
+
+// wjob is one job being hosted on this worker.
+type wjob struct {
+	c       *conn
+	factory TaskFactory
+	seed    uint64
+	scale   float64
+	speed   float64
+	start   time.Time
+	ctx     context.Context
+
+	mu        sync.Mutex
+	local     map[pvm.TaskID]*wTask
+	live      int
+	sends     int64
+	seq       uint64
+	spawnAcks map[uint64]chan pvm.TaskID
+	aborted   bool
+	cancelled bool
+	idle      *sync.Cond // signalled when live drops to 0
+}
+
+// serveJob hosts one job until it ends: nil means the master's final
+// result was delivered; any error means the job died under us (abort,
+// refusal, or a broken connection).
+func serveJob(ctx context.Context, cfg WorkerConfig, c *conn, h Handler, f *frame) error {
+	payload, err := decodePayload(f.Payload)
+	if err != nil {
+		c.write(&frame{Type: fJobErr, Err: err.Error()})
+		return err
+	}
+	factory, err := h.Start(payload)
+	if err != nil {
+		c.write(&frame{Type: fJobErr, Err: err.Error()})
+		return fmt.Errorf("nettrans: job refused: %w", err)
+	}
+	j := &wjob{
+		c: c, factory: factory,
+		seed: f.Seed, scale: f.WorkScale, speed: cfg.Speed,
+		start: time.Now(), ctx: ctx,
+		local:     make(map[pvm.TaskID]*wTask),
+		spawnAcks: make(map[uint64]chan pvm.TaskID),
+	}
+	j.idle = sync.NewCond(&j.mu)
+
+	for {
+		f, err := c.read()
+		if err != nil {
+			j.abort()
+			j.waitIdle()
+			return err
+		}
+		switch f.Type {
+		case fSpawn:
+			if err := j.host(f); err != nil {
+				j.abort()
+				j.waitIdle()
+				c.write(&frame{Type: fJobErr, Err: err.Error()})
+				return err
+			}
+		case fSpawnAck:
+			j.mu.Lock()
+			if ch, ok := j.spawnAcks[f.Seq]; ok {
+				delete(j.spawnAcks, f.Seq)
+				ch <- f.Task
+			}
+			j.mu.Unlock()
+		case fMsg:
+			if err := j.deliver(f); err != nil {
+				j.abort()
+				j.waitIdle()
+				c.write(&frame{Type: fJobErr, Err: err.Error()})
+				return err
+			}
+		case fCancel:
+			j.mu.Lock()
+			j.cancelled = true
+			j.mu.Unlock()
+		case fAbort:
+			j.abort()
+			j.waitIdle()
+			// Best-effort counter report so the master's interrupted
+			// result still accounts for this node's sends.
+			j.mu.Lock()
+			sends := j.sends
+			j.mu.Unlock()
+			c.write(&frame{Type: fBye, Sends: sends})
+			return fmt.Errorf("nettrans: job aborted by master")
+		case fEndJob:
+			j.waitIdle()
+			j.mu.Lock()
+			sends := j.sends
+			j.mu.Unlock()
+			if err := c.write(&frame{Type: fBye, Sends: sends}); err != nil {
+				return err
+			}
+		case fResult:
+			summary, err := decodePayload(f.Payload)
+			if err != nil {
+				return err
+			}
+			h.Done(summary)
+			return nil
+		default:
+			j.abort()
+			j.waitIdle()
+			return fmt.Errorf("nettrans: unexpected frame type %d mid-job", f.Type)
+		}
+	}
+}
+
+// host starts one task assigned to this node.
+func (j *wjob) host(f *frame) error {
+	data, err := decodePayload(f.Payload)
+	if err != nil {
+		return err
+	}
+	fn, err := j.factory(f.Kind, data)
+	if err != nil {
+		return fmt.Errorf("nettrans: build task %q (kind %q): %w", f.Name, f.Kind, err)
+	}
+	t := &wTask{j: j, id: f.Task, name: f.Name, machine: f.Machine, fn: fn,
+		r: rng.NewChild(j.seed, "pvm.task", f.Name)}
+	t.box.init()
+	j.mu.Lock()
+	j.local[f.Task] = t
+	j.live++
+	j.mu.Unlock()
+	go t.run()
+	return nil
+}
+
+// deliver routes an incoming message to its local task.
+func (j *wjob) deliver(f *frame) error {
+	j.mu.Lock()
+	t := j.local[f.To]
+	j.mu.Unlock()
+	if t == nil {
+		return fmt.Errorf("nettrans: message for task %d not hosted here", f.To)
+	}
+	data, err := decodePayload(f.Payload)
+	if err != nil {
+		return err
+	}
+	t.box.deliver(pvm.Message{From: f.From, Tag: f.Tag, Data: data})
+	return nil
+}
+
+// abort unwinds every hosted task that is still blocked.
+func (j *wjob) abort() {
+	j.mu.Lock()
+	if j.aborted {
+		j.mu.Unlock()
+		return
+	}
+	j.aborted = true
+	var wake []*wTask
+	for _, t := range j.local {
+		wake = append(wake, t)
+	}
+	acks := j.spawnAcks
+	j.spawnAcks = make(map[uint64]chan pvm.TaskID)
+	j.mu.Unlock()
+	for _, ch := range acks {
+		close(ch)
+	}
+	for _, t := range wake {
+		t.box.wake()
+	}
+}
+
+// waitIdle blocks until every hosted task has finished (they unwind
+// promptly after abort, or drain normally otherwise).
+func (j *wjob) waitIdle() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for j.live > 0 {
+		j.idle.Wait()
+	}
+}
+
+func (j *wjob) isAborted() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.aborted
+}
+
+func (j *wjob) isCancelled() bool {
+	if j.ctx != nil && j.ctx.Err() != nil {
+		return true
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelled || j.aborted
+}
+
+// wTask is a task hosted on this worker.
+type wTask struct {
+	j       *wjob
+	id      pvm.TaskID
+	name    string
+	machine int
+	fn      pvm.TaskFunc
+	r       *rand.Rand
+	box     mailbox
+}
+
+var _ pvm.Env = (*wTask)(nil)
+
+func (t *wTask) run() {
+	pvm.RunTask(t, t.fn)
+	j := t.j
+	j.mu.Lock()
+	j.live--
+	aborted := j.aborted
+	if j.live == 0 {
+		j.idle.Broadcast()
+	}
+	j.mu.Unlock()
+	if !aborted {
+		j.c.write(&frame{Type: fTaskDone, Task: t.id})
+	}
+}
+
+func (t *wTask) Self() pvm.TaskID  { return t.id }
+func (t *wTask) Name() string      { return t.name }
+func (t *wTask) MachineIndex() int { return t.machine }
+func (t *wTask) Rand() *rand.Rand  { return t.r }
+func (t *wTask) Now() float64      { return time.Since(t.j.start).Seconds() }
+func (t *wTask) Cancelled() bool   { return t.j.isCancelled() }
+
+func (t *wTask) Spawn(name string, machine int, fn pvm.TaskFunc) pvm.TaskID {
+	panic(fmt.Sprintf("nettrans: task %q used Spawn on a worker node; distributed programs must use SpawnSpec", t.name))
+}
+
+// SpawnSpec asks the master to allocate and place the task, blocking on
+// the round-trip (spawns happen during protocol setup, never in the hot
+// loop).
+func (t *wTask) SpawnSpec(name string, machine int, spec pvm.Spec) pvm.TaskID {
+	if spec.Kind == "" {
+		panic(fmt.Sprintf("nettrans: task %q spawned a non-portable task %q from a worker node", t.name, name))
+	}
+	payload, err := encodePayload(spec.Data)
+	if err != nil {
+		panic(fmt.Sprintf("nettrans: spawn %q: %v", name, err))
+	}
+	j := t.j
+	ch := make(chan pvm.TaskID, 1)
+	j.mu.Lock()
+	if j.aborted {
+		j.mu.Unlock()
+		pvm.AbortTask()
+	}
+	j.seq++
+	seq := j.seq
+	j.spawnAcks[seq] = ch
+	j.mu.Unlock()
+	err = j.c.write(&frame{
+		Type: fSpawnReq, Seq: seq, Name: t.name + "/" + name,
+		Machine: machine, Kind: spec.Kind, Payload: payload,
+	})
+	if err != nil {
+		pvm.AbortTask() // connection gone: the session is tearing down
+	}
+	id, ok := <-ch
+	if !ok {
+		pvm.AbortTask()
+	}
+	return id
+}
+
+func (t *wTask) Send(to pvm.TaskID, tag pvm.Tag, data any) {
+	j := t.j
+	j.mu.Lock()
+	j.sends++
+	dst := j.local[to]
+	j.mu.Unlock()
+	if dst != nil {
+		dst.box.deliver(pvm.Message{From: t.id, Tag: tag, Data: data})
+		return
+	}
+	payload, err := encodePayload(data)
+	if err != nil {
+		panic(fmt.Sprintf("nettrans: send tag %d to task %d: %v", tag, to, err))
+	}
+	if err := j.c.write(&frame{Type: fMsg, From: t.id, To: to, Tag: tag, Payload: payload}); err != nil {
+		pvm.AbortTask()
+	}
+}
+
+func (t *wTask) Recv(tags ...pvm.Tag) pvm.Message {
+	return t.box.recv(t.j.isAborted, tags)
+}
+
+func (t *wTask) TryRecv(tags ...pvm.Tag) (pvm.Message, bool) {
+	return t.box.tryRecv(tags)
+}
+
+// Work emulates the node's speed exactly like the in-process transport:
+// sleep seconds*scale/speed.
+func (t *wTask) Work(seconds float64) {
+	if seconds <= 0 || t.j.scale <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(seconds * t.j.scale / t.j.speed * float64(time.Second)))
+}

@@ -65,8 +65,15 @@ type Env interface {
 	// MachineIndex returns the cluster machine this task runs on.
 	MachineIndex() int
 	// Spawn starts fn as a new task on the given cluster machine
-	// (wrapped modulo the cluster size) and returns its ID.
+	// (wrapped modulo the cluster size) and returns its ID. The task is
+	// bound to this process: transports that place tasks in other
+	// processes reject it — portable programs use SpawnSpec.
 	Spawn(name string, machine int, fn TaskFunc) TaskID
+	// SpawnSpec starts a task described portably: in-process transports
+	// run spec.Fn directly (bit-identical to Spawn), network transports
+	// rebuild the body from spec.Kind and spec.Data on whichever process
+	// owns the target machine.
+	SpawnSpec(name string, machine int, spec Spec) TaskID
 	// Send delivers data to the task `to` with the given tag,
 	// asynchronously.
 	Send(to TaskID, tag Tag, data any)
@@ -125,7 +132,26 @@ type Options struct {
 	RealWorkScale float64
 	// Counters, when non-nil, receives run statistics.
 	Counters *Counters
+	// Transport, when non-nil, hosts real-mode runs; nil selects the
+	// in-process goroutine transport. The virtual runtime ignores it.
+	Transport Transport
+	// JobPayload is an opaque program description a network transport
+	// ships to every worker process when the run starts (problem
+	// fingerprint, search configuration, ...). It must be gob-encodable
+	// with its concrete type registered. In-process transports ignore
+	// it.
+	JobPayload any
+	// Spawner rebuilds portable task bodies from their Spec kind and
+	// data. Network transports call it to host tasks whose SpawnSpec was
+	// issued by a task living in another process; in-process transports
+	// fall back to it only for specs without an inline Fn.
+	Spawner TaskFactory
 }
+
+// TaskFactory rebuilds a portable task body from its Spec kind and
+// data — the one signature shared by Options.Spawner and the worker
+// side of network transports.
+type TaskFactory func(kind string, data any) (TaskFunc, error)
 
 // withDefaults normalizes options.
 func (o Options) withDefaults() Options {
@@ -179,4 +205,27 @@ func scanInbox(inbox *[]Message, tags []Tag) (Message, bool) {
 		}
 	}
 	return Message{}, false
+}
+
+// ScanInbox removes and returns the oldest message matching tags (any
+// tag if none given) — the selective-receive primitive shared by every
+// transport's Env implementation.
+func ScanInbox(inbox *[]Message, tags []Tag) (Message, bool) {
+	return scanInbox(inbox, tags)
+}
+
+// AbortTask unwinds the calling task immediately: it panics with a
+// sentinel that RunTask recovers, so a task blocked at any depth can be
+// torn down when its transport aborts the run. Only transport Env
+// implementations call it.
+func AbortTask() {
+	panic(taskAbort{})
+}
+
+// RunTask executes a task body under the abort protocol: an AbortTask
+// unwind ends the task quietly, any other panic propagates. Transports
+// wrap every hosted task goroutine in it.
+func RunTask(env Env, fn TaskFunc) {
+	defer recoverAbort()
+	fn(env)
 }

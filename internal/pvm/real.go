@@ -11,11 +11,17 @@ import (
 	"pts/internal/rng"
 )
 
+// chanTransport is the in-process Transport: tasks are goroutines,
+// inboxes are slices guarded by per-task conds. It is the wall-clock
+// runtime RunReal always used.
+type chanTransport struct{}
+
 // rRuntime is the wall-clock goroutine runtime.
 type rRuntime struct {
 	c         cluster.Cluster
 	seed      uint64
 	workScale float64
+	spawner   TaskFactory
 	done      <-chan struct{}
 	start     time.Time
 
@@ -51,6 +57,10 @@ func (t *rTask) Cancelled() bool   { return cancelled(t.rt.done) }
 
 func (t *rTask) Spawn(name string, machine int, fn TaskFunc) TaskID {
 	return t.rt.spawn(t.name+"/"+name, machine, fn)
+}
+
+func (t *rTask) SpawnSpec(name string, machine int, spec Spec) TaskID {
+	return t.Spawn(name, machine, resolveSpec(t.rt.spawner, t.name+"/"+name, spec))
 }
 
 func (rt *rRuntime) spawn(fullName string, machine int, fn TaskFunc) TaskID {
@@ -122,11 +132,21 @@ func (t *rTask) Work(seconds float64) {
 	time.Sleep(time.Duration(seconds * t.rt.workScale / m.Speed * float64(time.Second)))
 }
 
-// RunReal executes root (and everything it spawns) on goroutines with
-// wall-clock timing and returns the elapsed seconds once every task has
-// finished. Unlike RunVirtual it cannot detect deadlocks: a task that
-// waits forever hangs the run.
+// RunReal executes root (and everything it spawns) with wall-clock
+// timing on Options.Transport (the in-process goroutine transport when
+// nil) and returns the elapsed seconds once every task has finished.
+// Unlike RunVirtual it cannot detect deadlocks: a task that waits
+// forever hangs the run.
 func RunReal(opts Options, root TaskFunc) (elapsed float64, err error) {
+	tr := opts.Transport
+	if tr == nil {
+		tr = InProcess()
+	}
+	return tr.Run(opts, root)
+}
+
+// Run implements Transport on the in-process goroutine runtime.
+func (chanTransport) Run(opts Options, root TaskFunc) (elapsed float64, err error) {
 	opts = opts.withDefaults()
 	if err := opts.Cluster.Validate(); err != nil {
 		return 0, err
@@ -135,6 +155,7 @@ func RunReal(opts Options, root TaskFunc) (elapsed float64, err error) {
 		c:         opts.Cluster,
 		seed:      opts.Seed,
 		workScale: opts.RealWorkScale,
+		spawner:   opts.Spawner,
 		done:      doneChan(opts.Context),
 		start:     time.Now(),
 	}

@@ -1,0 +1,95 @@
+package pvm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Transport hosts one real-time run of a PVM program: it owns where
+// tasks execute and how messages travel between them, while the Env
+// contract the task bodies see — Spawn/Send/Recv and the group
+// operations built on them — stays identical.
+//
+// Two implementations ship with the repository:
+//
+//   - InProcess (the default) executes every task as a goroutine of the
+//     calling process with in-memory inboxes — the behavior RunReal
+//     always had, bit for bit.
+//   - nettrans.Master / nettrans worker daemons execute the same
+//     protocol across OS processes over TCP, with the master process
+//     routing length-prefixed gob frames between nodes.
+//
+// Run executes root (and everything it spawns) and returns the elapsed
+// wall-clock seconds once every task has finished. A transport that
+// loses a remote peer mid-run tears the run down and returns an error
+// wrapping ErrAborted; the in-process transport never aborts.
+type Transport interface {
+	Run(opts Options, root TaskFunc) (elapsed float64, err error)
+}
+
+// Finisher is an optional Transport capability: after Run has returned
+// and the program has assembled its final result, Finish delivers a
+// summary of it to every remote peer (so worker processes can report
+// the same outcome as the master) and releases them. Transports without
+// remote peers need not implement it.
+type Finisher interface {
+	Finish(summary any) error
+}
+
+// Spec describes a spawnable task portably. Fn is the task body used
+// whenever the task is hosted in the spawning process (the in-process
+// transports always use it); Kind plus Data let a network transport
+// rebuild an equivalent body in another process through the program's
+// Options.Spawner. Data must be gob-encodable (and its concrete type
+// gob-registered) for specs that may cross a process boundary.
+type Spec struct {
+	Kind string
+	Data any
+	Fn   TaskFunc
+}
+
+// ErrAborted is wrapped by Transport.Run errors when a run was torn
+// down rather than drained: a remote worker process died or rejected
+// the job mid-run. The program's best-so-far state assembled before the
+// abort remains valid — callers typically report it with an
+// "interrupted" marker.
+var ErrAborted = errors.New("pvm: run aborted")
+
+// taskAbort is the panic value used to unwind a task blocked in Recv
+// (or any other blocking primitive) when its transport aborts the run.
+// Task goroutine wrappers recover it; any other panic propagates.
+type taskAbort struct{}
+
+// recoverAbort is the deferred handler every abortable task runner
+// installs: it swallows taskAbort unwinds and re-panics everything
+// else.
+func recoverAbort() {
+	if r := recover(); r != nil {
+		if _, ok := r.(taskAbort); !ok {
+			panic(r)
+		}
+	}
+}
+
+// InProcess returns the default transport: every task is a goroutine of
+// the calling process, messages are in-memory inbox appends. It is the
+// exact runtime RunReal used before transports existed.
+func InProcess() Transport { return chanTransport{} }
+
+// resolveSpec returns the body of a spec-spawned task hosted in this
+// process: the inline Fn when the spawner provided one, else the body
+// the program's Spawner rebuilds — the same path a remote host takes.
+// A spec with neither is a programming error.
+func resolveSpec(spawner TaskFactory, name string, spec Spec) TaskFunc {
+	if spec.Fn != nil {
+		return spec.Fn
+	}
+	if spawner == nil {
+		panic(fmt.Sprintf("pvm: spawn %q: spec has no Fn and no Options.Spawner is configured", name))
+	}
+	fn, err := spawner(spec.Kind, spec.Data)
+	if err != nil {
+		panic(fmt.Sprintf("pvm: spawn %q: %v", name, err))
+	}
+	return fn
+}

@@ -11,13 +11,14 @@ import (
 
 // vRuntime is the deterministic virtual-time runtime.
 type vRuntime struct {
-	k      *vtime.Kernel
-	c      cluster.Cluster
-	seed   uint64
-	done   <-chan struct{}
-	task   []*vTask
-	spawns int64
-	sends  int64
+	k       *vtime.Kernel
+	c       cluster.Cluster
+	seed    uint64
+	spawner TaskFactory
+	done    <-chan struct{}
+	task    []*vTask
+	spawns  int64
+	sends   int64
 }
 
 // vTask is one virtual task.
@@ -49,6 +50,10 @@ func (t *vTask) Cancelled() bool   { return cancelled(t.rt.done) }
 
 func (t *vTask) Spawn(name string, machine int, fn TaskFunc) TaskID {
 	return t.rt.spawn(t.name+"/"+name, machine, fn)
+}
+
+func (t *vTask) SpawnSpec(name string, machine int, spec Spec) TaskID {
+	return t.Spawn(name, machine, resolveSpec(t.rt.spawner, t.name+"/"+name, spec))
 }
 
 func (rt *vRuntime) spawn(fullName string, machine int, fn TaskFunc) TaskID {
@@ -137,10 +142,11 @@ func RunVirtual(opts Options, root TaskFunc) (elapsed float64, err error) {
 		return 0, err
 	}
 	rt := &vRuntime{
-		k:    vtime.NewKernel(),
-		c:    opts.Cluster,
-		seed: opts.Seed,
-		done: doneChan(opts.Context),
+		k:       vtime.NewKernel(),
+		c:       opts.Cluster,
+		seed:    opts.Seed,
+		spawner: opts.Spawner,
+		done:    doneChan(opts.Context),
 	}
 	rt.k.MaxEvents = opts.MaxEvents
 	rt.spawn("root", 0, root)

@@ -3,6 +3,7 @@ package pts
 import (
 	"pts/internal/cluster"
 	"pts/internal/core"
+	"pts/internal/pvm"
 )
 
 // Option configures one Solve call. Options apply in order over the
@@ -15,6 +16,16 @@ type settings struct {
 	cfg  core.Config
 	clus cluster.Cluster
 	mode core.Mode
+	// modeSet records an explicit WithVirtualTime/WithRealTime, so the
+	// distributed options can tell "default virtual" (silently upgraded
+	// to real) from "requested virtual" (a configuration error).
+	modeSet bool
+
+	// Distributed execution (net.go options).
+	transport pvm.Transport
+	listen    *listenConfig
+	join      string
+	node      nodeConfig
 }
 
 // defaultSettings returns the zero-option configuration: the paper's
@@ -84,17 +95,20 @@ func WithSeed(seed uint64) Option {
 
 // WithVirtualTime runs on the deterministic discrete-event runtime:
 // compute and messages cost modeled time on the configured cluster, and
-// results are bit-identical across hosts and runs.
+// results are bit-identical across hosts and runs. It is single-process
+// by construction and cannot combine with a distributed transport.
 func WithVirtualTime() Option {
-	return func(s *settings) { s.mode = core.Virtual }
+	return func(s *settings) { s.mode, s.modeSet = core.Virtual, true }
 }
 
-// WithRealTime runs on plain goroutines with wall-clock timing — the
-// same algorithm code executing genuinely in parallel. The modeled
-// per-trial work charge does not apply (real compute is the cost), and
-// results are not deterministic.
+// WithRealTime runs with wall-clock timing — the same algorithm code
+// executing genuinely in parallel, on in-process goroutines by default
+// or across OS processes with WithListen/WithTransport. The modeled
+// per-trial work charge does not apply unless WithWorkScale asks for
+// speed emulation, and results are not deterministic in time (with
+// half-sync off, the search outcome still is).
 func WithRealTime() Option {
-	return func(s *settings) { s.mode = core.Real }
+	return func(s *settings) { s.mode, s.modeSet = core.Real, true }
 }
 
 // WithProgress streams one Snapshot per completed global iteration to

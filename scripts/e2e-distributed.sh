@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Multi-process end-to-end check of the distributed TCP transport:
+# build cmd/pts, run the same fixed-seed search once in a single
+# process and once as one master plus three loopback TCP workers with
+# distinct declared speed factors, and require the distributed best
+# cost to be exactly the single-process one (with half-sync off the
+# search outcome depends only on the seed, not on timing — so "no
+# worse" is provable as "identical").
+#
+# Usage: scripts/e2e-distributed.sh [path-to-pts-binary]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BIN=${1:-}
+if [ -z "$BIN" ]; then
+  BIN=$(mktemp -d)/pts
+  go build -o "$BIN" ./cmd/pts
+fi
+
+PORT=${PTS_E2E_PORT:-19471}
+ADDR="127.0.0.1:${PORT}"
+OUT=$(mktemp -d)
+trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$OUT"' EXIT
+
+# One search configuration for both runs. -het=false makes the outcome
+# timing-independent; the worker count and speed factors match the
+# acceptance criterion (3 TSWs x 2 CLWs over nodes 1.0/0.55/0.3).
+FLAGS=(-circuit c532 -seed 7 -het=false -tsws 3 -clws 2 -global 4 -local 15)
+
+echo "== single-process real-mode run"
+"$BIN" "${FLAGS[@]}" -mode real -json "$OUT/single.json" > "$OUT/single.log"
+
+echo "== distributed run: 1 master + 3 TCP workers on $ADDR"
+"$BIN" "${FLAGS[@]}" -serve "$ADDR" -net-workers 3 -json "$OUT/net.json" > "$OUT/master.log" 2>&1 &
+MASTER=$!
+sleep 1
+for i in 1 2 3; do
+  case $i in
+    1) SPEED=1.0 ;;
+    2) SPEED=0.55 ;;
+    3) SPEED=0.3 ;;
+  esac
+  "$BIN" -circuit c532 -worker "$ADDR" -node-name "w$i" -speed "$SPEED" -jobs 1 \
+    > "$OUT/worker$i.log" 2>&1 &
+done
+
+if ! wait "$MASTER"; then
+  echo "master failed:"; cat "$OUT/master.log"
+  exit 1
+fi
+wait
+
+extract_cost() {
+  grep -o '"BestCost": [0-9.eE+-]*' "$1" | head -1 | awk '{print $2}'
+}
+
+SINGLE=$(extract_cost "$OUT/single.json")
+DIST=$(extract_cost "$OUT/net.json")
+echo "single-process best cost: $SINGLE"
+echo "distributed  best cost:   $DIST"
+
+if [ -z "$SINGLE" ] || [ -z "$DIST" ]; then
+  echo "FAIL: missing best cost"; exit 1
+fi
+if [ "$SINGLE" != "$DIST" ]; then
+  echo "FAIL: distributed best cost differs from the single-process run"
+  exit 1
+fi
+for i in 1 2 3; do
+  grep -q "job completed" "$OUT/worker$i.log" || {
+    echo "FAIL: worker $i did not report a completed job"; cat "$OUT/worker$i.log"; exit 1
+  }
+done
+echo "PASS: distributed run reproduces the single-process best cost exactly"
