@@ -46,6 +46,7 @@ func main() {
 		tenure   = flag.Int("tenure", 10, "tabu tenure")
 		div      = flag.Int("diversify", 12, "diversification depth (0 = off)")
 		het      = flag.Bool("het", true, "half-sync heterogeneous collection")
+		adaptive = flag.Bool("adaptive", false, "throughput-proportional adaptive scheduling (speed-seeded shares, loss-tolerant distributed runs)")
 		mode     = flag.String("mode", "virtual", "runtime: virtual or real")
 		seed     = flag.Uint64("seed", 1, "run seed")
 		loadSeed = flag.Uint64("cluster-seed", 12, "testbed load-trace seed (0 = idle machines)")
@@ -111,6 +112,7 @@ func main() {
 		pts.WithTabu(*tenure, *trials, *depth),
 		pts.WithDiversification(*div),
 		pts.WithHalfSync(*het),
+		pts.WithAdaptive(*adaptive),
 		pts.WithSeed(*seed),
 		pts.WithCluster(pts.Testbed12(*loadSeed)),
 		pts.WithWorkScale(*workScale),
@@ -132,13 +134,17 @@ func main() {
 	}
 	if *progress {
 		opts = append(opts, pts.WithProgress(func(s pts.Snapshot) {
-			fmt.Printf("round %3d/%d  best %.4f  elapsed %8.3fs  reports %d (%d forced)\n",
+			fmt.Printf("round %3d/%d  best %.4f  elapsed %8.3fs  reports %d (%d forced)",
 				s.Round, s.Rounds, s.BestCost, s.Elapsed, s.Reports, s.Forced)
+			if len(s.Shares) > 0 {
+				fmt.Printf("  shares %v", formatShares(s.Shares))
+			}
+			fmt.Println()
 		}))
 	}
 
-	fmt.Printf("running %d TSWs x %d CLWs, %d global x %d local iterations (%s mode, half-sync=%v)\n",
-		*tsws, *clws, *gIters, *lIters, *mode, *het)
+	fmt.Printf("running %d TSWs x %d CLWs, %d global x %d local iterations (%s mode, half-sync=%v, adaptive=%v)\n",
+		*tsws, *clws, *gIters, *lIters, *mode, *het, *adaptive)
 
 	res, err := pts.Solve(ctx, problem, opts...)
 	if err != nil {
@@ -187,6 +193,18 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *svgOut)
 	}
+}
+
+// formatShares renders the adaptive scheduler's share vector compactly.
+func formatShares(shares []float64) string {
+	out := "["
+	for i, s := range shares {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.2f", s)
+	}
+	return out + "]"
 }
 
 // runWorker runs the worker daemon: join the master, host this node's

@@ -9,6 +9,7 @@
 //	ptsbench -scale 0.25         # quarter iteration budgets (quick look)
 //	ptsbench -circuits highway,c532 -out results
 //	ptsbench -hotpath            # trial-kernel microbench -> BENCH_hotpath.json
+//	ptsbench -hetero             # static vs adaptive scheduling on a 4:1 skewed cluster -> BENCH_hetero.json
 package main
 
 import (
@@ -36,6 +37,8 @@ func main() {
 		verbose     = flag.Bool("v", false, "print one line per completed run")
 		hotpath     = flag.Bool("hotpath", false, "measure the trial-evaluation hot path and write BENCH_hotpath.json")
 		hotpathDur  = flag.Duration("hotpath-dur", time.Second, "measurement duration per hot-path kernel")
+		hetero      = flag.Bool("hetero", false, "compare static vs adaptive scheduling wall time on an emulated 1-fast/3-slow cluster and write BENCH_hetero.json")
+		heteroScale = flag.Float64("hetero-workscale", 0, "work emulation factor for -hetero (0 = default)")
 	)
 	flag.Parse()
 
@@ -65,6 +68,33 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *hetero {
+		// The hetero scenario compares one circuit; only the first
+		// -circuits entry applies. -scale shrinks/grows the local
+		// iteration budget like the figure drivers.
+		var circuit string
+		if *circuits != "" {
+			circuit = strings.Split(*circuits, ",")[0]
+		}
+		rep, err := bench.Hetero(bench.HeteroOpts{
+			Context:   ctx,
+			Circuit:   circuit,
+			WorkScale: *heteroScale,
+			Scale:     *scale,
+			Seed:      *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		path, err := bench.WriteHetero(rep, *out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.RenderHetero(rep))
+		fmt.Printf("wrote %s\n", path)
+		return
 	}
 
 	opts := bench.Opts{

@@ -137,6 +137,124 @@ func TestDistributedWithListenSugar(t *testing.T) {
 	}
 }
 
+// TestAdaptiveWorkerLossDegradesGracefully is the loss-tolerance
+// acceptance gate: under WithAdaptive, killing a CLW-hosting worker
+// process mid-run must NOT abort the run — the dead worker's element
+// range is folded back into the survivors and the master returns a
+// complete (non-Interrupted) result over the full iteration budget.
+func TestAdaptiveWorkerLossDegradesGracefully(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed loopback run")
+	}
+	ctx := context.Background()
+	newProblem := func() Problem { return RandomQAP(30, 11) }
+
+	master, err := ListenMaster("127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer master.Close()
+
+	// Join order fixes the slot ring: with 1 TSW x 3 CLWs over
+	// (master + 3 workers), the TSW lands on the first worker and CLWs
+	// on the second, third and the master process — so killing the
+	// third worker kills exactly one CLW.
+	waitJoined := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for len(master.Workers()) < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("only %d of %d workers joined", len(master.Workers()), want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	type workerOutcome struct {
+		res *Result
+		err error
+	}
+	startWorker := func(wctx context.Context, name string, speed float64) chan workerOutcome {
+		ch := make(chan workerOutcome, 1)
+		go func() {
+			var saw *Result
+			err := Worker(wctx, newProblem(), master.Addr(),
+				NodeOptions{Name: name, Speed: speed}, 1,
+				func(r *Result) { saw = r })
+			ch <- workerOutcome{saw, err}
+		}()
+		return ch
+	}
+
+	fastCh := startWorker(ctx, "fast", 4)
+	waitJoined(1)
+	slowCh := startWorker(ctx, "slow", 1)
+	waitJoined(2)
+	doomedCtx, killDoomed := context.WithCancel(ctx)
+	defer killDoomed()
+	doomedCh := startWorker(doomedCtx, "doomed", 1)
+	waitJoined(3)
+
+	const rounds = 8
+	killed := false
+	res, err := Solve(ctx, newProblem(),
+		WithWorkers(1, 3),
+		WithIterations(rounds, 15),
+		WithTabu(10, 6, 3),
+		WithSeed(7),
+		WithHalfSync(false),
+		WithAdaptive(true),
+		WithWorkScale(2), // stretch rounds so the kill lands mid-run
+		WithTransport(master.Transport()),
+		WithProgress(func(s Snapshot) {
+			if s.Round == 2 && !killed {
+				killed = true
+				killDoomed() // kill -9 the CLW host between rounds 2 and 3
+			}
+		}),
+	)
+	if err != nil {
+		t.Fatalf("adaptive run with a killed worker: %v", err)
+	}
+	if res.Interrupted {
+		t.Fatal("run reported Interrupted; adaptive mode must degrade gracefully")
+	}
+	if res.Rounds != rounds {
+		t.Errorf("completed %d rounds, want the full %d", res.Rounds, rounds)
+	}
+	if res.Stats.WorkersLost != 1 {
+		t.Errorf("WorkersLost = %d, want 1", res.Stats.WorkersLost)
+	}
+	if res.Stats.Rebalances == 0 {
+		t.Error("the dead CLW's range was never re-absorbed (no rebalance adopted)")
+	}
+	if res.BestCost > res.InitialCost {
+		t.Errorf("no improvement: %v -> %v", res.InitialCost, res.BestCost)
+	}
+
+	// The survivors see the master's completed result; the doomed worker
+	// errors out (its job died under it), which is its expected outcome.
+	for name, ch := range map[string]chan workerOutcome{"fast": fastCh, "slow": slowCh} {
+		select {
+		case o := <-ch:
+			if o.err != nil {
+				t.Errorf("worker %s: %v", name, o.err)
+			} else if o.res == nil || o.res.BestCost != res.BestCost || o.res.Interrupted {
+				t.Errorf("worker %s result %+v does not match master best %.9f", name, o.res, res.BestCost)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("worker %s never finished", name)
+		}
+	}
+	select {
+	case o := <-doomedCh:
+		if o.err == nil && o.res != nil && !o.res.Interrupted {
+			t.Error("doomed worker reported a clean completed job after being killed")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("doomed worker never returned")
+	}
+}
+
 // TestDistributedOptionValidation pins the configuration errors.
 func TestDistributedOptionValidation(t *testing.T) {
 	ctx := context.Background()

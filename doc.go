@@ -56,6 +56,30 @@
 // reference the distributed and goroutine transports are checked
 // against, not a mode they replace.
 //
+// # Adaptive scheduling
+//
+// WithAdaptive turns on the heterogeneity-aware scheduler: element
+// ranges are seeded proportionally to the declared machine speeds and
+// re-partitioned at synchronization barriers to track each worker's
+// observed throughput, with per-step trial budgets scaled to range
+// shares. On the distributed transport, adaptive runs additionally
+// tolerate the loss of candidate-list workers (the dead worker's range
+// folds back into the survivors and the run completes) and absorb
+// late-joining worker processes as spare capacity.
+//
+// Reproducibility contract:
+//
+//   - Adaptive off (the default): fixed-seed virtual-time runs are
+//     bit-identical across releases, and a fixed-seed distributed run
+//     with half-sync off reproduces the single-process result exactly.
+//   - Adaptive on under WithVirtualTime: still deterministic in
+//     WithSeed — scheduling decisions key off modeled time — but the
+//     trajectory differs from the static partition's.
+//   - Adaptive on under WithRealTime: shares follow the wall clock, so
+//     runs are not time-reproducible (like any real-mode run); a run
+//     that lost a worker reports Stats.WorkersLost instead of
+//     Interrupted.
+//
 // # Evaluator complexity guarantees
 //
 // The search's throughput rests on the placement evaluator's trial

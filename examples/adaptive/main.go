@@ -1,0 +1,95 @@
+// Adaptive-scheduling walkthrough: on a cluster where one CLW host is
+// 4x faster than the other three, the static equal partition makes
+// every iteration wait on a slow node, while WithAdaptive gives the
+// fast node a speed-proportional share of the element space and trial
+// budget — the same iteration budget completes substantially faster.
+//
+//	go run ./examples/adaptive
+//
+// The comparison runs on the deterministic virtual runtime, so the
+// makespans are modeled cluster time (bit-reproducible across hosts)
+// rather than noisy wall clock; `ptsbench -hetero` measures the same
+// scenario with real WorkScale-emulated wall time. The second half
+// shows the adaptive scheduler's progress snapshots on a loaded
+// cluster, where shares drift as background load shifts throughput.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"pts"
+)
+
+func main() {
+	speedSkewComparison()
+	driftingShares()
+}
+
+// speedSkewComparison is the headline number: identical search budget,
+// static vs adaptive, on a 4:1 speed-skewed platform.
+func speedSkewComparison() {
+	p, err := pts.PlacementBenchmark("highway")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Machine 0 hosts the master, machine 1 the single TSW, machines
+	// 2..5 its four CLWs: one 4x node and three 1x nodes.
+	clus := pts.ClusterOf(1, 4, 4, 1, 1, 1)
+
+	run := func(adaptive bool) *pts.Result {
+		res, err := pts.Solve(context.Background(), p,
+			pts.WithCluster(clus),
+			pts.WithWorkers(1, 4),
+			pts.WithIterations(4, 20),
+			// One wide sampling step per candidate makes the critical path
+			// exactly the per-step trial budget the scheduler balances.
+			pts.WithTabu(10, 96, 1),
+			pts.WithHalfSync(false), // full collection: equal budgets, comparable makespans
+			pts.WithAdaptive(adaptive),
+			pts.WithSeed(7),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	fmt.Println("4:1 speed-skewed cluster, equal iteration budget:")
+	static := run(false)
+	adaptive := run(true)
+	fmt.Printf("  static    %7.3fs modeled  best %.4f\n", static.Elapsed, static.BestCost)
+	fmt.Printf("  adaptive  %7.3fs modeled  best %.4f\n", adaptive.Elapsed, adaptive.BestCost)
+	fmt.Printf("  speedup   %.2fx\n\n", static.Elapsed/adaptive.Elapsed)
+}
+
+// driftingShares shows the scheduler reacting to load, not just raw
+// speed: on the loaded testbed the per-TSW shares shift between rounds
+// as background load steals cycles.
+func driftingShares() {
+	p, err := pts.PlacementBenchmark("highway")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("adaptive shares on the loaded 12-machine testbed:")
+	res, err := pts.Solve(context.Background(), p,
+		pts.WithCluster(pts.Testbed12(12)),
+		pts.WithWorkers(4, 2),
+		pts.WithIterations(8, 25),
+		pts.WithAdaptive(true),
+		pts.WithSeed(7),
+		pts.WithProgress(func(s pts.Snapshot) {
+			fmt.Printf("  round %2d/%d  best %.4f  shares ", s.Round, s.Rounds, s.BestCost)
+			for _, sh := range s.Shares {
+				fmt.Printf("%5.2f ", sh)
+			}
+			fmt.Println()
+		}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final: best %.4f after %d rounds, %d rebalances adopted\n",
+		res.BestCost, res.Rounds, res.Stats.Rebalances)
+}

@@ -250,3 +250,36 @@ func TestIntersect(t *testing.T) {
 		t.Errorf("fallback broken: %v", got)
 	}
 }
+
+func TestHeteroSmoke(t *testing.T) {
+	// Tiny budget with near-free work emulation: exercises both sides of
+	// the comparison and the report plumbing without meaningful sleeps.
+	rep, err := Hetero(HeteroOpts{
+		WorkScale:   1e-6,
+		GlobalIters: 1,
+		LocalIters:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Static.WallSeconds <= 0 || rep.Adaptive.WallSeconds <= 0 {
+		t.Errorf("degenerate wall times: %+v", rep)
+	}
+	if rep.Speedup <= 0 {
+		t.Errorf("speedup = %v", rep.Speedup)
+	}
+	if len(rep.Static.Trace) == 0 || len(rep.Adaptive.Trace) == 0 {
+		t.Error("missing best-cost trajectories")
+	}
+	if len(rep.MachineSpeeds) != 6 {
+		t.Errorf("machine speeds = %v", rep.MachineSpeeds)
+	}
+	dir := t.TempDir()
+	path, err := WriteHetero(rep, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_hetero.json" {
+		t.Errorf("path = %s", path)
+	}
+}

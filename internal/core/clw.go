@@ -25,20 +25,25 @@ func clwRun(env pvm.Env, problem Problem, cfg Config, tune Tuning, parent pvm.Ta
 		RangeLo: init.RangeLo,
 		RangeHi: init.RangeHi,
 	}
-	stepWork := float64(tune.Trials) * cfg.WorkPerTrial
+	if init.Trials > 0 {
+		// Adaptive scheduling: the per-step trial budget scales with
+		// this worker's range share instead of the tuned constant.
+		params.Trials = init.Trials
+	}
+	stepWork := float64(params.Trials) * cfg.WorkPerTrial
 	staWork := workSTA(cfg, prob.Size())
 
 	var stats WorkerStats
 	var tentative tabu.CompoundMove // applied locally, awaiting TagSync
 
 	for {
-		m := env.Recv(TagSearch, TagSync, TagNewState, TagStop, TagReportNow)
+		m := env.Recv(TagSearch, TagSync, TagNewState, TagStop, TagReportNow, TagRebalance)
 		switch m.Tag {
 		case TagSearch:
 			forced := false
 			move := tabu.BuildCompound(prob, r, params, func() bool {
 				env.Work(stepWork)
-				stats.TrialsCharged += int64(tune.Trials)
+				stats.TrialsCharged += int64(params.Trials)
 				if _, ok := env.TryRecv(TagReportNow); ok {
 					forced = true
 					return true
@@ -50,7 +55,21 @@ func clwRun(env pvm.Env, problem Problem, cfg Config, tune Tuning, parent pvm.Ta
 			if forced {
 				stats.ForcedReports++
 			}
-			env.Send(parent, TagCandidate, candMsg{Move: move, Forced: forced})
+			env.Send(parent, TagCandidate, candMsg{
+				Move: move, Forced: forced,
+				CumTrials: stats.TrialsCharged, At: env.Now(),
+			})
+
+		case TagRebalance:
+			// Only ever arrives at the resync barrier (followed by the
+			// TagNewState carrying the synchronized solution), so no
+			// candidate built against the old range is in flight.
+			rb := m.Data.(rebalanceMsg)
+			params.RangeLo, params.RangeHi = rb.RangeLo, rb.RangeHi
+			if rb.Trials > 0 {
+				params.Trials = rb.Trials
+				stepWork = float64(params.Trials) * cfg.WorkPerTrial
+			}
 
 		case TagSync:
 			chosen := m.Data.(syncMsg).Chosen

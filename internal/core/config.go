@@ -58,6 +58,22 @@ type Config struct {
 	// stragglers to report once half their children finished. When
 	// false, parents wait for every child (the paper's homogeneous run).
 	HalfSync bool
+	// Adaptive enables the heterogeneity-aware scheduler
+	// (pts/internal/sched): element ranges are seeded proportionally to
+	// the declared machine speeds and re-partitioned at synchronization
+	// barriers to track each worker's observed throughput, with each
+	// CLW's per-step trial budget scaled to its range share so faster
+	// workers do proportionally more of the work. Adaptive runs also
+	// tolerate CLW loss on distributed transports: a dead CLW's range
+	// folds back into the survivors instead of aborting the run, and
+	// late-joining workers are absorbed as spare capacity.
+	//
+	// Off (the default), partitioning is the paper's static equal
+	// split; fixed-seed virtual-time runs are bit-identical to earlier
+	// releases. On, virtual-time runs remain deterministic in the seed
+	// (scheduling decisions key off modeled time), but differ from
+	// static runs.
+	Adaptive bool
 	// RefreshEvery re-runs timing analysis on a TSW's evaluator every
 	// that many accepted moves (0 = only at global sync).
 	RefreshEvery int
@@ -226,9 +242,22 @@ func (c Config) Validate() error {
 }
 
 // ranges partitions [0, n) into k nearly equal half-open ranges, the
-// cell subsets assigned to workers.
+// cell subsets assigned to workers. With more workers than elements
+// (k > n) the first n workers get one element each and the rest get
+// empty ranges [n, n) — callers skip spawning workers for empty ranges
+// rather than running searchers with a degenerate domain.
 func ranges(n int32, k int) [][2]int32 {
 	out := make([][2]int32, k)
+	if int64(k) > int64(n) {
+		for i := range out {
+			if int32(i) < n {
+				out[i] = [2]int32{int32(i), int32(i) + 1}
+			} else {
+				out[i] = [2]int32{n, n}
+			}
+		}
+		return out
+	}
 	for i := 0; i < k; i++ {
 		lo := int32(int64(n) * int64(i) / int64(k))
 		hi := int32(int64(n) * int64(i+1) / int64(k))

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"pts/internal/pvm"
+	"pts/internal/sched"
 	"pts/internal/stats"
 	"pts/internal/tabu"
 )
@@ -50,8 +51,19 @@ func masterRun(env pvm.Env, prob Problem, cfg Config,
 			},
 		})
 	}
+	// Diversification ranges over the TSWs: the static equal split, or
+	// (adaptive) speed-seeded shares re-partitioned by each TSW's
+	// observed iteration throughput — the master-level half of the
+	// scheduler.
 	divRanges := ranges(prob.Size(), cfg.TSWs)
+	var track *sched.Tracker
+	if cfg.Adaptive {
+		track = seededTracker(env, prob.Size(), cfg.TSWs, cfg.tswMachine)
+		divRanges = track.Partition()
+	}
+	tswIdx := make(map[pvm.TaskID]int, cfg.TSWs)
 	for i, id := range tswIDs {
+		tswIdx[id] = i
 		env.Send(id, TagInit, initMsg{
 			Perm:      initPerm,
 			RangeLo:   divRanges[i][0],
@@ -65,6 +77,7 @@ func masterRun(env pvm.Env, prob Problem, cfg Config,
 	latest := make(map[pvm.TaskID]WorkerStats, cfg.TSWs)
 
 	var bestTabu []tabu.Entry
+	roundStart := env.Now()
 	for g := 0; g < cfg.GlobalIters; g++ {
 		reports := collectBests(env, tswIDs, cfg.HalfSync)
 		env.Work(float64(len(reports.msgs)) * cfg.WorkPerTrial)
@@ -72,6 +85,18 @@ func masterRun(env pvm.Env, prob Problem, cfg Config,
 		forced := 0
 		for i, r := range reports.msgs {
 			raw = append(raw, r.Points...)
+			idx := tswIdx[reports.from[i]]
+			if track != nil {
+				// One throughput observation per TSW per round: local
+				// iterations completed this round over the TSW's report
+				// latency from the round start — all on the master's own
+				// clock. Latency (not the shared collection time) is what
+				// still discriminates under full sync, where every TSW does
+				// identical per-round work by construction and only how
+				// long it took differs.
+				dIters := float64(r.Stats.LocalIters - latest[reports.from[i]].LocalIters)
+				track.ObserveWindow(idx, dIters, reports.at[i]-roundStart)
+			}
 			latest[reports.from[i]] = r.Stats
 			if r.Forced {
 				forced++
@@ -99,6 +124,9 @@ func masterRun(env pvm.Env, prob Problem, cfg Config,
 				Reports:     len(reports.msgs),
 				Forced:      forced,
 			}
+			if track != nil {
+				snap.Shares = track.Shares()
+			}
 			for _, ws := range latest {
 				snap.Stats.add(ws)
 			}
@@ -113,11 +141,25 @@ func masterRun(env pvm.Env, prob Problem, cfg Config,
 			break
 		}
 		// Broadcast the global best (solution + its tabu list) so every
-		// TSW restarts the next round from it.
+		// TSW restarts the next round from it; under the adaptive
+		// scheduler the broadcast also carries each TSW's re-partitioned
+		// diversification range.
+		rebalanced := false
+		if track != nil {
+			if next, changed := track.Rebalance(divRanges, 0); changed {
+				divRanges = next
+				rebalanced = true
+			}
+		}
 		gm := globalMsg{Perm: out.bestPerm, Tabu: bestTabu}
-		for _, id := range tswIDs {
+		for i, id := range tswIDs {
+			if rebalanced {
+				gm.RangeLo, gm.RangeHi = divRanges[i][0], divRanges[i][1]
+				gm.Rebalance = true
+			}
 			env.Send(id, TagGlobal, gm)
 		}
+		roundStart = env.Now()
 	}
 
 	// Shut down and gather counters.
@@ -159,23 +201,27 @@ func envelope(raw []improvement) stats.Trace {
 	return tr
 }
 
-// bestReports pairs each collected bestMsg with its sender.
+// bestReports pairs each collected bestMsg with its sender and the
+// master-clock time it was received — the arrival latencies the
+// adaptive tracker turns into throughput weights.
 type bestReports struct {
 	msgs []bestMsg
 	from []pvm.TaskID
+	at   []float64
 }
 
 // collectBests gathers one bestMsg per TSW; in half-sync mode it forces
 // the stragglers once half have reported.
 func collectBests(env pvm.Env, tswIDs []pvm.TaskID, halfSync bool) bestReports {
 	n := len(tswIDs)
-	out := bestReports{msgs: make([]bestMsg, 0, n), from: make([]pvm.TaskID, 0, n)}
+	out := bestReports{msgs: make([]bestMsg, 0, n), from: make([]pvm.TaskID, 0, n), at: make([]float64, 0, n)}
 	reported := make(map[pvm.TaskID]bool, n)
 	take := func() {
 		m := env.Recv(TagBest)
 		reported[m.From] = true
 		out.msgs = append(out.msgs, m.Data.(bestMsg))
 		out.from = append(out.from, m.From)
+		out.at = append(out.at, env.Now())
 	}
 	if halfSync && n > 1 {
 		half := (n + 1) / 2

@@ -33,25 +33,58 @@ const (
 	TagStop
 	// TagStats returns a worker's counters at shutdown (child→parent).
 	TagStats
+	// TagRebalance re-partitions a CLW's element range and per-step
+	// trial budget (TSW→CLW). Sent only at the resync barrier —
+	// immediately before the TagNewState that replaces the CLW's whole
+	// solution — so candidate semantics stay well-defined: a range never
+	// changes while candidates built against it are in flight.
+	TagRebalance
 )
 
-// initMsg is the TagInit payload.
+// initMsg is the TagInit payload. Trials, when positive, overrides the
+// worker's per-step trial budget (the adaptive scheduler's
+// share-proportional budget); 0 keeps the tuned default.
 type initMsg struct {
 	Perm             []int32
 	RangeLo, RangeHi int32
 	WorkerIdx        int
+	Trials           int
 }
 
 // PVMItems models the message size for latency purposes.
+//
+// Note on the size model: the adaptive-scheduling piggyback fields
+// (initMsg.Trials, candMsg.CumTrials/At, globalMsg range updates,
+// bestMsg/WorkerStats scheduler counters) are deliberately excluded
+// from every PVMItems formula. The formulas calibrate the virtual
+// runtime against the paper's 2003-era message costs, and keeping them
+// untouched keeps fixed-seed static-mode runs bit-identical across
+// releases — the few extra words are far below the model's resolution.
 func (m initMsg) PVMItems() int { return len(m.Perm) + 4 }
 
-// candMsg is the TagCandidate payload.
+// candMsg is the TagCandidate payload. CumTrials and At piggyback the
+// CLW's cumulative charged trials and its clock at send time — the
+// throughput observations the adaptive scheduler folds into its
+// per-worker weights (modeled time under the virtual runtime, so
+// adaptive decisions stay deterministic).
 type candMsg struct {
-	Move   tabu.CompoundMove
-	Forced bool // the move was truncated by TagReportNow
+	Move      tabu.CompoundMove
+	Forced    bool // the move was truncated by TagReportNow
+	CumTrials int64
+	At        float64
 }
 
 func (m candMsg) PVMItems() int { return 2*len(m.Move.Swaps) + 3 }
+
+// rebalanceMsg is the TagRebalance payload: the CLW's new element
+// range and per-step trial budget, effective at the resync barrier it
+// is sent at.
+type rebalanceMsg struct {
+	RangeLo, RangeHi int32
+	Trials           int
+}
+
+func (m rebalanceMsg) PVMItems() int { return 3 }
 
 // syncMsg is the TagSync payload: the winning move of the iteration
 // (possibly empty when no move was taken).
@@ -93,10 +126,16 @@ func (m bestMsg) PVMItems() int {
 	return len(m.Perm) + 3*len(m.Tabu) + 4*len(m.Points) + 4 + m.Stats.PVMItems()
 }
 
-// globalMsg is the TagGlobal payload.
+// globalMsg is the TagGlobal payload. When Rebalance is set the
+// receiving TSW also adopts [RangeLo, RangeHi) as its new
+// diversification range — the master-level half of the adaptive
+// scheduler, re-partitioning the element space over TSWs by their
+// observed iteration throughput.
 type globalMsg struct {
-	Perm []int32
-	Tabu []tabu.Entry
+	Perm             []int32
+	Tabu             []tabu.Entry
+	RangeLo, RangeHi int32
+	Rebalance        bool
 }
 
 func (m globalMsg) PVMItems() int { return len(m.Perm) + 3*len(m.Tabu) }
@@ -113,6 +152,12 @@ type WorkerStats struct {
 	Fallbacks        int64
 	ForcedReports    int64
 	Diversifications int64
+	// Rebalances counts adopted adaptive re-partitions (TSW-level for
+	// CLW ranges, master-level rebalances are not counted here);
+	// WorkersLost counts CLWs written off after their hosting process
+	// died. Both stay 0 in static mode.
+	Rebalances  int64
+	WorkersLost int64
 }
 
 // add accumulates other into s.
@@ -126,6 +171,11 @@ func (s *WorkerStats) add(other WorkerStats) {
 	s.Fallbacks += other.Fallbacks
 	s.ForcedReports += other.ForcedReports
 	s.Diversifications += other.Diversifications
+	s.Rebalances += other.Rebalances
+	s.WorkersLost += other.WorkersLost
 }
 
+// PVMItems stays at the original 9-field size: see the note on
+// initMsg.PVMItems — the scheduler counters ride free in the latency
+// model to preserve the calibrated reference timings.
 func (s WorkerStats) PVMItems() int { return 9 }

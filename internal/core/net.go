@@ -75,6 +75,7 @@ type wireConfig struct {
 	Trials, Depth, Tenure   int
 	DiversifyDepth          int
 	HalfSync                bool
+	Adaptive                bool
 	RefreshEvery            int
 	Utilization             float64
 	Cost                    cost.Config
@@ -93,6 +94,7 @@ func (c Config) wire() wireConfig {
 		Trials: c.Trials, Depth: c.Depth, Tenure: c.Tenure,
 		DiversifyDepth:    c.DiversifyDepth,
 		HalfSync:          c.HalfSync,
+		Adaptive:          c.Adaptive,
 		RefreshEvery:      c.RefreshEvery,
 		Utilization:       c.Utilization,
 		Cost:              c.Cost,
@@ -112,6 +114,7 @@ func (w wireConfig) config() Config {
 		Trials: w.Trials, Depth: w.Depth, Tenure: w.Tenure,
 		DiversifyDepth:    w.DiversifyDepth,
 		HalfSync:          w.HalfSync,
+		Adaptive:          w.Adaptive,
 		RefreshEvery:      w.RefreshEvery,
 		Utilization:       w.Utilization,
 		WorkPerTrial:      w.WorkPerTrial,
@@ -130,6 +133,7 @@ func init() {
 	// gob-registered identically in every process of the cluster.
 	gob.Register(initMsg{})
 	gob.Register(candMsg{})
+	gob.Register(rebalanceMsg{})
 	gob.Register(syncMsg{})
 	gob.Register(stateMsg{})
 	gob.Register(bestMsg{})

@@ -62,6 +62,10 @@ type Snapshot struct {
 	// Stats aggregates the TSW-side counters reported so far (CLW
 	// counters fold in only at shutdown and appear in Result.Stats).
 	Stats WorkerStats
+	// Shares is the adaptive scheduler's current element-space share per
+	// TSW (summing to 1 over live workers); nil when adaptive
+	// scheduling is off.
+	Shares []float64
 }
 
 // refresh resynchronizes a state's cached models (e.g. the placement

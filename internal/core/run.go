@@ -113,6 +113,9 @@ func RunProblem(ctx context.Context, prob Problem, clus cluster.Cluster, cfg Con
 		Seed:          cfg.Seed,
 		Counters:      &counters,
 		RealWorkScale: cfg.WorkScale,
+		// Adaptive runs absorb late-joining workers as spare capacity;
+		// in-process transports ignore the flag.
+		Elastic: cfg.Adaptive,
 	}
 	if mode == Real && cfg.Transport != nil {
 		opts.Transport = cfg.Transport

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"pts/internal/pvm"
+	"pts/internal/sched"
 	"pts/internal/tabu"
 )
 
@@ -15,6 +16,13 @@ import (
 // best. Rounds are driven by the master's verdicts: a TagGlobal starts
 // the next round, a TagStop ends the run — so the master alone decides
 // when a cancelled run winds down.
+//
+// In adaptive mode (Config.Adaptive) the TSW additionally owns a
+// scheduler over its CLWs: their element ranges are seeded from the
+// declared machine speeds, re-partitioned at every resync barrier to
+// track observed throughput, and a CLW whose hosting process dies
+// (pvm.TagExit) is written off with its range folded back into the
+// survivors instead of stalling the protocol.
 func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID) {
 	init := env.Recv(TagInit).Data.(initMsg)
 	prob := mustState(env, problem, init.Perm)
@@ -31,27 +39,13 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID) {
 	staWork := workSTA(cfg, prob.Size())
 	var pending []improvement // incumbent improvements since the last report
 
+	// The diversification range: fixed at spawn in static mode, updated
+	// by master-level rebalances (globalMsg) in adaptive mode.
+	divLo, divHi := init.RangeLo, init.RangeHi
+
 	// Spawn this worker's CLWs once; they live for the whole run and
 	// sit on the machines the assignment policy dictates.
-	clwIDs := make([]pvm.TaskID, cfg.CLWs)
-	clwRanges := ranges(prob.Size(), cfg.CLWs)
-	for j := 0; j < cfg.CLWs; j++ {
-		clwIDs[j] = env.SpawnSpec(fmt.Sprintf("clw%d", j), cfg.clwMachine(init.WorkerIdx, j), pvm.Spec{
-			Kind: taskKindCLW,
-			Data: clwSpec{Parent: env.Self(), Tune: tune},
-			Fn: func(e pvm.Env) {
-				clwRun(e, problem, cfg, tune, env.Self())
-			},
-		})
-	}
-	for j, id := range clwIDs {
-		env.Send(id, TagInit, initMsg{
-			Perm:      init.Perm,
-			RangeLo:   clwRanges[j][0],
-			RangeHi:   clwRanges[j][1],
-			WorkerIdx: j,
-		})
-	}
+	cs := newCLWSet(env, problem, cfg, tune, init, prob.Size())
 
 	noteBest := func() {
 		if c := prob.Cost(); c < best {
@@ -63,40 +57,52 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID) {
 
 	// syncCLWs broadcasts the chosen move of this iteration.
 	syncCLWs := func(chosen tabu.CompoundMove) {
-		for _, id := range clwIDs {
-			env.Send(id, TagSync, syncMsg{Chosen: chosen})
+		for j, id := range cs.ids {
+			if cs.live[j] {
+				env.Send(id, TagSync, syncMsg{Chosen: chosen})
+			}
 		}
 	}
 
 	// resyncState pushes the full current solution to every CLW.
 	resyncState := func() {
 		perm := prob.Snapshot()
-		for _, id := range clwIDs {
-			env.Send(id, TagNewState, stateMsg{Perm: perm})
+		for j, id := range cs.ids {
+			if cs.live[j] {
+				env.Send(id, TagNewState, stateMsg{Perm: perm})
+			}
 		}
 	}
 
 	// Hot-loop scratch, reused across every local iteration so the
 	// selection path allocates only when a move is actually accepted.
-	collector := newCandCollector(clwIDs)
+	collector := newCandCollector(cs)
 	var moves []tabu.CompoundMove
 
 	acceptedSinceRefresh := 0
+	firstRound := true
 	for {
 		forcedByMaster := false
 		// Cooperative cancellation: skip the round's search work and
 		// report immediately; the master will answer with TagStop once it
-		// has observed the cancellation itself.
-		if !env.Cancelled() {
+		// has observed the cancellation itself. A TSW whose CLWs all died
+		// likewise degrades to reporting its standing best.
+		if !env.Cancelled() && cs.alive > 0 {
 			// Diversification w.r.t. this worker's own element range (Kelly
 			// et al. [10]): forced swaps of the least-moved elements of the
 			// range.
 			if tune.DiversifyDepth > 0 {
-				diversify(prob, env, tswRand, freq, list, iter, cfg, tune, init.RangeLo, init.RangeHi)
+				diversify(prob, env, tswRand, freq, list, iter, cfg, tune, divLo, divHi)
 				stats.Diversifications++
 				refresh(prob)
 				env.Work(staWork)
 				noteBest()
+			}
+			// Adaptive re-partition at the resync barrier: ranges only ever
+			// change here, immediately before the full state push, so no
+			// candidate built against an old range is in flight.
+			if !firstRound && cs.rebalance(env) {
+				stats.Rebalances++
 			}
 			resyncState()
 
@@ -115,10 +121,15 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID) {
 				iter++
 
 				// Fan the candidate construction out to the CLWs.
-				for _, id := range clwIDs {
-					env.Send(id, TagSearch, nil)
+				for j, id := range cs.ids {
+					if cs.live[j] {
+						env.Send(id, TagSearch, nil)
+					}
 				}
-				cands := collector.collect(env, cfg.HalfSync)
+				cands := collector.collect(env, cfg.HalfSync, &stats)
+				if len(cands) == 0 {
+					break // every CLW died mid-iteration
+				}
 				env.Work(float64(len(cands)) * cfg.WorkPerTrial) // selection cost
 
 				moves = moves[:0]
@@ -156,6 +167,7 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID) {
 				}
 			}
 		}
+		firstRound = false
 
 		// Report the best to the master (solution + tabu list, §4.1). The
 		// permutation is copied because bestPerm is a reused buffer the
@@ -172,18 +184,25 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID) {
 
 		// Wait for the verdict; ignore stale force requests.
 		for {
-			m := env.Recv(TagGlobal, TagStop, TagReportNow)
+			m := env.Recv(TagGlobal, TagStop, TagReportNow, pvm.TagExit)
 			if m.Tag == TagReportNow {
 				continue
 			}
+			if m.Tag == pvm.TagExit {
+				cs.onExit(m.From, &stats)
+				continue
+			}
 			if m.Tag == TagStop {
-				shutdownCLWs(env, clwIDs, &stats)
+				cs.shutdown(env, &stats)
 				env.Send(master, TagStats, stats)
 				return
 			}
 			gm := m.Data.(globalMsg)
 			if err := prob.Restore(gm.Perm); err != nil {
 				panic(fmt.Sprintf("core: tsw %s: %v", env.Name(), err))
+			}
+			if gm.Rebalance {
+				divLo, divHi = gm.RangeLo, gm.RangeHi
 			}
 			env.Work(staWork)
 			// Adopt the winner's tabu list with the solution.
@@ -195,50 +214,253 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID) {
 	}
 }
 
-// candCollector gathers one candidate per CLW each local iteration. Its
-// buffers (the output slice and the reported set) are allocated once per
-// TSW and reused for every iteration of the run.
+// clwSet is a TSW's view of its candidate-list workers: identity,
+// liveness, current element ranges and per-step trial budgets, plus
+// (in adaptive mode) the throughput tracker that re-partitions them.
+type clwSet struct {
+	cfg   Config
+	tune  Tuning
+	n     int32
+	ids   []pvm.TaskID
+	byID  map[pvm.TaskID]int
+	rng   [][2]int32
+	live  []bool
+	alive int
+	track *sched.Tracker // nil in static mode
+}
+
+// newCLWSet spawns the TSW's CLWs and initializes them. Element ranges
+// are the static equal split by default, or speed-proportional shares
+// (seeded from the declared machine speeds) in adaptive mode. CLWs
+// whose range is empty — more workers than elements — are not spawned
+// at all.
+func newCLWSet(env pvm.Env, problem Problem, cfg Config, tune Tuning, init initMsg, n int32) *clwSet {
+	cs := &clwSet{
+		cfg:  cfg,
+		tune: tune,
+		n:    n,
+		ids:  make([]pvm.TaskID, cfg.CLWs),
+		byID: make(map[pvm.TaskID]int, cfg.CLWs),
+		live: make([]bool, cfg.CLWs),
+	}
+	cs.rng = ranges(n, cfg.CLWs)
+	if cfg.Adaptive {
+		cs.track = seededTracker(env, n, cfg.CLWs, func(j int) int {
+			return cfg.clwMachine(init.WorkerIdx, j)
+		})
+		cs.rng = cs.track.Partition()
+	}
+
+	for j := 0; j < cfg.CLWs; j++ {
+		if cs.rng[j][1] <= cs.rng[j][0] {
+			continue // empty range: nothing for this worker to search
+		}
+		cs.live[j] = true
+		cs.alive++
+		cs.ids[j] = env.SpawnSpec(fmt.Sprintf("clw%d", j), cfg.clwMachine(init.WorkerIdx, j), pvm.Spec{
+			Kind: taskKindCLW,
+			Data: clwSpec{Parent: env.Self(), Tune: tune},
+			Fn: func(e pvm.Env) {
+				clwRun(e, problem, cfg, tune, env.Self())
+			},
+		})
+		cs.byID[cs.ids[j]] = j
+	}
+	for j, id := range cs.ids {
+		if !cs.live[j] {
+			continue
+		}
+		// Adaptive loss tolerance: watch each CLW so a lost hosting
+		// process degrades the search instead of aborting the run. In
+		// static mode no watch is registered and a loss aborts, the
+		// pre-adaptive behavior.
+		if cfg.Adaptive {
+			pvm.NotifyExit(env, id)
+		}
+		env.Send(id, TagInit, initMsg{
+			Perm:      init.Perm,
+			RangeLo:   cs.rng[j][0],
+			RangeHi:   cs.rng[j][1],
+			WorkerIdx: j,
+			Trials:    cs.trialsFor(j),
+		})
+	}
+	return cs
+}
+
+// seededTracker builds the adaptive throughput tracker shared by both
+// scheduler halves (the master over its TSWs, each TSW over its CLWs):
+// k workers over [0, n), weights seeded from the declared speed of the
+// machine each worker is placed on, and workers beyond the element
+// count dead from the start — matching the empty-range spawn guard.
+func seededTracker(env pvm.Env, n int32, k int, machineOf func(int) int) *sched.Tracker {
+	seeds := make([]float64, k)
+	for i := range seeds {
+		seeds[i] = pvm.MachineSpeedOf(env, machineOf(i))
+	}
+	t := sched.NewTracker(n, seeds)
+	for i := int(n); i < k; i++ {
+		t.Kill(i)
+	}
+	return t
+}
+
+// trialsFor returns CLW j's per-step trial budget: the tuned constant
+// in static mode, or a budget proportional to its range share in
+// adaptive mode (total budget conserved at Trials×CLWs per step, every
+// live worker guaranteed at least one trial). Integer arithmetic keeps
+// the result bit-deterministic.
+func (cs *clwSet) trialsFor(j int) int {
+	if cs.track == nil {
+		return 0 // initMsg semantics: keep the tuned default
+	}
+	lo, hi := cs.rng[j][0], cs.rng[j][1]
+	if hi <= lo || cs.n <= 0 {
+		return 1
+	}
+	t := int((int64(cs.tune.Trials)*int64(cs.cfg.CLWs)*int64(hi-lo) + int64(cs.n)/2) / int64(cs.n))
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// rebalance re-partitions the live CLWs' ranges by observed throughput
+// and ships the updates; it reports whether a new partition was
+// adopted. Static mode never rebalances.
+func (cs *clwSet) rebalance(env pvm.Env) bool {
+	if cs.track == nil || cs.alive == 0 {
+		return false
+	}
+	next, changed := cs.track.Rebalance(cs.rng, 0)
+	if !changed {
+		return false
+	}
+	cs.rng = next
+	for j, id := range cs.ids {
+		if !cs.live[j] {
+			continue
+		}
+		env.Send(id, TagRebalance, rebalanceMsg{
+			RangeLo: next[j][0],
+			RangeHi: next[j][1],
+			Trials:  cs.trialsFor(j),
+		})
+	}
+	return true
+}
+
+// observe feeds one CLW report into the throughput tracker.
+func (cs *clwSet) observe(from pvm.TaskID, c candMsg) {
+	if cs.track == nil {
+		return
+	}
+	if j, ok := cs.byID[from]; ok {
+		cs.track.Observe(j, float64(c.CumTrials), c.At)
+	}
+}
+
+// onExit writes off a CLW whose hosting process died: it stops being
+// scheduled, its range folds into the survivors at the next resync
+// barrier, and the loss is counted.
+func (cs *clwSet) onExit(from pvm.TaskID, stats *WorkerStats) {
+	j, ok := cs.byID[from]
+	if !ok || !cs.live[j] {
+		return
+	}
+	cs.live[j] = false
+	cs.alive--
+	stats.WorkersLost++
+	if cs.track != nil {
+		cs.track.Kill(j)
+	}
+}
+
+// shutdown stops every surviving CLW and folds its stats into the
+// TSW's; CLWs dying during the handshake are written off like any
+// other loss.
+func (cs *clwSet) shutdown(env pvm.Env, stats *WorkerStats) {
+	for j, id := range cs.ids {
+		if cs.live[j] {
+			env.Send(id, TagStop, nil)
+		}
+	}
+	expected := cs.alive
+	for expected > 0 {
+		m := env.Recv(TagStats, pvm.TagExit)
+		if m.Tag == pvm.TagExit {
+			was := cs.alive
+			cs.onExit(m.From, stats)
+			expected -= was - cs.alive
+			continue
+		}
+		// Retire the sender on receipt: its hosting process dying *after*
+		// the stats handshake must not decrement expectations a second
+		// time (the late TagExit then finds the worker already retired).
+		if j, ok := cs.byID[m.From]; ok && cs.live[j] {
+			cs.live[j] = false
+			cs.alive--
+		}
+		stats.add(m.Data.(WorkerStats))
+		expected--
+	}
+}
+
+// candCollector gathers one candidate per live CLW each local
+// iteration. Its buffers (the output slice and the reported set) are
+// allocated once per TSW and reused for every iteration of the run.
 type candCollector struct {
-	clwIDs   []pvm.TaskID
+	cs       *clwSet
 	out      []candMsg
 	reported map[pvm.TaskID]bool
 }
 
-func newCandCollector(clwIDs []pvm.TaskID) *candCollector {
+func newCandCollector(cs *clwSet) *candCollector {
 	return &candCollector{
-		clwIDs:   clwIDs,
-		out:      make([]candMsg, 0, len(clwIDs)),
-		reported: make(map[pvm.TaskID]bool, len(clwIDs)),
+		cs:       cs,
+		out:      make([]candMsg, 0, len(cs.ids)),
+		reported: make(map[pvm.TaskID]bool, len(cs.ids)),
 	}
 }
 
-// collect returns one candidate per CLW; the returned slice is valid
-// until the next collect. In half-sync mode it waits for half of them,
-// forces the rest with TagReportNow, then waits for the remainder (they
-// arrive promptly, truncated).
-func (cc *candCollector) collect(env pvm.Env, halfSync bool) []candMsg {
-	n := len(cc.clwIDs)
+// collect returns one candidate per live CLW; the returned slice is
+// valid until the next collect. In half-sync mode it waits for half of
+// them, forces the rest with TagReportNow, then waits for the
+// remainder (they arrive promptly, truncated). A CLW dying mid-collect
+// is written off and no longer awaited.
+func (cc *candCollector) collect(env pvm.Env, halfSync bool, stats *WorkerStats) []candMsg {
+	cs := cc.cs
+	expected := cs.alive
 	cc.out = cc.out[:0]
 	for id := range cc.reported {
 		delete(cc.reported, id)
 	}
 	take := func() {
-		m := env.Recv(TagCandidate)
+		m := env.Recv(TagCandidate, pvm.TagExit)
+		if m.Tag == pvm.TagExit {
+			if j, ok := cs.byID[m.From]; ok && cs.live[j] && !cc.reported[m.From] {
+				expected--
+			}
+			cs.onExit(m.From, stats)
+			return
+		}
 		cc.reported[m.From] = true
-		cc.out = append(cc.out, m.Data.(candMsg))
+		c := m.Data.(candMsg)
+		cs.observe(m.From, c)
+		cc.out = append(cc.out, c)
 	}
-	if halfSync && n > 1 {
-		half := (n + 1) / 2
-		for len(cc.out) < half {
+	if halfSync && expected > 1 {
+		half := (expected + 1) / 2
+		for len(cc.out) < half && len(cc.out) < expected {
 			take()
 		}
-		for _, id := range cc.clwIDs {
-			if !cc.reported[id] {
+		for j, id := range cs.ids {
+			if cs.live[j] && !cc.reported[id] {
 				env.Send(id, TagReportNow, nil)
 			}
 		}
 	}
-	for len(cc.out) < n {
+	for len(cc.out) < expected {
 		take()
 	}
 	return cc.out
@@ -278,16 +500,5 @@ func diversify(prob tabu.Problem, env pvm.Env, r *rand.Rand, freq *tabu.Frequenc
 		prob.ApplySwap(a, bestB)
 		freq.BumpSwap(a, bestB)
 		list.Add(tabu.Attr(a, bestB), iter+int64(tune.Tenure))
-	}
-}
-
-// shutdownCLWs stops every CLW and folds its stats into the TSW's.
-func shutdownCLWs(env pvm.Env, clwIDs []pvm.TaskID, stats *WorkerStats) {
-	for _, id := range clwIDs {
-		env.Send(id, TagStop, nil)
-	}
-	for range clwIDs {
-		m := env.Recv(TagStats)
-		stats.add(m.Data.(WorkerStats))
 	}
 }

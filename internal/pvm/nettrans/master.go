@@ -100,13 +100,14 @@ func (m *Master) Addr() string { return m.ln.Addr().String() }
 // Nodes lists the currently joined workers.
 func (m *Master) Nodes() []NodeInfo {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	var out []NodeInfo
 	for _, n := range m.lobby {
 		out = append(out, NodeInfo{Name: n.name, Speed: n.speed, Capacity: n.capacity})
 	}
-	if m.job != nil {
-		for _, n := range m.job.nodes {
+	j := m.job
+	m.mu.Unlock()
+	if j != nil {
+		for _, n := range j.nodeList() {
 			out = append(out, NodeInfo{Name: n.name, Speed: n.speed, Capacity: n.capacity})
 		}
 	}
@@ -127,12 +128,13 @@ func (m *Master) Close() error {
 	m.closed = true
 	lobby := m.lobby
 	m.lobby = nil
-	var claimed []*node
-	if m.job != nil {
-		claimed = m.job.nodes
-	}
+	j := m.job
 	m.cond.Broadcast()
 	m.mu.Unlock()
+	var claimed []*node
+	if j != nil {
+		claimed = j.nodeList()
+	}
 	for _, n := range lobby {
 		n.c.close()
 	}
@@ -206,9 +208,33 @@ func (m *Master) admit(nc net.Conn) {
 		c.close()
 		return
 	}
-	m.lobby = append(m.lobby, n)
-	m.cond.Broadcast()
+	// Elastic membership: while an elastic job is running, a late joiner
+	// is claimed for it immediately as spare capacity instead of waiting
+	// in the lobby for the next job.
+	j := m.job
+	absorb := j != nil && j.opts.Elastic
+	if absorb {
+		n.claimed = true
+	} else {
+		m.lobby = append(m.lobby, n)
+		m.cond.Broadcast()
+	}
 	m.mu.Unlock()
+	if absorb && !j.absorb(n) {
+		// The job ended between the check and the claim: park the node in
+		// the lobby after all.
+		m.mu.Lock()
+		n.claimed = false
+		if m.closed {
+			delete(m.names, n.name)
+			m.mu.Unlock()
+			c.close()
+			return
+		}
+		m.lobby = append(m.lobby, n)
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
 	m.cfg.Logf("nettrans: worker %q joined (speed %.2f, capacity %d)", n.name, n.speed, n.capacity)
 	// One persistent reader owns the connection from here on: it spots a
 	// worker dying while idle in the lobby (freeing its name so the
@@ -286,41 +312,57 @@ func (m *Master) Run(opts pvm.Options, root pvm.TaskFunc) (float64, error) {
 	}
 
 	j := &job{
-		m:       m,
-		opts:    opts,
-		nodes:   nodes,
-		local:   make(map[pvm.TaskID]*mTask),
-		start:   time.Now(),
-		allDone: make(chan struct{}),
+		m:        m,
+		opts:     opts,
+		nodes:    nodes,
+		local:    make(map[pvm.TaskID]*mTask),
+		watchers: make(map[pvm.TaskID][]pvm.TaskID),
+		start:    time.Now(),
+		allDone:  make(chan struct{}),
 	}
 	// Slot 0 is this process; each worker contributes capacity slots.
 	// The slot table must be complete before the job is published: once
 	// m.job is set, frames from (possibly misbehaving) claimed workers
 	// are dispatched into j and must never observe totalSlots == 0.
 	slot := 1
+	j.speeds = append(j.speeds, 1.0) // the master's reference slot
 	for _, n := range nodes {
 		n.firstSlot, n.slots = slot, n.capacity
 		slot += n.capacity
+		for s := 0; s < n.capacity; s++ {
+			j.speeds = append(j.speeds, n.speed)
+		}
 	}
 	j.totalSlots = slot
-	m.mu.Lock()
-	m.job = j
-	m.mu.Unlock()
-
 	payload, err := encodePayload(opts.JobPayload)
 	if err != nil {
 		return 0, err
 	}
+	j.payload = payload
+	// Snapshot the frame fields before publishing the job: once m.job is
+	// set, an elastic late joiner may grow the ring concurrently, and
+	// the initial workers must all receive the consistent job-start
+	// ring (they learn about growth via fRing afterwards). Holding
+	// absorbMu across the initial frame writes keeps any absorption —
+	// and its fRing broadcast — strictly after every initial fJob is on
+	// the wire.
+	startSlots, startSpeeds := j.totalSlots, j.speeds
+	j.absorbMu.Lock()
+	m.mu.Lock()
+	m.job = j
+	m.mu.Unlock()
+
 	for _, n := range nodes {
 		err := n.c.write(&frame{
 			Type: fJob, Seed: opts.Seed, WorkScale: opts.RealWorkScale,
-			Slot: n.firstSlot, Slots: n.slots, TotalSlots: j.totalSlots,
-			Payload: payload,
+			Slot: n.firstSlot, Slots: n.slots, TotalSlots: startSlots,
+			Speeds: startSpeeds, Payload: payload,
 		})
 		if err != nil {
 			j.nodeLost(n, err)
 		}
 	}
+	j.absorbMu.Unlock()
 	// Cooperative cancellation: tasks everywhere observe Cancelled()
 	// and drain the protocol; nothing is killed.
 	stopCancel := make(chan struct{})
@@ -408,11 +450,12 @@ func (m *Master) Finish(summary any) error {
 	m.mu.Unlock()
 	var firstErr error
 	if j != nil {
+		nodes := j.nodeList()
 		payload, err := encodePayload(summary)
 		if err != nil {
 			firstErr = err
 		} else {
-			for _, n := range j.nodes {
+			for _, n := range nodes {
 				j.mu.Lock()
 				alive := n.alive
 				j.mu.Unlock()
@@ -424,7 +467,7 @@ func (m *Master) Finish(summary any) error {
 				}
 			}
 		}
-		for _, n := range j.nodes {
+		for _, n := range nodes {
 			n.c.close()
 		}
 	}
@@ -436,15 +479,18 @@ func (m *Master) Finish(summary any) error {
 
 // job is the state of one distributed run.
 type job struct {
-	m    *Master
-	opts pvm.Options
-
-	nodes      []*node
-	totalSlots int
-	start      time.Time
+	m     *Master
+	opts  pvm.Options
+	start time.Time
 
 	mu         sync.Mutex
-	owners     []taskOwner // indexed by TaskID
+	absorbMu   sync.Mutex // serializes elastic absorptions (stage→write→commit)
+	nodes      []*node    // appended to by elastic absorption; snapshot under mu
+	totalSlots int
+	speeds     []float64                   // slot-indexed declared speeds (slot 0: master, 1.0)
+	payload    []byte                      // encoded job payload, kept for absorbed late joiners
+	owners     []taskOwner                 // indexed by TaskID
+	watchers   map[pvm.TaskID][]pvm.TaskID // watched task -> watcher tasks
 	local      map[pvm.TaskID]*mTask
 	localLive  int
 	remoteLive int
@@ -455,6 +501,14 @@ type job struct {
 	cancelled  bool
 	spawns     int64
 	localSends int64
+}
+
+// nodeList snapshots the job's node set; callers iterate the snapshot
+// so elastic absorption can append concurrently.
+func (j *job) nodeList() []*node {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]*node(nil), j.nodes...)
 }
 
 // taskOwner records where a task lives; a nil node means this process.
@@ -479,9 +533,9 @@ func (j *job) sendCount() int64 {
 	return total
 }
 
-// slotOwner maps a wrapped machine slot to its owning node (nil: the
-// master process itself).
-func (j *job) slotOwner(slot int) *node {
+// slotOwnerLocked maps a wrapped machine slot to its owning node (nil:
+// the master process itself). Callers hold j.mu.
+func (j *job) slotOwnerLocked(slot int) *node {
 	if slot == 0 {
 		return nil
 	}
@@ -493,10 +547,96 @@ func (j *job) slotOwner(slot int) *node {
 	return nil
 }
 
-// wrapSlot normalizes a machine index onto the slot ring, exactly like
-// the in-process transports wrap onto the cluster size.
-func (j *job) wrapSlot(machine int) int {
+// wrapSlotLocked normalizes a machine index onto the slot ring, exactly
+// like the in-process transports wrap onto the cluster size. Callers
+// hold j.mu (elastic absorption grows the ring mid-run).
+func (j *job) wrapSlotLocked(machine int) int {
 	return ((machine % j.totalSlots) + j.totalSlots) % j.totalSlots
+}
+
+// place resolves a machine index to its slot and owning node.
+func (j *job) place(machine int) (slot int, owner *node) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	slot = j.wrapSlotLocked(machine)
+	return slot, j.slotOwnerLocked(slot)
+}
+
+// slotSpeed returns the declared relative speed of a machine slot; the
+// master's slot (and any slot outside the table) is the 1.0 reference.
+func (j *job) slotSpeed(machine int) float64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	slot := j.wrapSlotLocked(machine)
+	if slot >= 0 && slot < len(j.speeds) {
+		return j.speeds[slot]
+	}
+	return 1.0
+}
+
+// absorb claims a late-joining worker for the running elastic job: its
+// capacity is appended to the slot ring as spare capacity and the job
+// frame is shipped so the node is ready to host tasks. It reports false
+// when the job has already finished (or aborted), in which case the
+// caller parks the node in the lobby as usual.
+//
+// Ordering matters: the ring must not grow until the worker's fJob
+// frame is on the wire, or a concurrent spawn aimed at the new slot
+// could reach the still-idle worker ahead of its job frame (a protocol
+// violation that would drop the connection and abort the run). So the
+// frame is staged from a snapshot, written, and only then committed —
+// with concurrent absorptions serialized so two late joiners cannot
+// stage the same slot window.
+func (j *job) absorb(n *node) bool {
+	j.absorbMu.Lock()
+	defer j.absorbMu.Unlock()
+	j.mu.Lock()
+	if j.finished || j.aborted {
+		j.mu.Unlock()
+		return false
+	}
+	first := j.totalSlots
+	total := first + n.capacity
+	speeds := make([]float64, 0, total)
+	speeds = append(speeds, j.speeds...)
+	for s := 0; s < n.capacity; s++ {
+		speeds = append(speeds, n.speed)
+	}
+	f := &frame{
+		Type: fJob, Seed: j.opts.Seed, WorkScale: j.opts.RealWorkScale,
+		Slot: first, Slots: n.capacity, TotalSlots: total,
+		Speeds: speeds, Payload: j.payload,
+	}
+	others := append([]*node(nil), j.nodes...)
+	j.mu.Unlock()
+
+	if err := n.c.write(f); err != nil {
+		// The node never entered the ring; retire it quietly.
+		j.nodeLost(n, err)
+		return true
+	}
+
+	j.mu.Lock()
+	n.firstSlot, n.slots = first, n.capacity
+	j.totalSlots = total
+	j.speeds = speeds
+	j.nodes = append(j.nodes, n)
+	j.mu.Unlock()
+	// Announce the grown ring to the workers already hosting the job so
+	// their machine-index wrapping and speed lookups stay consistent
+	// with the master's.
+	ring := &frame{Type: fRing, TotalSlots: total, Speeds: speeds}
+	for _, o := range others {
+		if !j.ownerAlive(o) {
+			continue
+		}
+		if err := o.c.write(ring); err != nil {
+			j.nodeLost(o, err)
+		}
+	}
+	j.m.cfg.Logf("nettrans: worker %q absorbed into the running job (slots %d..%d, speed %.2f)",
+		n.name, first, total-1, n.speed)
+	return true
 }
 
 // errAborting reports that a spawn was refused because the run is
@@ -510,8 +650,7 @@ var errAborting = fmt.Errorf("nettrans: run aborting")
 // non-portable spec aimed at a worker slot is a programming error and
 // panics; an aborting run returns errAborting.
 func (j *job) spawn(fullName string, machine int, spec pvm.Spec, payload []byte) (pvm.TaskID, error) {
-	slot := j.wrapSlot(machine)
-	owner := j.slotOwner(slot)
+	slot, owner := j.place(machine)
 	if owner != nil && payload == nil {
 		if spec.Kind == "" {
 			panic(fmt.Sprintf("nettrans: task %q is not portable (no spec kind) but machine %d belongs to worker %q",
@@ -528,6 +667,15 @@ func (j *job) spawn(fullName string, machine int, spec pvm.Spec, payload []byte)
 	if j.aborted {
 		j.mu.Unlock()
 		return 0, errAborting
+	}
+	if owner != nil && !owner.alive {
+		// The slot's node died (tolerated) before this spawn: there is no
+		// process to host the task, and silently dropping it would hang
+		// the protocol — fail the run instead.
+		j.mu.Unlock()
+		err := fmt.Errorf("nettrans: spawn %q: worker %q is gone", fullName, owner.name)
+		j.abort(err)
+		return 0, err
 	}
 	id := pvm.TaskID(len(j.owners))
 	var t *mTask
@@ -673,6 +821,8 @@ func (j *job) handleFrame(n *node, f *frame) bool {
 		}
 	case fMsg:
 		j.route(n, f)
+	case fNotify:
+		j.addWatcher(f.Task, f.From)
 	case fTaskDone:
 		j.taskDone(f.Task)
 	case fJobErr:
@@ -755,10 +905,15 @@ func (j *job) isCancelled() bool {
 
 func doneChanJob(j *job) <-chan struct{} { return doneChan(j.opts) }
 
-// nodeLost handles a worker dying or misbehaving mid-job: its tasks
-// are written off and the run aborts. After the run finished, a
-// dropped connection is just the natural end of the session — the node
-// is retired without aborting anything.
+// nodeLost handles a worker dying or misbehaving mid-job. When every
+// unfinished task the node hosted has a registered exit watcher, the
+// loss is survivable: those tasks are written off, each watcher
+// receives a pvm.TagExit notification, and the run continues on the
+// survivors (graceful degradation — the program's scheduler folds the
+// dead node's work back in). A node hosting any unwatched task still
+// aborts the whole run, the pre-elastic behavior. After the run
+// finished, a dropped connection is just the natural end of the
+// session — the node is retired without aborting anything.
 func (j *job) nodeLost(n *node, cause error) {
 	j.mu.Lock()
 	if !n.alive {
@@ -766,19 +921,101 @@ func (j *job) nodeLost(n *node, cause error) {
 		return
 	}
 	n.alive = false
-	finished := j.finished
+	finished := j.finished || j.aborted
+	var lost []pvm.TaskID
+	tolerable := true
+	if !finished {
+		for id := range j.owners {
+			o := &j.owners[id]
+			if o.node == n && !o.done {
+				lost = append(lost, pvm.TaskID(id))
+				if len(j.watchers[pvm.TaskID(id)]) == 0 {
+					tolerable = false
+				}
+			}
+		}
+	}
+	type exit struct {
+		dead    pvm.TaskID
+		watcher pvm.TaskID
+		local   *mTask
+		remote  *node
+	}
+	var exits []exit
+	if !finished && tolerable {
+		for _, id := range lost {
+			j.owners[id].done = true
+			j.remoteLive--
+			for _, w := range j.watchers[id] {
+				if int(w) >= len(j.owners) {
+					continue
+				}
+				e := exit{dead: id, watcher: w}
+				if wo := j.owners[w]; wo.node == nil {
+					if e.local = j.local[w]; e.local == nil {
+						continue // local watcher already finished
+					}
+				} else if wo.node.alive && !wo.done {
+					e.remote = wo.node
+				} else {
+					continue // the watcher is gone too
+				}
+				exits = append(exits, e)
+			}
+		}
+		j.checkDoneLocked()
+	}
 	j.mu.Unlock()
 	n.c.close()
 	j.m.freeName(n.name)
 	if finished {
 		return
 	}
+	if tolerable {
+		j.m.cfg.Logf("nettrans: worker %q lost with %d watched task(s), run continues: %v",
+			n.name, len(lost), cause)
+		for _, e := range exits {
+			if e.local != nil {
+				e.local.box.deliver(pvm.Message{From: e.dead, Tag: pvm.TagExit})
+				continue
+			}
+			f := &frame{Type: fMsg, From: e.dead, To: e.watcher, Tag: pvm.TagExit}
+			if err := e.remote.c.write(f); err != nil {
+				j.nodeLost(e.remote, err)
+			}
+		}
+		return
+	}
 	j.m.cfg.Logf("nettrans: worker %q lost: %v", n.name, cause)
 	j.abort(fmt.Errorf("worker %q lost: %v", n.name, cause))
 }
 
+// addWatcher registers watcher for a TagExit notification on watched.
+func (j *job) addWatcher(watched, watcher pvm.TaskID) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.watchers[watched] = append(j.watchers[watched], watcher)
+}
+
+// abortFrom retires a misbehaving worker (protocol violation, job
+// refusal) and aborts the run unconditionally: unlike a connection
+// loss, misbehavior is never survivable — the node may have corrupted
+// state the watcher protocol cannot reason about.
 func (j *job) abortFrom(n *node, cause error) {
-	j.nodeLost(n, cause)
+	j.mu.Lock()
+	wasAlive := n.alive
+	n.alive = false
+	finished := j.finished || j.aborted
+	j.mu.Unlock()
+	if wasAlive {
+		n.c.close()
+		j.m.freeName(n.name)
+	}
+	if finished {
+		return
+	}
+	j.m.cfg.Logf("nettrans: worker %q: %v", n.name, cause)
+	j.abort(fmt.Errorf("worker %q: %v", n.name, cause))
 }
 
 // abort tears the run down: every remote task is written off, every
@@ -825,7 +1062,7 @@ func (j *job) isAborted() bool {
 
 // collectByes gathers per-worker send counters after a clean drain.
 func (j *job) collectByes() {
-	for _, n := range j.nodes {
+	for _, n := range j.nodeList() {
 		if !j.ownerAlive(n) {
 			continue
 		}
@@ -840,7 +1077,7 @@ func (j *job) collectByes() {
 // still reachable; whatever fails to arrive is simply not counted.
 func (j *job) awaitByes(d time.Duration) {
 	timeout := time.After(d)
-	for _, n := range j.nodes {
+	for _, n := range j.nodeList() {
 		if !j.ownerAlive(n) {
 			continue
 		}
@@ -876,6 +1113,14 @@ func (t *mTask) MachineIndex() int { return t.machine }
 func (t *mTask) Rand() *rand.Rand  { return t.r }
 func (t *mTask) Now() float64      { return time.Since(t.j.start).Seconds() }
 func (t *mTask) Cancelled() bool   { return t.j.isCancelled() }
+
+// NotifyExit implements pvm.ExitNotifier against the job's watcher
+// registry.
+func (t *mTask) NotifyExit(id pvm.TaskID) { t.j.addWatcher(id, t.id) }
+
+// MachineSpeed implements pvm.SpeedReporter from the registry's
+// declared node speeds.
+func (t *mTask) MachineSpeed(machine int) float64 { return t.j.slotSpeed(machine) }
 
 func (t *mTask) Spawn(name string, machine int, fn pvm.TaskFunc) pvm.TaskID {
 	return t.SpawnSpec(name, machine, pvm.Spec{Fn: fn})

@@ -599,6 +599,205 @@ func TestWorkerCtxCancelWhileConnected(t *testing.T) {
 	}
 }
 
+// TestExitWatchToleratesWorkerLoss is the transport-level loss
+// tolerance contract: when every task a dying worker hosted is watched
+// (pvm.NotifyExit), the run must NOT abort — the watchers receive
+// pvm.TagExit notifications and the run drains to a clean finish on
+// the survivors.
+func TestExitWatchToleratesWorkerLoss(t *testing.T) {
+	m, err := Listen(MasterConfig{Addr: "127.0.0.1:0", Workers: 2, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Worker 1: a real daemon that survives the whole job.
+	_, wait := startWorkers(t, m.Addr(), 1, []float64{1}, nil)
+
+	// Worker 2: hand-rolled; it accepts the spawn, then dies on the
+	// first message sent to its task — a kill -9 mid-round.
+	c := newConn(rawDial(t, m.Addr()))
+	if err := c.write(&frame{Type: fJoin, Worker: "doomed", Speed: 1, Capacity: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if ack, err := c.read(); err != nil || ack.Err != "" {
+		t.Fatalf("join: %+v, %v", ack, err)
+	}
+	go func() {
+		for {
+			f, err := c.read()
+			if err != nil {
+				return
+			}
+			if f.Type == fMsg {
+				c.close() // dies holding a watched task
+				return
+			}
+		}
+	}()
+
+	var exitFrom pvm.TaskID
+	total := 0
+	_, err = m.Run(pvm.Options{Seed: 2, Spawner: echoFactory}, func(env pvm.Env) {
+		// "w0" joined first (startWorkers) or second — place by name:
+		// find the doomed node's slot by spawning the victim wherever the
+		// registry put it. Slots: 1 and 2; the victim is wherever writing
+		// a message kills the connection, so spawn one echo per worker
+		// and watch only the doomed one's.
+		var victim, survivorTask pvm.TaskID
+		for slot := 1; slot <= 2; slot++ {
+			id := env.SpawnSpec(fmt.Sprintf("echo%d", slot), slot, pvm.Spec{
+				Kind: kindEcho, Data: echoSpec{Parent: env.Self(), Bias: 100},
+			})
+			pvm.NotifyExit(env, id)
+			if slot == 1 {
+				victim = id
+			} else {
+				survivorTask = id
+			}
+		}
+		// Ping both; one of them is hosted by the doomed worker, which
+		// dies on receipt. The other answers.
+		env.Send(victim, tagPing, 1)
+		env.Send(survivorTask, tagPing, 2)
+		got := 0
+		for got < 2 {
+			msg := env.Recv(tagPong, pvm.TagExit)
+			got++
+			if msg.Tag == pvm.TagExit {
+				exitFrom = msg.From
+				continue
+			}
+			total += msg.Data.(int)
+		}
+	})
+	if err != nil {
+		t.Fatalf("watched worker loss aborted the run: %v", err)
+	}
+	if exitFrom == 0 {
+		t.Error("no TagExit notification delivered")
+	}
+	if total == 0 {
+		t.Error("surviving worker's pong never arrived")
+	}
+	if err := m.Finish(testSummary{Total: total}); err != nil {
+		t.Errorf("finish: %v", err)
+	}
+	wait()
+}
+
+// TestUnwatchedLossStillAborts pins the static behavior: without a
+// registered watch, a lost worker aborts the run exactly as before the
+// scheduler existed.
+func TestUnwatchedLossStillAborts(t *testing.T) {
+	m, err := Listen(MasterConfig{Addr: "127.0.0.1:0", Workers: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	c := newConn(rawDial(t, m.Addr()))
+	if err := c.write(&frame{Type: fJoin, Worker: "doomed", Speed: 1, Capacity: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if ack, err := c.read(); err != nil || ack.Err != "" {
+		t.Fatalf("join: %+v, %v", ack, err)
+	}
+	go func() {
+		for {
+			f, err := c.read()
+			if err != nil {
+				return
+			}
+			if f.Type == fMsg {
+				c.close()
+				return
+			}
+		}
+	}()
+
+	_, err = m.Run(pvm.Options{Seed: 3, Spawner: echoFactory}, func(env pvm.Env) {
+		id := env.SpawnSpec("echo0", 1, pvm.Spec{
+			Kind: kindEcho, Data: echoSpec{Parent: env.Self(), Bias: 1},
+		})
+		env.Send(id, tagPing, 41)
+		env.Recv(tagPong)
+	})
+	if !errors.Is(err, pvm.ErrAborted) {
+		t.Fatalf("err = %v, want ErrAborted for an unwatched loss", err)
+	}
+	m.Finish(nil)
+}
+
+// TestElasticAbsorbsLateJoiner covers elastic membership: a worker
+// joining after the run started is claimed for the running job as
+// spare capacity — new slots on the ring that later spawns can land
+// on — instead of idling in the lobby.
+func TestElasticAbsorbsLateJoiner(t *testing.T) {
+	m, err := Listen(MasterConfig{Addr: "127.0.0.1:0", Workers: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	_, waitFirst := startWorkers(t, m.Addr(), 1, []float64{1}, nil)
+
+	lateStarted := make(chan struct{})
+	lateDone := make(chan error, 1)
+	go func() {
+		<-lateStarted
+		lateDone <- RunWorker(context.Background(),
+			WorkerConfig{Addr: m.Addr(), Name: "late", Speed: 2, Capacity: 1, Jobs: 1},
+			&echoHandler{})
+	}()
+
+	total := 0
+	opts := pvm.Options{Seed: 4, Spawner: echoFactory, Elastic: true}
+	_, err = m.Run(opts, func(env pvm.Env) {
+		// Phase 1: normal echo on the original worker.
+		a := env.SpawnSpec("echo0", 1, pvm.Spec{
+			Kind: kindEcho, Data: echoSpec{Parent: env.Self(), Bias: 100},
+		})
+		env.Send(a, tagPing, 1)
+		total += env.Recv(tagPong).Data.(int)
+
+		// Phase 2: a late worker joins mid-run and must be absorbed.
+		close(lateStarted)
+		deadline := time.Now().Add(10 * time.Second)
+		for len(m.Nodes()) < 2 {
+			if time.Now().After(deadline) {
+				t.Error("late joiner never absorbed")
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		// The absorbed node owns the appended slot 2 (ring was master=0,
+		// w0=1). A spawn aimed there must be hosted by it.
+		b := env.SpawnSpec("echo1", 2, pvm.Spec{
+			Kind: kindEcho, Data: echoSpec{Parent: env.Self(), Bias: 1000},
+		})
+		env.Send(b, tagPing, 2)
+		total += env.Recv(tagPong).Data.(int)
+	})
+	if err != nil {
+		t.Fatalf("elastic run: %v", err)
+	}
+	if want := (1 + 100) + (2 + 1000); total != want {
+		t.Errorf("total = %d, want %d (late worker did not host the spawned task)", total, want)
+	}
+	if err := m.Finish(testSummary{Total: total}); err != nil {
+		t.Errorf("finish: %v", err)
+	}
+	waitFirst()
+	select {
+	case err := <-lateDone:
+		if err != nil {
+			t.Errorf("late worker: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("late worker did not finish")
+	}
+}
+
 const kindPoll = "test.poll"
 
 // pollFactory builds a task that waits for Cancelled() and reports it.

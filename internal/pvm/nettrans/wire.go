@@ -75,6 +75,15 @@ const (
 	// fResult delivers the program's final summary and closes the job
 	// (master→worker).
 	fResult
+	// fNotify registers a task-exit watch: the sending task asks to
+	// receive a pvm.TagExit message should the process hosting the
+	// watched task be lost (worker→master).
+	fNotify
+	// fRing announces elastic slot-ring growth — an absorbed late
+	// joiner's slots appended to TotalSlots/Speeds — to workers already
+	// hosting the job, so their machine-index wrapping and speed
+	// lookups stay consistent with the master's (master→worker).
+	fRing
 )
 
 // frame is the single wire message; which fields are meaningful depends
@@ -91,12 +100,17 @@ type frame struct {
 
 	// Job: the node's machine-slot window [Slot, Slot+Slots) of
 	// TotalSlots, the run seed and work-emulation scale, and the
-	// program payload.
+	// program payload. Speeds is the slot-indexed table of declared
+	// relative machine speeds (slot 0 is the master, speed 1.0), so
+	// worker-hosted schedulers can seed speed-proportional work shares;
+	// slots absorbed after this frame was sent are simply absent and
+	// default to 1.0 on the reader.
 	Seed       uint64
 	WorkScale  float64
 	Slot       int
 	Slots      int
 	TotalSlots int
+	Speeds     []float64
 
 	// Spawn / SpawnReq / SpawnAck / TaskDone.
 	Task    pvm.TaskID

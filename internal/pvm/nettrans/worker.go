@@ -204,6 +204,8 @@ type wjob struct {
 	seed    uint64
 	scale   float64
 	speed   float64
+	slots   int       // the run's slot-ring size (grows with fRing updates); under mu
+	speeds  []float64 // slot-indexed declared speeds; under mu
 	start   time.Time
 	ctx     context.Context
 
@@ -235,6 +237,7 @@ func serveJob(ctx context.Context, cfg WorkerConfig, c *conn, h Handler, f *fram
 	j := &wjob{
 		c: c, factory: factory,
 		seed: f.Seed, scale: f.WorkScale, speed: cfg.Speed,
+		slots: f.TotalSlots, speeds: f.Speeds,
 		start: time.Now(), ctx: ctx,
 		local:     make(map[pvm.TaskID]*wTask),
 		spawnAcks: make(map[uint64]chan pvm.TaskID),
@@ -270,6 +273,16 @@ func serveJob(ctx context.Context, cfg WorkerConfig, c *conn, h Handler, f *fram
 				c.write(&frame{Type: fJobErr, Err: err.Error()})
 				return err
 			}
+		case fRing:
+			// Elastic ring growth: adopt the master's new slot table so
+			// machine-index wrapping and speed lookups stay consistent
+			// with where the master actually places tasks.
+			j.mu.Lock()
+			if f.TotalSlots > j.slots {
+				j.slots = f.TotalSlots
+				j.speeds = f.Speeds
+			}
+			j.mu.Unlock()
 		case fCancel:
 			j.mu.Lock()
 			j.cancelled = true
@@ -426,6 +439,31 @@ func (t *wTask) MachineIndex() int { return t.machine }
 func (t *wTask) Rand() *rand.Rand  { return t.r }
 func (t *wTask) Now() float64      { return time.Since(t.j.start).Seconds() }
 func (t *wTask) Cancelled() bool   { return t.j.isCancelled() }
+
+// MachineSpeed implements pvm.SpeedReporter from the job's slot-speed
+// table (kept in sync with elastic ring growth via fRing frames);
+// anything outside the table reports the 1.0 reference.
+func (t *wTask) MachineSpeed(machine int) float64 {
+	t.j.mu.Lock()
+	slots, speeds := t.j.slots, t.j.speeds
+	t.j.mu.Unlock()
+	if slots <= 0 {
+		return 1.0
+	}
+	slot := ((machine % slots) + slots) % slots
+	if slot < len(speeds) && speeds[slot] > 0 {
+		return speeds[slot]
+	}
+	return 1.0
+}
+
+// NotifyExit implements pvm.ExitNotifier: the watch is registered in
+// the master's registry, which owns liveness.
+func (t *wTask) NotifyExit(id pvm.TaskID) {
+	if err := t.j.c.write(&frame{Type: fNotify, Task: id, From: t.id}); err != nil {
+		pvm.AbortTask() // connection gone: the session is tearing down
+	}
+}
 
 func (t *wTask) Spawn(name string, machine int, fn pvm.TaskFunc) pvm.TaskID {
 	panic(fmt.Sprintf("nettrans: task %q used Spawn on a worker node; distributed programs must use SpawnSpec", t.name))

@@ -26,6 +26,15 @@ import (
 // Tag labels a message's purpose; receivers select on it.
 type Tag int32
 
+// TagExit is the reserved tag of task-exit notifications, modeled on
+// PVM's pvm_notify(PvmTaskExit): a task that registered interest in a
+// peer via NotifyExit receives a Message{From: peer, Tag: TagExit}
+// when the transport loses the process hosting that peer. Negative so
+// it can never collide with program tags. Transports whose tasks
+// cannot be lost (the virtual kernel, in-process goroutines) never
+// deliver it.
+const TagExit Tag = -1
+
 // TaskID identifies a spawned task within one run.
 type TaskID int32
 
@@ -99,6 +108,48 @@ type Env interface {
 	Cancelled() bool
 }
 
+// ExitNotifier is an optional Env capability: transports that can lose
+// remote tasks implement it so programs may register for TagExit
+// notifications instead of having the whole run abort. A task loss is
+// survivable exactly when every task on the lost node is watched.
+type ExitNotifier interface {
+	// NotifyExit requests a Message{From: id, Tag: TagExit} should the
+	// process hosting task id be lost mid-run.
+	NotifyExit(id TaskID)
+}
+
+// NotifyExit registers interest in a peer task's loss when env's
+// transport supports it, and reports whether it did. On transports
+// where tasks cannot be lost it is a no-op returning false — the
+// caller's TagExit branch simply never fires there.
+func NotifyExit(env Env, id TaskID) bool {
+	if n, ok := env.(ExitNotifier); ok {
+		n.NotifyExit(id)
+		return true
+	}
+	return false
+}
+
+// SpeedReporter is an optional Env capability: the declared relative
+// compute speed of a machine slot, the heterogeneity knob schedulers
+// seed their initial work shares from.
+type SpeedReporter interface {
+	// MachineSpeed returns the declared relative speed of the given
+	// machine index (wrapped like Spawn wraps it); 1.0 is the reference.
+	MachineSpeed(machine int) float64
+}
+
+// MachineSpeedOf resolves a machine slot's declared speed through env,
+// defaulting to 1.0 when the transport does not expose speeds.
+func MachineSpeedOf(env Env, machine int) float64 {
+	if s, ok := env.(SpeedReporter); ok {
+		if sp := s.MachineSpeed(machine); sp > 0 {
+			return sp
+		}
+	}
+	return 1.0
+}
+
 // Counters reports what a run did; attach one to Options to collect.
 type Counters struct {
 	// Spawns is the number of tasks started (including the root).
@@ -146,6 +197,12 @@ type Options struct {
 	// issued by a task living in another process; in-process transports
 	// fall back to it only for specs without an inline Fn.
 	Spawner TaskFactory
+	// Elastic lets network transports grow a running job: a worker
+	// process joining after the run started is absorbed as spare
+	// capacity (new machine slots appended to the slot ring) instead of
+	// parking in the lobby for the next job. In-process transports
+	// ignore it.
+	Elastic bool
 }
 
 // TaskFactory rebuilds a portable task body from its Spec kind and

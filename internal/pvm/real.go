@@ -55,6 +55,14 @@ func (t *rTask) Rand() *rand.Rand  { return t.r }
 func (t *rTask) Now() float64      { return time.Since(t.rt.start).Seconds() }
 func (t *rTask) Cancelled() bool   { return cancelled(t.rt.done) }
 
+// MachineSpeed implements SpeedReporter from the cluster model,
+// wrapping the index exactly like spawn does.
+func (t *rTask) MachineSpeed(machine int) float64 {
+	n := len(t.rt.c.Machines)
+	machine = ((machine % n) + n) % n
+	return t.rt.c.Machine(machine).Speed
+}
+
 func (t *rTask) Spawn(name string, machine int, fn TaskFunc) TaskID {
 	return t.rt.spawn(t.name+"/"+name, machine, fn)
 }

@@ -48,6 +48,14 @@ func (t *vTask) Rand() *rand.Rand  { return t.r }
 func (t *vTask) Now() float64      { return float64(t.rt.k.Now()) }
 func (t *vTask) Cancelled() bool   { return cancelled(t.rt.done) }
 
+// MachineSpeed implements SpeedReporter from the cluster model,
+// wrapping the index exactly like spawn does.
+func (t *vTask) MachineSpeed(machine int) float64 {
+	n := len(t.rt.c.Machines)
+	machine = ((machine % n) + n) % n
+	return t.rt.c.Machine(machine).Speed
+}
+
 func (t *vTask) Spawn(name string, machine int, fn TaskFunc) TaskID {
 	return t.rt.spawn(t.name+"/"+name, machine, fn)
 }

@@ -1,0 +1,320 @@
+// Package sched is the heterogeneity-aware work-distribution subsystem
+// of the parallel tabu search: it decides how the element space is
+// partitioned among workers of unequal speed, and re-decides as the
+// workers' observed throughput drifts.
+//
+// The package is deliberately runtime-free — pure arithmetic over
+// observations the protocol layers feed it — so the same scheduler is
+// exact on the deterministic virtual kernel (observations carry modeled
+// time) and on real clusters (observations carry wall time). All
+// decisions are integer-quantized and deterministic in the observation
+// stream.
+//
+// Three pieces cooperate:
+//
+//   - Partition apportions [0, n) contiguously and proportionally to a
+//     weight vector (largest-remainder method), guaranteeing every
+//     positive-weight worker a non-empty range while n allows.
+//   - Tracker folds per-worker cumulative work counters into smoothed
+//     throughput weights (exponential moving average over observation
+//     windows) and knows which workers are still alive.
+//   - Rebalance applies hysteresis: a new partition is adopted only
+//     when it moves more than a configured fraction of the element
+//     space, or when membership changed (a worker died), so ranges do
+//     not churn over measurement noise.
+package sched
+
+// DefaultAlpha is the EWMA smoothing factor for throughput updates:
+// weight' = alpha*rate + (1-alpha)*weight. 0.5 follows fresh rates
+// quickly while still damping single-window spikes.
+const DefaultAlpha = 0.5
+
+// DefaultMinShift is the rebalance hysteresis: a proposed partition is
+// adopted only when the total element movement exceeds this fraction of
+// the element space (unless membership changed, which always
+// rebalances).
+const DefaultMinShift = 0.05
+
+// Partition splits [0, n) into len(weights) contiguous half-open
+// ranges with sizes proportional to the weights, using the
+// largest-remainder method (deterministic, ties broken by lower
+// index). Workers with non-positive weight receive an empty range.
+// Every positive-weight worker is guaranteed a non-empty range as long
+// as n is at least the number of such workers; when n is smaller, the
+// lowest-indexed positive-weight workers get one element each and the
+// rest go empty.
+func Partition(n int32, weights []float64) [][2]int32 {
+	k := len(weights)
+	out := make([][2]int32, k)
+	total := 0.0
+	alive := 0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+			alive++
+		}
+	}
+	if n <= 0 || alive == 0 || total <= 0 {
+		return out // all empty at [0, 0)
+	}
+
+	// Compute floor sizes and remainders in float64 — the same IEEE
+	// arithmetic everywhere, so results are deterministic across hosts —
+	// and let the largest-remainder pass absorb the rounding.
+	sizes := make([]int32, k)
+	rems := make([]float64, k)
+	var assigned int32
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		ideal := float64(n) * w / total
+		fl := int32(ideal) // truncation toward zero: fl <= ideal
+		sizes[i] = fl
+		rems[i] = ideal - float64(fl)
+		assigned += fl
+	}
+	// Distribute the remainder one element at a time to the largest
+	// fractional parts (ties: lowest index).
+	for assigned < n {
+		best, bestRem := -1, -1.0
+		for i, w := range weights {
+			if w <= 0 {
+				continue
+			}
+			if rems[i] > bestRem {
+				best, bestRem = i, rems[i]
+			}
+		}
+		sizes[best]++
+		rems[best] = -2 // consumed
+		assigned++
+	}
+	// Min-1 guarantee: steal from the largest range for every starved
+	// positive-weight worker, while elements remain.
+	for {
+		starved := -1
+		for i, w := range weights {
+			if w > 0 && sizes[i] == 0 {
+				starved = i
+				break
+			}
+		}
+		if starved < 0 {
+			break
+		}
+		donor, donorSz := -1, int32(1)
+		for i := range sizes {
+			if sizes[i] > donorSz {
+				donor, donorSz = i, sizes[i]
+			}
+		}
+		if donor < 0 {
+			break // n < alive: nothing left to steal without starving the donor
+		}
+		sizes[donor]--
+		sizes[starved]++
+	}
+
+	var at int32
+	for i := range out {
+		out[i] = [2]int32{at, at + sizes[i]}
+		at += sizes[i]
+	}
+	return out
+}
+
+// Moved returns how many elements change hands between two partitions
+// of the same space: the sum over workers of the non-overlapping part
+// of their old and new ranges, divided by two (each moved element
+// leaves one worker and enters another).
+func Moved(old, new [][2]int32) int32 {
+	if len(old) != len(new) {
+		return 1 << 30
+	}
+	var moved int32
+	for i := range old {
+		lo := max32(old[i][0], new[i][0])
+		hi := min32(old[i][1], new[i][1])
+		overlap := hi - lo
+		if overlap < 0 {
+			overlap = 0
+		}
+		moved += (old[i][1] - old[i][0]) - overlap
+	}
+	return moved
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Tracker maintains per-worker throughput weights from cumulative work
+// observations. It is not safe for concurrent use; each owning task
+// (a TSW for its CLWs, the master for its TSWs) drives its own.
+type Tracker struct {
+	n     int32
+	alpha float64
+	w     []workerState
+}
+
+type workerState struct {
+	weight float64 // smoothed throughput (work units per second)
+	alive  bool
+	seen   bool    // at least one observation recorded
+	base   float64 // cumulative work at the last observation
+	at     float64 // time of the last observation
+}
+
+// NewTracker builds a tracker over an element space of size n with one
+// entry per seed weight. Seed weights are typically the declared
+// machine speeds, so the very first partition is already
+// speed-skewed; non-positive seeds are lifted to 1 (unknown machines
+// count as reference speed).
+func NewTracker(n int32, seeds []float64) *Tracker {
+	t := &Tracker{n: n, alpha: DefaultAlpha, w: make([]workerState, len(seeds))}
+	for i, s := range seeds {
+		if s <= 0 {
+			s = 1
+		}
+		t.w[i] = workerState{weight: s, alive: true}
+	}
+	return t
+}
+
+// Observe folds one cumulative work reading (e.g. trials charged so
+// far) taken at the given time into worker i's throughput weight. The
+// first observation only establishes the baseline; subsequent ones
+// update the EWMA with the window rate. Readings with a non-positive
+// time delta are ignored.
+func (t *Tracker) Observe(i int, cumWork, now float64) {
+	if i < 0 || i >= len(t.w) || !t.w[i].alive {
+		return
+	}
+	w := &t.w[i]
+	if !w.seen {
+		w.seen, w.base, w.at = true, cumWork, now
+		return
+	}
+	dt := now - w.at
+	dwork := cumWork - w.base
+	if dt <= 0 || dwork < 0 {
+		return
+	}
+	rate := dwork / dt
+	w.weight = t.alpha*rate + (1-t.alpha)*w.weight
+	w.base, w.at = cumWork, now
+	if w.weight <= 0 {
+		// A fully stalled worker keeps an infinitesimal positive weight
+		// so it is never starved outright while alive.
+		w.weight = 1e-9
+	}
+}
+
+// ObserveWindow folds one complete measurement window — work units
+// done over dt seconds — into worker i's throughput weight. Unlike
+// Observe it needs no baseline: callers use it when they measure each
+// window directly (e.g. a coordinator timing how long a worker's round
+// took on its own clock), which keeps the signal meaningful even under
+// a full barrier where every worker does identical work per round and
+// only the completion latency differs. Non-positive windows are
+// ignored.
+func (t *Tracker) ObserveWindow(i int, work, dt float64) {
+	if i < 0 || i >= len(t.w) || !t.w[i].alive || dt <= 0 || work < 0 {
+		return
+	}
+	w := &t.w[i]
+	w.weight = t.alpha*(work/dt) + (1-t.alpha)*w.weight
+	if w.weight <= 0 {
+		w.weight = 1e-9
+	}
+}
+
+// Kill marks worker i dead: its weight drops to zero and the next
+// partition folds its range into the survivors.
+func (t *Tracker) Kill(i int) {
+	if i < 0 || i >= len(t.w) {
+		return
+	}
+	t.w[i].alive = false
+	t.w[i].weight = 0
+}
+
+// Alive returns how many workers are still alive.
+func (t *Tracker) Alive() int {
+	n := 0
+	for i := range t.w {
+		if t.w[i].alive {
+			n++
+		}
+	}
+	return n
+}
+
+// Weights returns a copy of the current weight vector (zero for dead
+// workers).
+func (t *Tracker) Weights() []float64 {
+	out := make([]float64, len(t.w))
+	for i := range t.w {
+		if t.w[i].alive {
+			out[i] = t.w[i].weight
+		}
+	}
+	return out
+}
+
+// Shares returns each worker's fraction of the total live weight, the
+// quantity progress snapshots report.
+func (t *Tracker) Shares() []float64 {
+	out := t.Weights()
+	total := 0.0
+	for _, w := range out {
+		total += w
+	}
+	if total <= 0 {
+		return out
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// Partition apportions the tracker's element space over the current
+// weights.
+func (t *Tracker) Partition() [][2]int32 {
+	return Partition(t.n, t.Weights())
+}
+
+// Rebalance proposes a new partition and reports whether it should be
+// adopted over cur: always when membership shrank (cur serves a dead
+// worker a non-empty range), otherwise only when the total element
+// movement exceeds minShift×n. minShift <= 0 uses DefaultMinShift.
+func (t *Tracker) Rebalance(cur [][2]int32, minShift float64) ([][2]int32, bool) {
+	if minShift <= 0 {
+		minShift = DefaultMinShift
+	}
+	next := Partition(t.n, t.Weights())
+	if len(cur) != len(next) {
+		return next, true
+	}
+	for i := range t.w {
+		if !t.w[i].alive && cur[i][1] > cur[i][0] {
+			return next, true // a dead worker still holds elements
+		}
+	}
+	if float64(Moved(cur, next)) > minShift*float64(t.n) {
+		return next, true
+	}
+	return cur, false
+}

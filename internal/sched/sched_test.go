@@ -1,0 +1,304 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// checkPartition asserts the structural invariants every partition of
+// [0, n) must satisfy: sorted, contiguous over the positive-weight
+// workers, covering exactly [0, n), empty for non-positive weights.
+func checkPartition(t *testing.T, n int32, weights []float64, rs [][2]int32) {
+	t.Helper()
+	if len(rs) != len(weights) {
+		t.Fatalf("got %d ranges for %d weights", len(rs), len(weights))
+	}
+	var covered int32
+	at := int32(0)
+	for i, r := range rs {
+		if r[1] < r[0] {
+			t.Fatalf("range %d inverted: %v", i, r)
+		}
+		if r[1] > r[0] {
+			if r[0] != at {
+				t.Fatalf("range %d not contiguous: starts at %d, expected %d", i, r[0], at)
+			}
+			at = r[1]
+			covered += r[1] - r[0]
+		}
+		if weights[i] <= 0 && r[1] > r[0] {
+			t.Fatalf("dead worker %d got non-empty range %v", i, r)
+		}
+	}
+	alive := 0
+	for _, w := range weights {
+		if w > 0 {
+			alive++
+		}
+	}
+	want := n
+	if alive == 0 || n < 0 {
+		want = 0
+	}
+	if covered != want {
+		t.Fatalf("partition covers %d of %d elements", covered, want)
+	}
+}
+
+func TestPartitionProportional(t *testing.T) {
+	n := int32(700)
+	rs := Partition(n, []float64{4, 1, 1, 1})
+	checkPartition(t, n, []float64{4, 1, 1, 1}, rs)
+	// The 4x worker owns 4/7 of the space, exactly (700 divides evenly).
+	if sz := rs[0][1] - rs[0][0]; sz != 400 {
+		t.Errorf("fast worker got %d elements, want 400", sz)
+	}
+	for i := 1; i < 4; i++ {
+		if sz := rs[i][1] - rs[i][0]; sz != 100 {
+			t.Errorf("slow worker %d got %d elements, want 100", i, sz)
+		}
+	}
+}
+
+func TestPartitionDeadWorkerFoldedIn(t *testing.T) {
+	n := int32(100)
+	weights := []float64{1, 0, 1}
+	rs := Partition(n, weights)
+	checkPartition(t, n, weights, rs)
+	if sz := rs[0][1] - rs[0][0]; sz != 50 {
+		t.Errorf("survivor 0 got %d, want 50", sz)
+	}
+	if sz := rs[2][1] - rs[2][0]; sz != 50 {
+		t.Errorf("survivor 2 got %d, want 50", sz)
+	}
+}
+
+func TestPartitionMinOneGuarantee(t *testing.T) {
+	// A tiny weight must still receive one element while n allows.
+	n := int32(10)
+	weights := []float64{1000, 1e-6, 1000}
+	rs := Partition(n, weights)
+	checkPartition(t, n, weights, rs)
+	if sz := rs[1][1] - rs[1][0]; sz < 1 {
+		t.Errorf("starved the slow worker: %v", rs)
+	}
+}
+
+func TestPartitionMoreWorkersThanElements(t *testing.T) {
+	// k > n: the lowest-indexed workers get one element each, the rest
+	// go empty — no inverted or overlapping ranges.
+	n := int32(3)
+	weights := []float64{1, 1, 1, 1, 1}
+	rs := Partition(n, weights)
+	checkPartition(t, n, weights, rs)
+	nonEmpty := 0
+	for _, r := range rs {
+		if r[1] > r[0] {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 3 {
+		t.Errorf("%d non-empty ranges for n=3, want 3: %v", nonEmpty, rs)
+	}
+}
+
+func TestPartitionDegenerate(t *testing.T) {
+	for _, tc := range []struct {
+		n int32
+		w []float64
+	}{
+		{0, []float64{1, 2}},
+		{10, []float64{0, 0}},
+		{10, nil},
+		{-5, []float64{1}},
+	} {
+		rs := Partition(tc.n, tc.w)
+		for i, r := range rs {
+			if r[1] != r[0] {
+				t.Errorf("n=%d w=%v: range %d not empty: %v", tc.n, tc.w, i, r)
+			}
+		}
+	}
+}
+
+func TestPartitionQuick(t *testing.T) {
+	f := func(nRaw uint16, wRaw []uint8) bool {
+		n := int32(nRaw % 5000)
+		if len(wRaw) == 0 || len(wRaw) > 32 {
+			return true
+		}
+		weights := make([]float64, len(wRaw))
+		for i, w := range wRaw {
+			weights[i] = float64(w) // zero stays zero: dead worker
+		}
+		rs := Partition(n, weights)
+		// Re-run the structural checks without t.Fatal.
+		var covered int32
+		at := int32(0)
+		for i, r := range rs {
+			if r[1] < r[0] {
+				return false
+			}
+			if r[1] > r[0] {
+				if weights[i] <= 0 || r[0] != at {
+					return false
+				}
+				at = r[1]
+				covered += r[1] - r[0]
+			}
+		}
+		alive := 0
+		for _, w := range weights {
+			if w > 0 {
+				alive++
+			}
+		}
+		if alive == 0 {
+			return covered == 0
+		}
+		return covered == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoved(t *testing.T) {
+	old := [][2]int32{{0, 50}, {50, 100}}
+	same := [][2]int32{{0, 50}, {50, 100}}
+	if m := Moved(old, same); m != 0 {
+		t.Errorf("identical partitions moved %d", m)
+	}
+	shifted := [][2]int32{{0, 60}, {60, 100}}
+	if m := Moved(old, shifted); m != 10 {
+		t.Errorf("10-element shift moved %d", m)
+	}
+}
+
+func TestTrackerSeedsFromSpeeds(t *testing.T) {
+	tr := NewTracker(700, []float64{4, 1, 1, 1})
+	rs := tr.Partition()
+	if sz := rs[0][1] - rs[0][0]; sz != 400 {
+		t.Errorf("speed-seeded share = %d, want 400", sz)
+	}
+	shares := tr.Shares()
+	if shares[0] < 0.57 || shares[0] > 0.58 {
+		t.Errorf("fast share = %v, want ~4/7", shares[0])
+	}
+}
+
+func TestTrackerConvergesToObservedRate(t *testing.T) {
+	// Seeded equal, but worker 0 is observed doing 4x the work per
+	// second: its weight must converge toward 4x the others'.
+	tr := NewTracker(1000, []float64{1, 1})
+	now, work0, work1 := 0.0, 0.0, 0.0
+	for step := 0; step < 12; step++ {
+		now += 1.0
+		work0 += 400
+		work1 += 100
+		tr.Observe(0, work0, now)
+		tr.Observe(1, work1, now)
+	}
+	w := tr.Weights()
+	ratio := w[0] / w[1]
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Errorf("weight ratio = %v after 4:1 observations, want ~4", ratio)
+	}
+}
+
+func TestTrackerFirstObservationIsBaseline(t *testing.T) {
+	tr := NewTracker(100, []float64{2, 1})
+	tr.Observe(0, 1e9, 1.0) // huge cumulative reading: baseline only
+	w := tr.Weights()
+	if w[0] != 2 {
+		t.Errorf("baseline observation changed the weight: %v", w[0])
+	}
+}
+
+func TestTrackerKillFoldsRange(t *testing.T) {
+	tr := NewTracker(90, []float64{1, 1, 1})
+	cur := tr.Partition()
+	tr.Kill(1)
+	next, changed := tr.Rebalance(cur, 0)
+	if !changed {
+		t.Fatal("death did not trigger a rebalance")
+	}
+	if next[1][1] != next[1][0] {
+		t.Errorf("dead worker kept elements: %v", next[1])
+	}
+	total := (next[0][1] - next[0][0]) + (next[2][1] - next[2][0])
+	if total != 90 {
+		t.Errorf("survivors own %d of 90 elements", total)
+	}
+	if tr.Alive() != 2 {
+		t.Errorf("Alive = %d, want 2", tr.Alive())
+	}
+}
+
+func TestRebalanceHysteresis(t *testing.T) {
+	tr := NewTracker(1000, []float64{1, 1})
+	cur := tr.Partition()
+	// Tiny drift: observations differing by under the hysteresis
+	// threshold keep the current partition.
+	now, w0, w1 := 0.0, 0.0, 0.0
+	for i := 0; i < 5; i++ {
+		now++
+		w0 += 101
+		w1 += 100
+		tr.Observe(0, w0, now)
+		tr.Observe(1, w1, now)
+	}
+	if _, changed := tr.Rebalance(cur, 0.05); changed {
+		t.Error("sub-threshold drift triggered a rebalance")
+	}
+	// Large drift: must rebalance.
+	for i := 0; i < 8; i++ {
+		now++
+		w0 += 400
+		w1 += 100
+		tr.Observe(0, w0, now)
+		tr.Observe(1, w1, now)
+	}
+	next, changed := tr.Rebalance(cur, 0.05)
+	if !changed {
+		t.Fatal("4:1 drift did not trigger a rebalance")
+	}
+	if sz := next[0][1] - next[0][0]; sz <= 500 {
+		t.Errorf("fast worker share did not grow: %d", sz)
+	}
+}
+
+func TestObserveWindowDiscriminatesLatency(t *testing.T) {
+	// Equal work per round, 4x latency difference — the full-sync
+	// barrier regime where cumulative-counter observations carry no
+	// signal but per-round completion windows do.
+	tr := NewTracker(700, []float64{1, 1})
+	for i := 0; i < 10; i++ {
+		tr.ObserveWindow(0, 100, 0.25)
+		tr.ObserveWindow(1, 100, 1.0)
+	}
+	w := tr.Weights()
+	if r := w[0] / w[1]; r < 3.5 || r > 4.5 {
+		t.Errorf("weight ratio = %v after 4:1 latency windows, want ~4", r)
+	}
+	before := tr.Weights()[0]
+	tr.ObserveWindow(0, 100, 0) // zero window
+	tr.ObserveWindow(0, -1, 1)  // negative work
+	tr.ObserveWindow(9, 1, 1)   // out of range
+	if after := tr.Weights()[0]; after != before {
+		t.Errorf("bad windows changed the weight: %v -> %v", before, after)
+	}
+}
+
+func TestObserveIgnoresBadWindows(t *testing.T) {
+	tr := NewTracker(100, []float64{1})
+	tr.Observe(0, 100, 1)
+	before := tr.Weights()[0]
+	tr.Observe(0, 90, 2)  // counter went backwards
+	tr.Observe(0, 200, 1) // zero time delta (same stamp as baseline)
+	if after := tr.Weights()[0]; after != before {
+		t.Errorf("bad windows changed the weight: %v -> %v", before, after)
+	}
+	tr.Observe(-1, 5, 5) // out of range: no panic
+	tr.Observe(9, 5, 5)
+}

@@ -49,6 +49,28 @@ func ListenMaster(addr string, workers int) (*NetMaster, error) {
 // Addr returns the bound listen address.
 func (n *NetMaster) Addr() string { return n.m.Addr() }
 
+// WorkerInfo describes one registered worker process.
+type WorkerInfo struct {
+	// Name is the worker's cluster-unique registry name.
+	Name string
+	// Speed is its declared relative speed factor.
+	Speed float64
+	// Capacity is how many machine slots it contributes.
+	Capacity int
+}
+
+// Workers lists the currently registered worker processes — waiting in
+// the lobby before a run, or claimed by the running one (including
+// workers absorbed mid-run by an adaptive job).
+func (n *NetMaster) Workers() []WorkerInfo {
+	nodes := n.m.Nodes()
+	out := make([]WorkerInfo, len(nodes))
+	for i, nd := range nodes {
+		out[i] = WorkerInfo{Name: nd.Name, Speed: nd.Speed, Capacity: nd.Capacity}
+	}
+	return out
+}
+
 // Transport returns the master as a Solve transport (WithTransport).
 func (n *NetMaster) Transport() Transport { return Transport{t: n.m} }
 

@@ -82,6 +82,30 @@ func WithHalfSync(on bool) Option {
 	return func(s *settings) { s.cfg.HalfSync = on }
 }
 
+// WithAdaptive toggles the heterogeneity-aware adaptive scheduler.
+//
+// When on, the element space is partitioned over workers
+// proportionally to the machines' declared speeds (so the first round
+// is already skewed toward fast nodes), then re-partitioned at every
+// synchronization barrier to track each worker's observed throughput —
+// with each candidate-list worker's per-step trial budget scaled to
+// its range share, faster machines do proportionally more of the work
+// and rounds finish together instead of waiting on the slowest node.
+// Adaptive distributed runs also degrade gracefully: a worker process
+// lost mid-run has its element range folded back into the survivors
+// and the run completes (where a static run would return
+// Result.Interrupted), and worker processes joining late are absorbed
+// as spare capacity.
+//
+// Off (the default), partitioning is the paper's fixed equal split and
+// fixed-seed virtual-time results are bit-identical to earlier
+// releases. Adaptive virtual-time runs are still deterministic in
+// WithSeed — scheduling decisions key off modeled time, not the wall
+// clock — but explore a different (speed-weighted) trajectory.
+func WithAdaptive(on bool) Option {
+	return func(s *settings) { s.cfg.Adaptive = on }
+}
+
 // WithCluster selects the machines the run executes on.
 func WithCluster(c Cluster) Option {
 	return func(s *settings) { s.clus = c.c }

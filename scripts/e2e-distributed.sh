@@ -73,3 +73,71 @@ for i in 1 2 3; do
   }
 done
 echo "PASS: distributed run reproduces the single-process best cost exactly"
+
+# ---------------------------------------------------------------------------
+# Adaptive variant: 1 master + 3 workers with declared speeds 4/1/1, one
+# slow CLW-hosting worker killed (-9) mid-run. Under -adaptive the run
+# must complete un-Interrupted over the full iteration budget, with the
+# dead CLW's range re-absorbed by the survivors (WorkersLost:1 in the
+# master's stats). Join order fixes the slot ring: with 1 TSW x 3 CLWs
+# the first worker hosts the TSW and the second/third host one CLW each
+# (the third CLW lands on the master process).
+echo "== adaptive distributed run: kill one slow CLW-hosting worker mid-run"
+ADDR2="127.0.0.1:$((PORT + 1))"
+AFLAGS=(-circuit c532 -seed 7 -het=false -adaptive -tsws 1 -clws 3 -global 10 -local 25 -workscale 8)
+
+"$BIN" "${AFLAGS[@]}" -serve "$ADDR2" -net-workers 3 -progress -json "$OUT/adaptive.json" \
+  > "$OUT/amaster.log" 2>&1 &
+AMASTER=$!
+sleep 1
+"$BIN" -circuit c532 -worker "$ADDR2" -node-name a1 -speed 4 -jobs 1 > "$OUT/aworker1.log" 2>&1 &
+A1=$!
+sleep 0.5
+"$BIN" -circuit c532 -worker "$ADDR2" -node-name a2 -speed 1 -jobs 1 > "$OUT/aworker2.log" 2>&1 &
+A2=$!
+sleep 0.5
+"$BIN" -circuit c532 -worker "$ADDR2" -node-name a3 -speed 1 -jobs 1 > "$OUT/aworker3.log" 2>&1 &
+DOOMED=$!
+
+# Wait until the run is visibly in flight (round 2 reported), then kill
+# the slow worker hosting a CLW.
+for _ in $(seq 1 150); do
+  grep -q "round   2/" "$OUT/amaster.log" 2>/dev/null && break
+  sleep 0.2
+done
+grep -q "round   2/" "$OUT/amaster.log" || {
+  echo "FAIL: adaptive run never reached round 2"; cat "$OUT/amaster.log"; exit 1
+}
+kill -9 "$DOOMED" 2>/dev/null || true
+
+if ! wait "$AMASTER"; then
+  echo "FAIL: adaptive master exited non-zero:"; cat "$OUT/amaster.log"; exit 1
+fi
+# Check each survivor's exit status separately: `wait p1 p2` only
+# propagates the last PID's status.
+wait "$A1" || {
+  echo "FAIL: surviving worker a1 exited non-zero"; cat "$OUT/aworker1.log"; exit 1
+}
+wait "$A2" || {
+  echo "FAIL: surviving worker a2 exited non-zero"; cat "$OUT/aworker2.log"; exit 1
+}
+wait "$DOOMED" 2>/dev/null || true
+
+if grep -q "interrupted" "$OUT/amaster.log"; then
+  echo "FAIL: adaptive run reported an interrupted result"; cat "$OUT/amaster.log"; exit 1
+fi
+grep -q "WorkersLost:1" "$OUT/amaster.log" || {
+  echo "FAIL: master stats do not record the lost worker"; cat "$OUT/amaster.log"; exit 1
+}
+grep -q "best cost" "$OUT/amaster.log" || {
+  echo "FAIL: adaptive master reported no best cost"; cat "$OUT/amaster.log"; exit 1
+}
+grep -q '"Interrupted": false' "$OUT/adaptive.json" || {
+  echo "FAIL: adaptive result JSON is marked Interrupted"; exit 1
+}
+for i in 1 2; do
+  grep -q "job completed" "$OUT/aworker$i.log" || {
+    echo "FAIL: surviving worker a$i did not report a completed job"; cat "$OUT/aworker$i.log"; exit 1
+  }
+done
+echo "PASS: adaptive run survived the worker kill un-Interrupted (range re-absorbed)"

@@ -79,6 +79,13 @@ type WorkerStats struct {
 	ForcedReports int64
 	// Diversifications is the number of diversification phases run.
 	Diversifications int64
+	// Rebalances is the number of adaptive range re-partitions adopted
+	// by workers (0 unless WithAdaptive is on).
+	Rebalances int64
+	// WorkersLost is the number of candidate-list workers written off
+	// after their hosting process died mid-run (adaptive distributed
+	// runs only; a static run aborts instead).
+	WorkersLost int64
 }
 
 // newWorkerStats mirrors the engine's counters into the public type.
@@ -93,6 +100,8 @@ func newWorkerStats(ws core.WorkerStats) WorkerStats {
 		Fallbacks:        ws.Fallbacks,
 		ForcedReports:    ws.ForcedReports,
 		Diversifications: ws.Diversifications,
+		Rebalances:       ws.Rebalances,
+		WorkersLost:      ws.WorkersLost,
 	}
 }
 
@@ -117,6 +126,10 @@ type Snapshot struct {
 	Forced  int
 	// Stats aggregates the search counters reported so far.
 	Stats WorkerStats
+	// Shares is the adaptive scheduler's current element-space share
+	// per tabu search worker (summing to 1 over live workers); nil
+	// unless WithAdaptive is on.
+	Shares []float64
 }
 
 // newSnapshot mirrors the engine's snapshot into the public type.
@@ -131,6 +144,7 @@ func newSnapshot(cs core.Snapshot) Snapshot {
 		Reports:     cs.Reports,
 		Forced:      cs.Forced,
 		Stats:       newWorkerStats(cs.Stats),
+		Shares:      cs.Shares,
 	}
 }
 
