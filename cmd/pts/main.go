@@ -47,6 +47,8 @@ func main() {
 		div      = flag.Int("diversify", 12, "diversification depth (0 = off)")
 		het      = flag.Bool("het", true, "half-sync heterogeneous collection")
 		adaptive = flag.Bool("adaptive", false, "throughput-proportional adaptive scheduling (speed-seeded shares, loss-tolerant distributed runs)")
+		respawn  = flag.Bool("respawn", true, "adaptive mode: recover lost workers (respawn CLWs onto live capacity, resurrect TSWs from checkpoints); false = fold-only degradation")
+		ckEvery  = flag.Int("checkpoint-every", 1, "adaptive mode: reports between TSW recovery checkpoints")
 		mode     = flag.String("mode", "virtual", "runtime: virtual or real")
 		seed     = flag.Uint64("seed", 1, "run seed")
 		loadSeed = flag.Uint64("cluster-seed", 12, "testbed load-trace seed (0 = idle machines)")
@@ -113,6 +115,8 @@ func main() {
 		pts.WithDiversification(*div),
 		pts.WithHalfSync(*het),
 		pts.WithAdaptive(*adaptive),
+		pts.WithRespawn(*respawn),
+		pts.WithCheckpointEvery(*ckEvery),
 		pts.WithSeed(*seed),
 		pts.WithCluster(pts.Testbed12(*loadSeed)),
 		pts.WithWorkScale(*workScale),

@@ -10,6 +10,7 @@
 //	ptsbench -circuits highway,c532 -out results
 //	ptsbench -hotpath            # trial-kernel microbench -> BENCH_hotpath.json
 //	ptsbench -hetero             # static vs adaptive scheduling on a 4:1 skewed cluster -> BENCH_hetero.json
+//	ptsbench -recovery           # fold-only vs respawn after a mid-run worker kill -> BENCH_recovery.json
 package main
 
 import (
@@ -39,6 +40,9 @@ func main() {
 		hotpathDur  = flag.Duration("hotpath-dur", time.Second, "measurement duration per hot-path kernel")
 		hetero      = flag.Bool("hetero", false, "compare static vs adaptive scheduling wall time on an emulated 1-fast/3-slow cluster and write BENCH_hetero.json")
 		heteroScale = flag.Float64("hetero-workscale", 0, "work emulation factor for -hetero (0 = default)")
+		recovery    = flag.Bool("recovery", false, "compare fold-only vs respawn recovery after a mid-run worker kill over loopback TCP and write BENCH_recovery.json")
+		recScale    = flag.Float64("recovery-workscale", 0, "work emulation factor for -recovery (0 = default)")
+		recKillAt   = flag.Int("recovery-kill-round", 0, "round whose report triggers the -recovery kill (0 = default)")
 	)
 	flag.Parse()
 
@@ -68,6 +72,31 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *recovery {
+		var circuit string
+		if *circuits != "" {
+			circuit = strings.Split(*circuits, ",")[0]
+		}
+		rep, err := bench.Recovery(bench.RecoveryOpts{
+			Context:   ctx,
+			Circuit:   circuit,
+			WorkScale: *recScale,
+			KillRound: *recKillAt,
+			Scale:     *scale,
+			Seed:      *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		path, err := bench.WriteRecovery(rep, *out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.RenderRecovery(rep))
+		fmt.Printf("wrote %s\n", path)
+		return
 	}
 
 	if *hetero {

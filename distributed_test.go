@@ -140,8 +140,10 @@ func TestDistributedWithListenSugar(t *testing.T) {
 // TestAdaptiveWorkerLossDegradesGracefully is the loss-tolerance
 // acceptance gate: under WithAdaptive, killing a CLW-hosting worker
 // process mid-run must NOT abort the run — the dead worker's element
-// range is folded back into the survivors and the master returns a
-// complete (non-Interrupted) result over the full iteration budget.
+// range is folded back into the survivors, a replacement is respawned
+// onto surviving capacity (restoring the pre-kill CLW count), and the
+// master returns a complete (non-Interrupted) result over the full
+// iteration budget.
 func TestAdaptiveWorkerLossDegradesGracefully(t *testing.T) {
 	if testing.Short() {
 		t.Skip("distributed loopback run")
@@ -223,6 +225,9 @@ func TestAdaptiveWorkerLossDegradesGracefully(t *testing.T) {
 	}
 	if res.Stats.WorkersLost != 1 {
 		t.Errorf("WorkersLost = %d, want 1", res.Stats.WorkersLost)
+	}
+	if res.Stats.WorkersRespawned != 1 {
+		t.Errorf("WorkersRespawned = %d, want 1 (parallelism restored, not just degraded)", res.Stats.WorkersRespawned)
 	}
 	if res.Stats.Rebalances == 0 {
 		t.Error("the dead CLW's range was never re-absorbed (no rebalance adopted)")

@@ -63,9 +63,26 @@
 // re-partitioned at synchronization barriers to track each worker's
 // observed throughput, with per-step trial budgets scaled to range
 // shares. On the distributed transport, adaptive runs additionally
-// tolerate the loss of candidate-list workers (the dead worker's range
-// folds back into the survivors and the run completes) and absorb
-// late-joining worker processes as spare capacity.
+// absorb late-joining worker processes as spare capacity.
+//
+// # Failure recovery
+//
+// Adaptive distributed runs survive worker-process loss, and — with
+// respawn on, the default — recover from it rather than merely
+// tolerate it. A lost candidate-list worker's element range folds back
+// into the survivors, the owning TSW requests a replacement, and the
+// master spawns it onto live capacity (absorbed elastic spare slots
+// first, else the least-loaded surviving node), re-seeded from the
+// TSW's current solution at the next synchronization barrier. Each TSW
+// also piggybacks a recovery checkpoint (incumbent solution, tabu
+// memory, iteration counters, random-stream seed, CLW attachment
+// table) on its reports — WithCheckpointEvery sets the cadence — so a
+// lost TSW is resurrected from its last checkpoint with its surviving
+// CLWs re-attached. No single worker process is fatal to a run;
+// Result.Stats reports WorkersLost and WorkersRespawned.
+// WithRespawn(false) restores the fold-only degradation (and makes a
+// TSW loss abort again); static runs abort on any loss, the paper's
+// behavior. See ARCHITECTURE.md for the full protocol.
 //
 // Reproducibility contract:
 //
@@ -74,11 +91,12 @@
 //     with half-sync off reproduces the single-process result exactly.
 //   - Adaptive on under WithVirtualTime: still deterministic in
 //     WithSeed — scheduling decisions key off modeled time — but the
-//     trajectory differs from the static partition's.
+//     trajectory differs from the static partition's and may change
+//     across releases as the scheduler evolves.
 //   - Adaptive on under WithRealTime: shares follow the wall clock, so
 //     runs are not time-reproducible (like any real-mode run); a run
-//     that lost a worker reports Stats.WorkersLost instead of
-//     Interrupted.
+//     that lost workers reports Stats.WorkersLost (and, with respawn
+//     on, Stats.WorkersRespawned) instead of Interrupted.
 //
 // # Evaluator complexity guarantees
 //
@@ -104,8 +122,13 @@
 //     Trials-per-commit ratio of the search. Row-width commits rescan
 //     rows only when a top-two row shrinks below the runner-up.
 //
-// The implementation lives under internal/; cmd/ holds the executables
-// and examples/ runnable walkthroughs. bench_test.go carries the
-// per-figure benchmark harness; cmd/ptsbench -hotpath measures the
-// trial kernel and writes results/BENCH_hotpath.json.
+// The implementation lives under internal/ (ARCHITECTURE.md maps the
+// layers and documents every protocol message); cmd/ holds the
+// executables and examples/ runnable walkthroughs, and the Example
+// functions in this package's documentation are runnable as tests.
+// bench_test.go carries the per-figure benchmark harness; cmd/ptsbench
+// -hotpath measures the trial kernel (results/BENCH_hotpath.json),
+// -hetero the adaptive-scheduling payoff (results/BENCH_hetero.json),
+// and -recovery the worker-loss recovery payoff
+// (results/BENCH_recovery.json).
 package pts

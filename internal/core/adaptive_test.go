@@ -93,8 +93,7 @@ func TestCLWForcedReportPath(t *testing.T) {
 	consistent := true
 	var deltaGap float64
 	root := func(env pvm.Env) {
-		self := env.Self()
-		id := env.Spawn("clw0", 1, func(e pvm.Env) { clwRun(e, prob, cfg, tune, self) })
+		id := env.Spawn("clw0", 1, func(e pvm.Env) { clwRun(e, prob, cfg, tune) })
 		env.Send(id, TagInit, initMsg{Perm: initPerm, RangeLo: 0, RangeHi: prob.Size(), WorkerIdx: 0})
 
 		// Force lands while the compound move is being built: the CLW

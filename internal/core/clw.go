@@ -15,8 +15,21 @@ import (
 // The first element of every trial swap comes from the worker's range —
 // the probabilistic domain decomposition of §4.1 — and the second from
 // the whole element space.
-func clwRun(env pvm.Env, problem Problem, cfg Config, tune Tuning, parent pvm.TaskID) {
-	init := env.Recv(TagInit).Data.(initMsg)
+//
+// The parent is whoever sent the last TagInit: at spawn that is the
+// TSW that created the CLW, a replacement CLW is seeded by the TSW
+// that requested it, and a CLW surviving its TSW's death is
+// re-parented by the resurrected TSW's TagInit mid-run. A TagStop
+// arriving before any TagInit retires a surplus replacement that was
+// never seeded — it exits without a stats report, since no parent
+// ever accounted for it.
+func clwRun(env pvm.Env, problem Problem, cfg Config, tune Tuning) {
+	first := env.Recv(TagInit, TagStop)
+	if first.Tag == TagStop {
+		return
+	}
+	init := first.Data.(initMsg)
+	parent := first.From
 	prob := mustState(env, problem, init.Perm)
 	r := workerRand(env, cfg, "clw")
 	params := tabu.CompoundParams{
@@ -37,7 +50,7 @@ func clwRun(env pvm.Env, problem Problem, cfg Config, tune Tuning, parent pvm.Ta
 	var tentative tabu.CompoundMove // applied locally, awaiting TagSync
 
 	for {
-		m := env.Recv(TagSearch, TagSync, TagNewState, TagStop, TagReportNow, TagRebalance)
+		m := env.Recv(TagSearch, TagSync, TagNewState, TagStop, TagReportNow, TagRebalance, TagInit)
 		switch m.Tag {
 		case TagSearch:
 			forced := false
@@ -82,6 +95,23 @@ func clwRun(env pvm.Env, problem Problem, cfg Config, tune Tuning, parent pvm.Ta
 			perm := m.Data.(stateMsg).Perm
 			if err := prob.Restore(perm); err != nil {
 				panic(fmt.Sprintf("core: clw %s: %v", env.Name(), err))
+			}
+			tentative = tabu.CompoundMove{}
+			env.Work(staWork)
+
+		case TagInit:
+			// Mid-run re-initialization: a resurrected TSW adopting this
+			// survivor. Adopt it back as the parent, take its solution and
+			// range, and drop whatever was tentative against the old world.
+			in := m.Data.(initMsg)
+			if err := prob.Restore(in.Perm); err != nil {
+				panic(fmt.Sprintf("core: clw %s: %v", env.Name(), err))
+			}
+			parent = m.From
+			params.RangeLo, params.RangeHi = in.RangeLo, in.RangeHi
+			if in.Trials > 0 {
+				params.Trials = in.Trials
+				stepWork = float64(params.Trials) * cfg.WorkPerTrial
 			}
 			tentative = tabu.CompoundMove{}
 			env.Work(staWork)

@@ -74,6 +74,19 @@ type Config struct {
 	// (scheduling decisions key off modeled time), but differ from
 	// static runs.
 	Adaptive bool
+	// DisableRespawn turns off worker recovery in adaptive runs: a
+	// lost CLW's range still folds into the survivors (the pre-respawn
+	// graceful degradation) but no replacement is requested, TSWs take
+	// no checkpoints, and a lost TSW aborts the run. The zero value —
+	// recovery on — is the default whenever Adaptive is set; static
+	// runs never lose workers tolerably in the first place.
+	DisableRespawn bool
+	// CheckpointEvery is how many reports a TSW lets pass between
+	// piggybacked recovery checkpoints in adaptive runs: 1 (the
+	// normalized default for 0) checkpoints on every report, larger
+	// values trade recovery freshness for report size. Ignored when
+	// respawn is disabled.
+	CheckpointEvery int
 	// RefreshEvery re-runs timing analysis on a TSW's evaluator every
 	// that many accepted moves (0 = only at global sync).
 	RefreshEvery int
@@ -237,8 +250,23 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: WorkPerTrial %v < 0", c.WorkPerTrial)
 	case c.WorkScale < 0:
 		return fmt.Errorf("core: WorkScale %v < 0", c.WorkScale)
+	case c.CheckpointEvery < 0:
+		return fmt.Errorf("core: CheckpointEvery %d < 0", c.CheckpointEvery)
 	}
 	return nil
+}
+
+// respawn reports whether this run recovers lost workers: adaptive
+// scheduling on (the only mode that watches for losses at all) and
+// recovery not explicitly disabled.
+func (c Config) respawn() bool { return c.Adaptive && !c.DisableRespawn }
+
+// checkpointEvery normalizes the checkpoint cadence.
+func (c Config) checkpointEvery() int {
+	if c.CheckpointEvery < 1 {
+		return 1
+	}
+	return c.CheckpointEvery
 }
 
 // ranges partitions [0, n) into k nearly equal half-open ranges, the

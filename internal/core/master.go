@@ -29,6 +29,14 @@ type masterState struct {
 // the round in flight, skips the remaining rounds and proceeds straight
 // to the shutdown handshake, so every worker drains cleanly and the
 // best-so-far is preserved.
+//
+// With recovery enabled (adaptive runs, Config.respawn) the master is
+// also the cluster's undertaker: it spawns replacement CLWs on live
+// capacity when a TSW reports a loss (TagRespawn), remembers every
+// TSW's latest checkpoint (piggybacked on TagBest, plus the spawn-time
+// TagCheckpoint), watches the TSWs themselves, and resurrects a lost
+// TSW from its checkpoint — re-attaching its surviving CLWs — so no
+// single worker process is fatal to the run.
 func masterRun(env pvm.Env, prob Problem, cfg Config,
 	initPerm []int32, initCost float64, out *masterState) {
 
@@ -41,15 +49,29 @@ func masterRun(env pvm.Env, prob Problem, cfg Config,
 
 	// The master occupies machine 0; workers go where the assignment
 	// policy says.
-	tswIDs := make([]pvm.TaskID, cfg.TSWs)
+	ts := &tswSet{
+		env:    env,
+		cfg:    cfg,
+		ids:    make([]pvm.TaskID, cfg.TSWs),
+		idx:    make(map[pvm.TaskID]int, cfg.TSWs),
+		latest: make(map[pvm.TaskID]WorkerStats, cfg.TSWs),
+	}
+	if cfg.respawn() {
+		ts.rec = newRecovery(env, prob, cfg)
+	}
 	for i := 0; i < cfg.TSWs; i++ {
-		tswIDs[i] = env.SpawnSpec(fmt.Sprintf("tsw%d", i), cfg.tswMachine(i), pvm.Spec{
+		ts.ids[i] = env.SpawnSpec(fmt.Sprintf("tsw%d", i), cfg.tswMachine(i), pvm.Spec{
 			Kind: taskKindTSW,
 			Data: tswSpec{Master: env.Self()},
 			Fn: func(e pvm.Env) {
-				tswRun(e, prob, cfg, env.Self())
+				tswRun(e, prob, cfg, env.Self(), nil)
 			},
 		})
+		// Recovery: watch the TSWs themselves, so a lost one can be
+		// resurrected from its checkpoint instead of aborting the run.
+		if ts.rec != nil {
+			pvm.NotifyExit(env, ts.ids[i])
+		}
 	}
 	// Diversification ranges over the TSWs: the static equal split, or
 	// (adaptive) speed-seeded shares re-partitioned by each TSW's
@@ -61,9 +83,8 @@ func masterRun(env pvm.Env, prob Problem, cfg Config,
 		track = seededTracker(env, prob.Size(), cfg.TSWs, cfg.tswMachine)
 		divRanges = track.Partition()
 	}
-	tswIdx := make(map[pvm.TaskID]int, cfg.TSWs)
-	for i, id := range tswIDs {
-		tswIdx[id] = i
+	for i, id := range ts.ids {
+		ts.idx[id] = i
 		env.Send(id, TagInit, initMsg{
 			Perm:      initPerm,
 			RangeLo:   divRanges[i][0],
@@ -72,20 +93,16 @@ func masterRun(env pvm.Env, prob Problem, cfg Config,
 		})
 	}
 
-	// latest remembers each TSW's most recent cumulative counters so a
-	// progress snapshot can aggregate worker activity mid-run.
-	latest := make(map[pvm.TaskID]WorkerStats, cfg.TSWs)
-
 	var bestTabu []tabu.Entry
 	roundStart := env.Now()
 	for g := 0; g < cfg.GlobalIters; g++ {
-		reports := collectBests(env, tswIDs, cfg.HalfSync)
+		reports := ts.collect(cfg.HalfSync)
 		env.Work(float64(len(reports.msgs)) * cfg.WorkPerTrial)
 		improved := false
 		forced := 0
 		for i, r := range reports.msgs {
 			raw = append(raw, r.Points...)
-			idx := tswIdx[reports.from[i]]
+			idx := ts.idx[reports.from[i]]
 			if track != nil {
 				// One throughput observation per TSW per round: local
 				// iterations completed this round over the TSW's report
@@ -94,10 +111,10 @@ func masterRun(env pvm.Env, prob Problem, cfg Config,
 				// still discriminates under full sync, where every TSW does
 				// identical per-round work by construction and only how
 				// long it took differs.
-				dIters := float64(r.Stats.LocalIters - latest[reports.from[i]].LocalIters)
+				dIters := float64(r.Stats.LocalIters - ts.latest[reports.from[i]].LocalIters)
 				track.ObserveWindow(idx, dIters, reports.at[i]-roundStart)
 			}
-			latest[reports.from[i]] = r.Stats
+			ts.latest[reports.from[i]] = r.Stats
 			if r.Forced {
 				forced++
 			}
@@ -127,8 +144,12 @@ func masterRun(env pvm.Env, prob Problem, cfg Config,
 			if track != nil {
 				snap.Shares = track.Shares()
 			}
-			for _, ws := range latest {
+			for _, ws := range ts.latest {
 				snap.Stats.add(ws)
+			}
+			if ts.rec != nil {
+				snap.Stats.WorkersLost += ts.rec.lost
+				snap.Stats.WorkersRespawned += ts.rec.respawned
 			}
 			cfg.Progress(snap)
 		}
@@ -152,7 +173,7 @@ func masterRun(env pvm.Env, prob Problem, cfg Config,
 			}
 		}
 		gm := globalMsg{Perm: out.bestPerm, Tabu: bestTabu}
-		for i, id := range tswIDs {
+		for i, id := range ts.ids {
 			if rebalanced {
 				gm.RangeLo, gm.RangeHi = divRanges[i][0], divRanges[i][1]
 				gm.Rebalance = true
@@ -162,13 +183,47 @@ func masterRun(env pvm.Env, prob Problem, cfg Config,
 		roundStart = env.Now()
 	}
 
-	// Shut down and gather counters.
-	for _, id := range tswIDs {
+	// Shut down and gather counters. From here on replacement requests
+	// are declined: a worker lost during the handshake stays lost.
+	if ts.rec != nil {
+		ts.rec.declining = true
+	}
+	for _, id := range ts.ids {
 		env.Send(id, TagStop, nil)
 	}
-	for range tswIDs {
-		m := env.Recv(TagStats)
-		out.stats.add(m.Data.(WorkerStats))
+	expected := len(ts.ids)
+	for expected > 0 {
+		m := env.Recv(TagStats, TagRespawn, TagCheckpoint, TagBest, pvm.TagExit)
+		switch m.Tag {
+		case TagStats:
+			out.stats.add(m.Data.(WorkerStats))
+			expected--
+			// Retire the sender on receipt: its host dying *after* the
+			// stats handshake (before its task-done frame lands) must not
+			// read as a lost TSW and abort a run that actually completed.
+			delete(ts.idx, m.From)
+		case TagRespawn:
+			env.Send(m.From, TagRespawnAck,
+				respawnAckMsg{CLWIdx: m.Data.(respawnMsg).CLWIdx, ID: -1})
+		case TagCheckpoint, TagBest:
+			// Stale pipeline leftovers of a resurrected TSW: drop.
+		case pvm.TagExit:
+			// A TSW died inside the shutdown handshake — after TagStop was
+			// sent, possibly before it forwarded the stop to its CLWs.
+			// Nobody can finish those CLWs any more, so tear the run down
+			// rather than hang; the result assembled above is intact.
+			if _, ok := ts.idx[m.From]; ok {
+				out.interrupted = true
+				if !pvm.AbortRunOf(env, fmt.Errorf("core: tsw %d lost during shutdown", ts.idx[m.From])) {
+					panic("core: task lost on a transport that cannot lose tasks")
+				}
+				expected--
+			}
+		}
+	}
+	if ts.rec != nil {
+		out.stats.WorkersLost += ts.rec.lost
+		out.stats.WorkersRespawned += ts.rec.respawned
 	}
 
 	if cfg.RecordTrace {
@@ -210,25 +265,65 @@ type bestReports struct {
 	at   []float64
 }
 
-// collectBests gathers one bestMsg per TSW; in half-sync mode it forces
-// the stragglers once half have reported.
-func collectBests(env pvm.Env, tswIDs []pvm.TaskID, halfSync bool) bestReports {
-	n := len(tswIDs)
+// tswSet is the master's view of its TSWs: identity, each worker's
+// latest cumulative counters, and (with recovery on) the respawn
+// bookkeeping.
+type tswSet struct {
+	env    pvm.Env
+	cfg    Config
+	ids    []pvm.TaskID
+	idx    map[pvm.TaskID]int
+	latest map[pvm.TaskID]WorkerStats
+	rec    *recovery
+}
+
+// collect gathers one bestMsg per TSW; in half-sync mode it forces the
+// stragglers once half have reported. Recovery traffic — replacement
+// requests, checkpoints, and TSW-loss notifications — interleaves with
+// the reports and is serviced inline: a lost TSW is resurrected from
+// its checkpoint mid-collection, and its successor's report is what
+// completes the round.
+func (ts *tswSet) collect(halfSync bool) bestReports {
+	env := ts.env
+	n := len(ts.ids)
 	out := bestReports{msgs: make([]bestMsg, 0, n), from: make([]pvm.TaskID, 0, n), at: make([]float64, 0, n)}
 	reported := make(map[pvm.TaskID]bool, n)
 	take := func() {
-		m := env.Recv(TagBest)
-		reported[m.From] = true
-		out.msgs = append(out.msgs, m.Data.(bestMsg))
-		out.from = append(out.from, m.From)
-		out.at = append(out.at, env.Now())
+		for {
+			m := env.Recv(TagBest, TagRespawn, TagCheckpoint, pvm.TagExit)
+			switch m.Tag {
+			case TagRespawn:
+				ts.rec.handleRespawn(m.From, ts.idx[m.From], m.Data.(respawnMsg))
+				continue
+			case TagCheckpoint:
+				if i, ok := ts.idx[m.From]; ok {
+					ck := m.Data.(tswCheckpoint)
+					ts.rec.noteCheckpoint(i, &ck)
+				}
+				continue
+			case pvm.TagExit:
+				ts.onTSWExit(m.From)
+				continue
+			}
+			reported[m.From] = true
+			b := m.Data.(bestMsg)
+			if b.Checkpoint != nil {
+				if i, ok := ts.idx[m.From]; ok && ts.rec != nil {
+					ts.rec.noteCheckpoint(i, b.Checkpoint)
+				}
+			}
+			out.msgs = append(out.msgs, b)
+			out.from = append(out.from, m.From)
+			out.at = append(out.at, env.Now())
+			return
+		}
 	}
 	if halfSync && n > 1 {
 		half := (n + 1) / 2
 		for len(out.msgs) < half {
 			take()
 		}
-		for _, id := range tswIDs {
+		for _, id := range ts.ids {
 			if !reported[id] {
 				env.Send(id, TagReportNow, nil)
 			}
@@ -238,4 +333,144 @@ func collectBests(env pvm.Env, tswIDs []pvm.TaskID, halfSync bool) bestReports {
 		take()
 	}
 	return out
+}
+
+// onTSWExit resurrects a lost TSW from its last checkpoint. The
+// successor re-runs the checkpointed round and reports it, so the
+// collection in flight (or, if the dead TSW had already reported this
+// round, the next one — reports are cumulative, a one-round pipeline
+// lag is benign) still completes. A TSW lost before any checkpoint
+// arrived is unrecoverable: the run is aborted, which returns the
+// best-so-far with Interrupted set — exactly the pre-recovery
+// behavior, now confined to the spawn-instant window.
+func (ts *tswSet) onTSWExit(from pvm.TaskID) {
+	i, ok := ts.idx[from]
+	if !ok {
+		return // a stale notification for an already-replaced TSW
+	}
+	id, err := ts.rec.respawnTSW(i)
+	if err != nil {
+		if !pvm.AbortRunOf(ts.env, err) {
+			panic("core: task lost on a transport that cannot lose tasks")
+		}
+		return
+	}
+	delete(ts.idx, from)
+	ts.idx[id] = i
+	ts.ids[i] = id
+	// Counter continuity: the successor resumes the predecessor's
+	// cumulative stats, so per-round deltas stay meaningful.
+	ts.latest[id] = ts.latest[from]
+	delete(ts.latest, from)
+}
+
+// recovery is the master-side respawn bookkeeping: the latest
+// checkpoint per TSW index, and the ledger of replacement CLWs spawned
+// whose acknowledgement may have died with the TSW it was sent to.
+type recovery struct {
+	env       pvm.Env
+	prob      Problem
+	cfg       Config
+	cks       []*tswCheckpoint
+	log       [][]respawnEntry
+	seq       int
+	lost      int64
+	respawned int64
+	declining bool
+}
+
+func newRecovery(env pvm.Env, prob Problem, cfg Config) *recovery {
+	return &recovery{
+		env:  env,
+		prob: prob,
+		cfg:  cfg,
+		cks:  make([]*tswCheckpoint, cfg.TSWs),
+		log:  make([][]respawnEntry, cfg.TSWs),
+	}
+}
+
+// handleRespawn spawns a replacement CLW for TSW i: the transport
+// places it on live capacity — absorbed elastic spare slots first,
+// else the least-loaded survivor — and the requesting TSW learns the
+// new task's ID through the acknowledgement, seeding it at its next
+// resync barrier. While shutting down, requests are declined instead.
+func (r *recovery) handleRespawn(from pvm.TaskID, i int, rm respawnMsg) {
+	if r.declining {
+		r.env.Send(from, TagRespawnAck, respawnAckMsg{CLWIdx: rm.CLWIdx, ID: -1})
+		return
+	}
+	r.seq++
+	machine := pvm.RespawnSlotOf(r.env, r.cfg.clwMachine(i, rm.CLWIdx))
+	tune := rm.Tune
+	id := r.env.SpawnSpec(fmt.Sprintf("clw%d-r%d", rm.CLWIdx, r.seq), machine, pvm.Spec{
+		Kind: taskKindCLW,
+		Data: clwSpec{Tune: tune},
+		Fn: func(e pvm.Env) {
+			clwRun(e, r.prob, r.cfg, tune)
+		},
+	})
+	if i >= 0 && i < len(r.log) {
+		r.log[i] = append(r.log[i], respawnEntry{CLWIdx: rm.CLWIdx, ID: id})
+	}
+	r.respawned++
+	r.env.Send(from, TagRespawnAck, respawnAckMsg{CLWIdx: rm.CLWIdx, ID: id})
+}
+
+// noteCheckpoint records TSW i's latest checkpoint and prunes the
+// replacement ledger of entries the checkpoint already accounts for
+// (the TSW has attached or parked them), so a later hand-over carries
+// only the replacements the TSW never learned about.
+func (r *recovery) noteCheckpoint(i int, ck *tswCheckpoint) {
+	if i < 0 || i >= len(r.cks) {
+		return
+	}
+	r.cks[i] = ck
+	if len(r.log[i]) == 0 {
+		return
+	}
+	known := make(map[pvm.TaskID]bool, len(ck.CLWs))
+	for _, s := range ck.CLWs {
+		if s.State != clwSlotDead {
+			known[s.ID] = true
+		}
+	}
+	kept := r.log[i][:0]
+	for _, e := range r.log[i] {
+		if !known[e.ID] {
+			kept = append(kept, e)
+		}
+	}
+	r.log[i] = kept
+}
+
+// respawnTSW resurrects TSW i from its last checkpoint on live
+// capacity, handing over the outstanding-replacement ledger so no
+// spawned CLW is ever orphaned. The ledger is handed over by copy,
+// not cleared: entries leave it only when a checkpoint acknowledges
+// them (noteCheckpoint), so a successor that itself dies before
+// checkpointing hands the same replacements to the next successor
+// instead of stranding them (re-adoption is idempotent — a
+// replacement already attached is simply re-seeded by the TagInit).
+// The successor is watched like the original.
+func (r *recovery) respawnTSW(i int) (pvm.TaskID, error) {
+	if i < 0 || i >= len(r.cks) || r.cks[i] == nil {
+		return 0, fmt.Errorf("core: tsw %d lost before its first checkpoint; unrecoverable", i)
+	}
+	ck := *r.cks[i]
+	ck.Extra = append([]respawnEntry(nil), r.log[i]...)
+	r.seq++
+	machine := pvm.RespawnSlotOf(r.env, r.cfg.tswMachine(i))
+	resume := &ck
+	master := r.env.Self()
+	id := r.env.SpawnSpec(fmt.Sprintf("tsw%d-r%d", i, r.seq), machine, pvm.Spec{
+		Kind: taskKindTSW,
+		Data: tswSpec{Master: master, Resume: resume},
+		Fn: func(e pvm.Env) {
+			tswRun(e, r.prob, r.cfg, master, resume)
+		},
+	})
+	pvm.NotifyExit(r.env, id)
+	r.lost++
+	r.respawned++
+	return id, nil
 }

@@ -39,6 +39,22 @@ const (
 	// solution — so candidate semantics stay well-defined: a range never
 	// changes while candidates built against it are in flight.
 	TagRebalance
+	// TagRespawn asks the master to spawn a replacement for a CLW whose
+	// hosting process died (TSW→master). The master places the
+	// replacement on live capacity — absorbed elastic spare slots
+	// first, else the least-loaded survivor — and answers with
+	// TagRespawnAck. Sent only in adaptive runs with respawn enabled.
+	TagRespawn
+	// TagRespawnAck returns the replacement CLW's task ID, or a
+	// negative ID when the master declined — the run was already
+	// shutting down (master→TSW). The TSW seeds the replacement with
+	// TagInit at its next resync barrier.
+	TagRespawnAck
+	// TagCheckpoint carries a TSW's recovery checkpoint out of band
+	// (TSW→master): sent once right after the TSW spawned its CLWs, so
+	// the master can resurrect a TSW lost before its first report.
+	// Subsequent checkpoints piggyback on TagBest instead.
+	TagCheckpoint
 )
 
 // initMsg is the TagInit payload. Trials, when positive, overrides the
@@ -86,6 +102,93 @@ type rebalanceMsg struct {
 
 func (m rebalanceMsg) PVMItems() int { return 3 }
 
+// respawnMsg is the TagRespawn payload: which of the sending TSW's CLW
+// slots died and the tuning the replacement must run with.
+type respawnMsg struct {
+	CLWIdx int
+	Tune   Tuning
+}
+
+func (m respawnMsg) PVMItems() int { return 5 }
+
+// respawnAckMsg is the TagRespawnAck payload: the replacement task for
+// the given CLW slot, or ID < 0 when the master declined (the run is
+// shutting down).
+type respawnAckMsg struct {
+	CLWIdx int
+	ID     pvm.TaskID
+}
+
+func (m respawnAckMsg) PVMItems() int { return 2 }
+
+// clwSlotState is one CLW's standing in a checkpoint.
+type clwSlotState int
+
+const (
+	// clwSlotDead: the slot's worker died and no replacement is
+	// attached yet.
+	clwSlotDead clwSlotState = iota
+	// clwSlotLive: the slot's worker is attached and searching.
+	clwSlotLive
+	// clwSlotPending: a replacement was spawned but not yet seeded (it
+	// is parked awaiting TagInit).
+	clwSlotPending
+)
+
+// clwSlot is one CLW's record in a checkpoint: enough for a resumed
+// TSW to re-attach the survivor (or re-adopt a pending replacement)
+// exactly where the dead TSW left it.
+type clwSlot struct {
+	ID               pvm.TaskID
+	State            clwSlotState
+	RangeLo, RangeHi int32
+	Trials           int
+}
+
+// respawnEntry is one replacement CLW the master spawned for a TSW —
+// the master's ledger of replacements whose ack may have died with the
+// TSW it was sent to. Handed to a resumed TSW so no replacement is
+// ever orphaned.
+type respawnEntry struct {
+	CLWIdx int
+	ID     pvm.TaskID
+}
+
+// tswCheckpoint is a TSW's recovery state: everything a replacement
+// TSW needs to continue the search where the dead one left off. It
+// rides on bestMsg (every Config.CheckpointEvery-th report) and once,
+// at spawn, as a bare TagCheckpoint — so the master can always
+// resurrect a lost TSW that had live CLWs.
+//
+// RandSeed is a fresh draw from the checkpointing TSW's own stream:
+// the resumed TSW derives its generator from it rather than from its
+// (necessarily different) spawn path, so recovery does not reset the
+// diversification trajectory to a replay of the beginning.
+type tswCheckpoint struct {
+	WorkerIdx int
+	Iter      int64
+	Best      float64
+	BestPerm  []int32
+	Perm      []int32
+	Tabu      []tabu.Entry
+	Freq      []int64
+	RandSeed  uint64
+	Stats     WorkerStats
+	DivLo     int32
+	DivHi     int32
+	CLWs      []clwSlot
+	// Extra lists replacements the master spawned for this TSW whose
+	// acks are not reflected in the checkpoint (set only by the master
+	// when handing the checkpoint to a resumed TSW).
+	Extra []respawnEntry
+}
+
+// PVMItems: checkpoints exist only in adaptive runs and are excluded
+// from the calibrated latency model like every adaptive piggyback (see
+// the note on initMsg.PVMItems); the bare TagCheckpoint message counts
+// as the minimum one item.
+func (c tswCheckpoint) PVMItems() int { return 1 }
+
 // syncMsg is the TagSync payload: the winning move of the iteration
 // (possibly empty when no move was taken).
 type syncMsg struct {
@@ -120,6 +223,10 @@ type bestMsg struct {
 	Points []improvement
 	Forced bool
 	Stats  WorkerStats
+	// Checkpoint, when non-nil, is the TSW's piggybacked recovery
+	// state (adaptive runs with respawn enabled; excluded from the
+	// latency model like every adaptive field).
+	Checkpoint *tswCheckpoint
 }
 
 func (m bestMsg) PVMItems() int {
@@ -154,10 +261,14 @@ type WorkerStats struct {
 	Diversifications int64
 	// Rebalances counts adopted adaptive re-partitions (TSW-level for
 	// CLW ranges, master-level rebalances are not counted here);
-	// WorkersLost counts CLWs written off after their hosting process
-	// died. Both stay 0 in static mode.
-	Rebalances  int64
-	WorkersLost int64
+	// WorkersLost counts workers written off after their hosting
+	// process died (CLWs by their TSW, TSWs by the master);
+	// WorkersRespawned counts the replacements the master spawned for
+	// them (CLW replacements plus TSW resurrections from checkpoint).
+	// All three stay 0 in static mode.
+	Rebalances       int64
+	WorkersLost      int64
+	WorkersRespawned int64
 }
 
 // add accumulates other into s.
@@ -173,6 +284,7 @@ func (s *WorkerStats) add(other WorkerStats) {
 	s.Diversifications += other.Diversifications
 	s.Rebalances += other.Rebalances
 	s.WorkersLost += other.WorkersLost
+	s.WorkersRespawned += other.WorkersRespawned
 }
 
 // PVMItems stays at the original 9-field size: see the note on

@@ -27,15 +27,20 @@ const (
 	taskKindCLW = "pts.clw"
 )
 
-// tswSpec rebuilds a TSW body on whichever process hosts it.
+// tswSpec rebuilds a TSW body on whichever process hosts it. Resume,
+// when non-nil, is the checkpoint a replacement TSW continues from
+// instead of awaiting a fresh TagInit — the master sets it when
+// resurrecting a lost TSW.
 type tswSpec struct {
 	Master pvm.TaskID
+	Resume *tswCheckpoint
 }
 
-// clwSpec rebuilds a CLW body on whichever process hosts it.
+// clwSpec rebuilds a CLW body on whichever process hosts it. The CLW
+// learns its parent from its first TagInit's sender, so the spec
+// carries only the tuning.
 type clwSpec struct {
-	Parent pvm.TaskID
-	Tune   Tuning
+	Tune Tuning
 }
 
 // jobPayload is the job description the master ships to every worker
@@ -76,6 +81,8 @@ type wireConfig struct {
 	DiversifyDepth          int
 	HalfSync                bool
 	Adaptive                bool
+	DisableRespawn          bool
+	CheckpointEvery         int
 	RefreshEvery            int
 	Utilization             float64
 	Cost                    cost.Config
@@ -95,6 +102,8 @@ func (c Config) wire() wireConfig {
 		DiversifyDepth:    c.DiversifyDepth,
 		HalfSync:          c.HalfSync,
 		Adaptive:          c.Adaptive,
+		DisableRespawn:    c.DisableRespawn,
+		CheckpointEvery:   c.CheckpointEvery,
 		RefreshEvery:      c.RefreshEvery,
 		Utilization:       c.Utilization,
 		Cost:              c.Cost,
@@ -115,6 +124,8 @@ func (w wireConfig) config() Config {
 		DiversifyDepth:    w.DiversifyDepth,
 		HalfSync:          w.HalfSync,
 		Adaptive:          w.Adaptive,
+		DisableRespawn:    w.DisableRespawn,
+		CheckpointEvery:   w.CheckpointEvery,
 		RefreshEvery:      w.RefreshEvery,
 		Utilization:       w.Utilization,
 		WorkPerTrial:      w.WorkPerTrial,
@@ -134,6 +145,9 @@ func init() {
 	gob.Register(initMsg{})
 	gob.Register(candMsg{})
 	gob.Register(rebalanceMsg{})
+	gob.Register(respawnMsg{})
+	gob.Register(respawnAckMsg{})
+	gob.Register(tswCheckpoint{})
 	gob.Register(syncMsg{})
 	gob.Register(stateMsg{})
 	gob.Register(bestMsg{})
@@ -158,13 +172,13 @@ func taskFactory(prob Problem, cfg Config) pvm.TaskFactory {
 			if !ok {
 				return nil, fmt.Errorf("core: task kind %q wants tswSpec, got %T", kind, data)
 			}
-			return func(env pvm.Env) { tswRun(env, prob, cfg, spec.Master) }, nil
+			return func(env pvm.Env) { tswRun(env, prob, cfg, spec.Master, spec.Resume) }, nil
 		case taskKindCLW:
 			spec, ok := data.(clwSpec)
 			if !ok {
 				return nil, fmt.Errorf("core: task kind %q wants clwSpec, got %T", kind, data)
 			}
-			return func(env pvm.Env) { clwRun(env, prob, cfg, spec.Tune, spec.Parent) }, nil
+			return func(env pvm.Env) { clwRun(env, prob, cfg, spec.Tune) }, nil
 		default:
 			return nil, fmt.Errorf("core: unknown task kind %q", kind)
 		}

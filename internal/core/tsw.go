@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"pts/internal/pvm"
+	"pts/internal/rng"
 	"pts/internal/sched"
 	"pts/internal/tabu"
 )
@@ -22,30 +24,80 @@ import (
 // declared machine speeds, re-partitioned at every resync barrier to
 // track observed throughput, and a CLW whose hosting process dies
 // (pvm.TagExit) is written off with its range folded back into the
-// survivors instead of stalling the protocol.
-func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID) {
-	init := env.Recv(TagInit).Data.(initMsg)
-	prob := mustState(env, problem, init.Perm)
-	tune := cfg.tuningFor(init.WorkerIdx)
-
+// survivors instead of stalling the protocol. With respawn enabled
+// (the adaptive default) the TSW additionally asks the master for a
+// replacement, which it seeds with its current solution at the next
+// resync barrier — restoring the lost parallelism — and piggybacks a
+// recovery checkpoint on its reports so the master can resurrect the
+// TSW itself if its hosting process dies.
+//
+// resume, when non-nil, is the checkpoint this TSW continues from: it
+// skips the TagInit handshake, restores the dead predecessor's search
+// state, re-attaches the surviving CLWs (re-parenting them with a
+// fresh TagInit) and re-arms their exit watches before entering the
+// round loop.
+func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID, resume *tswCheckpoint) {
 	list := tabu.NewList()
-	freq := tabu.NewFrequency(prob.Size())
-	tswRand := workerRand(env, cfg, "tsw")
-	var iter int64
-	var stats WorkerStats
+	var (
+		prob     State
+		tune     Tuning
+		freq     *tabu.Frequency
+		tswRand  *rand.Rand
+		iter     int64
+		stats    WorkerStats
+		best     float64
+		bestPerm []int32 // reused buffer; copied on report
+		cs       *clwSet
+	)
+	var divLo, divHi int32 // diversification range (master rebalances it)
+	var pending []improvement
 
-	best := prob.Cost()
-	bestPerm := prob.Snapshot() // reused buffer; copied on report
+	if resume == nil {
+		init := env.Recv(TagInit).Data.(initMsg)
+		prob = mustState(env, problem, init.Perm)
+		tune = cfg.tuningFor(init.WorkerIdx)
+		freq = tabu.NewFrequency(prob.Size())
+		tswRand = workerRand(env, cfg, "tsw")
+		best = prob.Cost()
+		bestPerm = prob.Snapshot()
+		divLo, divHi = init.RangeLo, init.RangeHi
+
+		// Spawn this worker's CLWs once; they live for the whole run and
+		// sit on the machines the assignment policy dictates.
+		cs = newCLWSet(env, problem, cfg, tune, init, prob.Size(), master)
+		if cfg.respawn() {
+			// The spawn-time checkpoint closes the recovery gap before the
+			// first report: the master can resurrect this TSW (and find its
+			// CLWs) from the instant they exist. Sent on the same channel
+			// the CLW spawns went through, so it can never trail them.
+			env.Send(master, TagCheckpoint,
+				buildCheckpoint(init.WorkerIdx, prob, list, freq, tswRand, iter, stats, best, bestPerm, divLo, divHi, cs))
+		}
+	} else {
+		ck := resume
+		prob = mustState(env, problem, ck.Perm)
+		tune = cfg.tuningFor(ck.WorkerIdx)
+		freq = tabu.NewFrequency(prob.Size())
+		freq.Import(ck.Freq)
+		iter = ck.Iter
+		list.Import(ck.Tabu, iter)
+		stats = ck.Stats
+		best = ck.Best
+		bestPerm = append([]int32(nil), ck.BestPerm...)
+		divLo, divHi = ck.DivLo, ck.DivHi
+		// The predecessor drew RandSeed from its own stream at checkpoint
+		// time, so recovery continues the sampling trajectory instead of
+		// replaying the run's beginning under a new spawn-path stream.
+		tswRand = rng.New(ck.RandSeed)
+		cs = adoptCLWSet(env, cfg, tune, ck, master)
+		// Re-announce the adopted state immediately, like the fresh-spawn
+		// checkpoint: the master's ledger of handed-over replacements is
+		// pruned by it, and a successor dying straight away resumes from
+		// this attachment table instead of the predecessor's stale one.
+		env.Send(master, TagCheckpoint,
+			buildCheckpoint(ck.WorkerIdx, prob, list, freq, tswRand, iter, stats, best, bestPerm, divLo, divHi, cs))
+	}
 	staWork := workSTA(cfg, prob.Size())
-	var pending []improvement // incumbent improvements since the last report
-
-	// The diversification range: fixed at spawn in static mode, updated
-	// by master-level rebalances (globalMsg) in adaptive mode.
-	divLo, divHi := init.RangeLo, init.RangeHi
-
-	// Spawn this worker's CLWs once; they live for the whole run and
-	// sit on the machines the assignment policy dictates.
-	cs := newCLWSet(env, problem, cfg, tune, init, prob.Size())
 
 	noteBest := func() {
 		if c := prob.Cost(); c < best {
@@ -64,30 +116,21 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID) {
 		}
 	}
 
-	// resyncState pushes the full current solution to every CLW.
-	resyncState := func() {
-		perm := prob.Snapshot()
-		for j, id := range cs.ids {
-			if cs.live[j] {
-				env.Send(id, TagNewState, stateMsg{Perm: perm})
-			}
-		}
-	}
-
 	// Hot-loop scratch, reused across every local iteration so the
 	// selection path allocates only when a move is actually accepted.
 	collector := newCandCollector(cs)
 	var moves []tabu.CompoundMove
 
 	acceptedSinceRefresh := 0
-	firstRound := true
+	reports := 0
+	firstRound := resume == nil
 	for {
 		forcedByMaster := false
 		// Cooperative cancellation: skip the round's search work and
 		// report immediately; the master will answer with TagStop once it
 		// has observed the cancellation itself. A TSW whose CLWs all died
 		// likewise degrades to reporting its standing best.
-		if !env.Cancelled() && cs.alive > 0 {
+		if !env.Cancelled() && cs.alive+len(cs.pend) > 0 {
 			// Diversification w.r.t. this worker's own element range (Kelly
 			// et al. [10]): forced swaps of the least-moved elements of the
 			// range.
@@ -98,13 +141,21 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID) {
 				env.Work(staWork)
 				noteBest()
 			}
-			// Adaptive re-partition at the resync barrier: ranges only ever
-			// change here, immediately before the full state push, so no
-			// candidate built against an old range is in flight.
-			if !firstRound && cs.rebalance(env) {
+			// The resync barrier: adaptive re-partitions and replacement
+			// seeding only ever happen here, immediately before the full
+			// state push, so no candidate built against an old range (or
+			// an unseeded worker) is in flight.
+			newly := cs.revivePending()
+			if (!firstRound || len(newly) > 0) && cs.rebalance(env) {
 				stats.Rebalances++
 			}
-			resyncState()
+			perm := prob.Snapshot()
+			for j, id := range cs.ids {
+				if cs.live[j] {
+					env.Send(id, TagNewState, stateMsg{Perm: perm})
+				}
+			}
+			cs.attach(env, newly, perm)
 
 			for l := 0; l < cfg.LocalIters; l++ {
 				// Heterogeneity: the master may force us to report early;
@@ -171,25 +222,36 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID) {
 
 		// Report the best to the master (solution + tabu list, §4.1). The
 		// permutation is copied because bestPerm is a reused buffer the
-		// next round keeps writing into.
-		env.Send(master, TagBest, bestMsg{
+		// next round keeps writing into. Every checkpointEvery-th report
+		// piggybacks the recovery checkpoint.
+		reports++
+		msg := bestMsg{
 			Cost:   best,
 			Perm:   append([]int32(nil), bestPerm...),
 			Tabu:   list.Export(iter),
 			Points: pending,
 			Forced: forcedByMaster,
 			Stats:  stats,
-		})
+		}
+		if cfg.respawn() && reports%cfg.checkpointEvery() == 0 {
+			ck := buildCheckpoint(cs.widx, prob, list, freq, tswRand, iter, stats, best, bestPerm, divLo, divHi, cs)
+			msg.Checkpoint = &ck
+		}
+		env.Send(master, TagBest, msg)
 		pending = nil
 
 		// Wait for the verdict; ignore stale force requests.
 		for {
-			m := env.Recv(TagGlobal, TagStop, TagReportNow, pvm.TagExit)
+			m := env.Recv(TagGlobal, TagStop, TagReportNow, pvm.TagExit, TagRespawnAck)
 			if m.Tag == TagReportNow {
 				continue
 			}
 			if m.Tag == pvm.TagExit {
-				cs.onExit(m.From, &stats)
+				cs.onExit(env, m.From, &stats)
+				continue
+			}
+			if m.Tag == TagRespawnAck {
+				cs.onAck(env, m.Data.(respawnAckMsg))
 				continue
 			}
 			if m.Tag == TagStop {
@@ -214,19 +276,47 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID) {
 	}
 }
 
+// buildCheckpoint captures the TSW's recovery state: search memory,
+// counters, the CLW attachment table, and a fresh seed for the
+// successor's random stream. Everything is copied — the checkpoint
+// must stay valid after the TSW keeps mutating its buffers.
+func buildCheckpoint(widx int, prob State, list *tabu.List, freq *tabu.Frequency,
+	r *rand.Rand, iter int64, stats WorkerStats, best float64, bestPerm []int32,
+	divLo, divHi int32, cs *clwSet) tswCheckpoint {
+	return tswCheckpoint{
+		WorkerIdx: widx,
+		Iter:      iter,
+		Best:      best,
+		BestPerm:  append([]int32(nil), bestPerm...),
+		Perm:      prob.Snapshot(),
+		Tabu:      list.Export(iter),
+		Freq:      freq.Export(),
+		RandSeed:  r.Uint64(),
+		Stats:     stats,
+		DivLo:     divLo,
+		DivHi:     divHi,
+		CLWs:      cs.slots(),
+	}
+}
+
 // clwSet is a TSW's view of its candidate-list workers: identity,
 // liveness, current element ranges and per-step trial budgets, plus
-// (in adaptive mode) the throughput tracker that re-partitions them.
+// (in adaptive mode) the throughput tracker that re-partitions them
+// and (with respawn on) the replacements parked for the next barrier.
 type clwSet struct {
-	cfg   Config
-	tune  Tuning
-	n     int32
-	ids   []pvm.TaskID
-	byID  map[pvm.TaskID]int
-	rng   [][2]int32
-	live  []bool
-	alive int
-	track *sched.Tracker // nil in static mode
+	cfg     Config
+	tune    Tuning
+	n       int32
+	widx    int
+	master  pvm.TaskID
+	respawn bool
+	ids     []pvm.TaskID
+	byID    map[pvm.TaskID]int
+	rng     [][2]int32
+	live    []bool
+	alive   int
+	pend    map[int]pvm.TaskID // CLW index -> spawned-but-unseeded replacement
+	track   *sched.Tracker     // nil in static mode
 }
 
 // newCLWSet spawns the TSW's CLWs and initializes them. Element ranges
@@ -234,14 +324,18 @@ type clwSet struct {
 // (seeded from the declared machine speeds) in adaptive mode. CLWs
 // whose range is empty — more workers than elements — are not spawned
 // at all.
-func newCLWSet(env pvm.Env, problem Problem, cfg Config, tune Tuning, init initMsg, n int32) *clwSet {
+func newCLWSet(env pvm.Env, problem Problem, cfg Config, tune Tuning, init initMsg, n int32, master pvm.TaskID) *clwSet {
 	cs := &clwSet{
-		cfg:  cfg,
-		tune: tune,
-		n:    n,
-		ids:  make([]pvm.TaskID, cfg.CLWs),
-		byID: make(map[pvm.TaskID]int, cfg.CLWs),
-		live: make([]bool, cfg.CLWs),
+		cfg:     cfg,
+		tune:    tune,
+		n:       n,
+		widx:    init.WorkerIdx,
+		master:  master,
+		respawn: cfg.respawn(),
+		ids:     make([]pvm.TaskID, cfg.CLWs),
+		byID:    make(map[pvm.TaskID]int, cfg.CLWs),
+		live:    make([]bool, cfg.CLWs),
+		pend:    make(map[int]pvm.TaskID),
 	}
 	cs.rng = ranges(n, cfg.CLWs)
 	if cfg.Adaptive {
@@ -259,9 +353,9 @@ func newCLWSet(env pvm.Env, problem Problem, cfg Config, tune Tuning, init initM
 		cs.alive++
 		cs.ids[j] = env.SpawnSpec(fmt.Sprintf("clw%d", j), cfg.clwMachine(init.WorkerIdx, j), pvm.Spec{
 			Kind: taskKindCLW,
-			Data: clwSpec{Parent: env.Self(), Tune: tune},
+			Data: clwSpec{Tune: tune},
 			Fn: func(e pvm.Env) {
-				clwRun(e, problem, cfg, tune, env.Self())
+				clwRun(e, problem, cfg, tune)
 			},
 		})
 		cs.byID[cs.ids[j]] = j
@@ -284,6 +378,76 @@ func newCLWSet(env pvm.Env, problem Problem, cfg Config, tune Tuning, init initM
 			WorkerIdx: j,
 			Trials:    cs.trialsFor(j),
 		})
+	}
+	return cs
+}
+
+// adoptCLWSet rebuilds a resumed TSW's worker set from a checkpoint:
+// surviving CLWs are re-parented with a fresh TagInit carrying the
+// checkpointed solution and their recorded range, their exit watches
+// are re-armed (the transport answers immediately for workers that
+// died in the unwatched gap, so none is silently stuck dead), and
+// replacements the master spawned whose acks died with the
+// predecessor (ck.Extra) are re-adopted as pending.
+func adoptCLWSet(env pvm.Env, cfg Config, tune Tuning, ck *tswCheckpoint, master pvm.TaskID) *clwSet {
+	cs := &clwSet{
+		cfg:     cfg,
+		tune:    tune,
+		n:       int32(len(ck.Perm)),
+		widx:    ck.WorkerIdx,
+		master:  master,
+		respawn: cfg.respawn(),
+		ids:     make([]pvm.TaskID, cfg.CLWs),
+		byID:    make(map[pvm.TaskID]int, cfg.CLWs),
+		live:    make([]bool, cfg.CLWs),
+		pend:    make(map[int]pvm.TaskID),
+		rng:     make([][2]int32, cfg.CLWs),
+	}
+	cs.track = seededTracker(env, cs.n, cfg.CLWs, func(j int) int {
+		return cfg.clwMachine(ck.WorkerIdx, j)
+	})
+	for j := range cs.rng {
+		cs.rng[j] = [2]int32{cs.n, cs.n} // empty until the slot attaches
+	}
+	for j, s := range ck.CLWs {
+		if j >= cfg.CLWs {
+			break
+		}
+		cs.rng[j] = [2]int32{s.RangeLo, s.RangeHi}
+		switch s.State {
+		case clwSlotLive:
+			cs.ids[j] = s.ID
+			cs.byID[s.ID] = j
+			cs.live[j] = true
+			cs.alive++
+			pvm.NotifyExit(env, s.ID)
+			env.Send(s.ID, TagInit, initMsg{
+				Perm:      ck.Perm,
+				RangeLo:   s.RangeLo,
+				RangeHi:   s.RangeHi,
+				WorkerIdx: j,
+				Trials:    s.Trials,
+			})
+		case clwSlotPending:
+			cs.pend[j] = s.ID
+			cs.byID[s.ID] = j
+			pvm.NotifyExit(env, s.ID)
+		case clwSlotDead:
+			cs.track.Kill(j)
+			if cs.respawn {
+				// The predecessor's respawn request (or its ack) may have
+				// died with it; ask again. A duplicate replacement is
+				// retired unseeded by onAck.
+				env.Send(master, TagRespawn, respawnMsg{CLWIdx: j, Tune: tune})
+			}
+		}
+	}
+	for j := len(ck.CLWs); j < cfg.CLWs; j++ {
+		cs.track.Kill(j) // never-spawned slots (empty initial range)
+	}
+	// Replacements in flight at checkpoint time: adopt like a fresh ack.
+	for _, e := range ck.Extra {
+		cs.onAck(env, respawnAckMsg{CLWIdx: e.CLWIdx, ID: e.ID})
 	}
 	return cs
 }
@@ -325,11 +489,33 @@ func (cs *clwSet) trialsFor(j int) int {
 	return t
 }
 
+// slots serializes the attachment table for a checkpoint.
+func (cs *clwSet) slots() []clwSlot {
+	out := make([]clwSlot, len(cs.ids))
+	for j := range cs.ids {
+		s := clwSlot{RangeLo: cs.rng[j][0], RangeHi: cs.rng[j][1], Trials: cs.trialsFor(j)}
+		switch {
+		case cs.live[j]:
+			s.State, s.ID = clwSlotLive, cs.ids[j]
+		default:
+			if id, ok := cs.pend[j]; ok {
+				s.State, s.ID = clwSlotPending, id
+			} else {
+				s.State = clwSlotDead
+			}
+		}
+		out[j] = s
+	}
+	return out
+}
+
 // rebalance re-partitions the live CLWs' ranges by observed throughput
 // and ships the updates; it reports whether a new partition was
-// adopted. Static mode never rebalances.
+// adopted. Static mode never rebalances. Revived-but-unattached slots
+// (revivePending ran, attach has not) receive their range via the
+// TagInit that attach sends, not a TagRebalance.
 func (cs *clwSet) rebalance(env pvm.Env) bool {
-	if cs.track == nil || cs.alive == 0 {
+	if cs.track == nil || cs.track.Alive() == 0 {
 		return false
 	}
 	next, changed := cs.track.Rebalance(cs.rng, 0)
@@ -355,43 +541,140 @@ func (cs *clwSet) observe(from pvm.TaskID, c candMsg) {
 	if cs.track == nil {
 		return
 	}
-	if j, ok := cs.byID[from]; ok {
+	if j, ok := cs.byID[from]; ok && cs.live[j] && cs.ids[j] == from {
 		cs.track.Observe(j, float64(c.CumTrials), c.At)
 	}
 }
 
 // onExit writes off a CLW whose hosting process died: it stops being
 // scheduled, its range folds into the survivors at the next resync
-// barrier, and the loss is counted.
-func (cs *clwSet) onExit(from pvm.TaskID, stats *WorkerStats) {
+// barrier, the loss is counted, and — with respawn enabled — a
+// replacement is requested from the master (which also covers a
+// pending replacement dying before it was ever seeded).
+func (cs *clwSet) onExit(env pvm.Env, from pvm.TaskID, stats *WorkerStats) {
 	j, ok := cs.byID[from]
-	if !ok || !cs.live[j] {
+	if !ok {
 		return
 	}
-	cs.live[j] = false
-	cs.alive--
-	stats.WorkersLost++
+	delete(cs.byID, from)
+	switch {
+	case cs.live[j] && cs.ids[j] == from:
+		cs.live[j] = false
+		cs.alive--
+		stats.WorkersLost++
+		if cs.track != nil {
+			cs.track.Kill(j)
+		}
+		cs.requestRespawn(env, j)
+	case cs.pend[j] == from:
+		delete(cs.pend, j)
+		stats.WorkersLost++
+		cs.requestRespawn(env, j)
+	}
+}
+
+// requestRespawn asks the master for a replacement for CLW slot j.
+func (cs *clwSet) requestRespawn(env pvm.Env, j int) {
+	if !cs.respawn {
+		return
+	}
+	env.Send(cs.master, TagRespawn, respawnMsg{CLWIdx: j, Tune: cs.tune})
+}
+
+// onAck adopts a replacement the master spawned: it is parked as
+// pending (watched, but unscheduled and unseeded) until the next
+// resync barrier attaches it. A surplus replacement — the slot is
+// already live or already has a pending one — is retired unseeded
+// with an immediate TagStop. A negative ID is the master declining
+// (the run is shutting down).
+func (cs *clwSet) onAck(env pvm.Env, a respawnAckMsg) {
+	j := a.CLWIdx
+	if a.ID < 0 || j < 0 || j >= len(cs.ids) {
+		return
+	}
+	if _, dup := cs.pend[j]; dup || cs.live[j] {
+		env.Send(a.ID, TagStop, nil)
+		return
+	}
+	cs.pend[j] = a.ID
+	cs.byID[a.ID] = j
+	pvm.NotifyExit(env, a.ID)
+}
+
+// revivePending is the first half of barrier attachment: every parked
+// replacement re-enters the throughput tracker (at the mean live
+// weight — its new host's speed is the master's placement choice, not
+// ours to know), so the following rebalance carves it a range. The
+// slots stay un-live until attach so the rebalance ships no
+// TagRebalance to a worker that has not been seeded yet.
+func (cs *clwSet) revivePending() []int {
+	if len(cs.pend) == 0 {
+		return nil
+	}
+	newly := make([]int, 0, len(cs.pend))
+	for j := range cs.pend {
+		newly = append(newly, j)
+	}
+	sort.Ints(newly)
 	if cs.track != nil {
-		cs.track.Kill(j)
+		mean := cs.track.MeanAliveWeight()
+		for _, j := range newly {
+			cs.track.Revive(j, mean)
+		}
+	}
+	return newly
+}
+
+// attach is the second half: the revived slots go live and each
+// replacement is seeded with a TagInit carrying the current solution,
+// its range from the just-adopted partition, and its budget — after
+// which it participates in the round like any other CLW.
+func (cs *clwSet) attach(env pvm.Env, newly []int, perm []int32) {
+	for _, j := range newly {
+		id := cs.pend[j]
+		delete(cs.pend, j)
+		cs.ids[j] = id
+		cs.live[j] = true
+		cs.alive++
+		env.Send(id, TagInit, initMsg{
+			Perm:      perm,
+			RangeLo:   cs.rng[j][0],
+			RangeHi:   cs.rng[j][1],
+			WorkerIdx: j,
+			Trials:    cs.trialsFor(j),
+		})
 	}
 }
 
 // shutdown stops every surviving CLW and folds its stats into the
 // TSW's; CLWs dying during the handshake are written off like any
-// other loss.
+// other loss. Pending replacements are retired unseeded (they exit
+// without a stats report), and replacement acks arriving during the
+// handshake retire their worker the same way.
 func (cs *clwSet) shutdown(env pvm.Env, stats *WorkerStats) {
+	cs.respawn = false // losses from here on are not worth replacing
 	for j, id := range cs.ids {
 		if cs.live[j] {
 			env.Send(id, TagStop, nil)
 		}
 	}
+	for _, id := range cs.pend {
+		env.Send(id, TagStop, nil)
+	}
+	cs.pend = make(map[int]pvm.TaskID)
 	expected := cs.alive
 	for expected > 0 {
-		m := env.Recv(TagStats, pvm.TagExit)
+		m := env.Recv(TagStats, pvm.TagExit, TagRespawnAck)
 		if m.Tag == pvm.TagExit {
 			was := cs.alive
-			cs.onExit(m.From, stats)
+			cs.onExit(env, m.From, stats)
 			expected -= was - cs.alive
+			continue
+		}
+		if m.Tag == TagRespawnAck {
+			if a := m.Data.(respawnAckMsg); a.ID >= 0 {
+				env.Send(a.ID, TagStop, nil)
+			}
 			continue
 		}
 		// Retire the sender on receipt: its hosting process dying *after*
@@ -400,6 +683,7 @@ func (cs *clwSet) shutdown(env pvm.Env, stats *WorkerStats) {
 		if j, ok := cs.byID[m.From]; ok && cs.live[j] {
 			cs.live[j] = false
 			cs.alive--
+			delete(cs.byID, m.From)
 		}
 		stats.add(m.Data.(WorkerStats))
 		expected--
@@ -438,10 +722,10 @@ func (cc *candCollector) collect(env pvm.Env, halfSync bool, stats *WorkerStats)
 	take := func() {
 		m := env.Recv(TagCandidate, pvm.TagExit)
 		if m.Tag == pvm.TagExit {
-			if j, ok := cs.byID[m.From]; ok && cs.live[j] && !cc.reported[m.From] {
+			if j, ok := cs.byID[m.From]; ok && cs.live[j] && cs.ids[j] == m.From && !cc.reported[m.From] {
 				expected--
 			}
-			cs.onExit(m.From, stats)
+			cs.onExit(env, m.From, stats)
 			return
 		}
 		cc.reported[m.From] = true

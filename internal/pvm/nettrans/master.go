@@ -512,9 +512,14 @@ func (j *job) nodeList() []*node {
 }
 
 // taskOwner records where a task lives; a nil node means this process.
+// lost distinguishes a task written off with its dying node from one
+// that finished cleanly — only lost tasks trigger retroactive exit
+// notifications when a watch is registered after the fact.
 type taskOwner struct {
 	node *node
+	slot int
 	done bool
+	lost bool
 }
 
 func (j *job) spawnCount() int64 {
@@ -572,6 +577,47 @@ func (j *job) slotSpeed(machine int) float64 {
 		return j.speeds[slot]
 	}
 	return 1.0
+}
+
+// respawnSlot picks the machine slot a replacement task should be
+// spawned on: among slots backed by a live process (the master's slot
+// 0 plus every alive node's window), prefer one currently hosting no
+// unfinished task — absorbed elastic spare capacity — else take the
+// least-loaded, lowest index breaking ties. preferred is only a
+// fallback for the impossible empty case (the master process itself is
+// always alive).
+func (j *job) respawnSlot(preferred int) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	live := make([]bool, j.totalSlots)
+	if j.totalSlots > 0 {
+		live[0] = true // the master process
+	}
+	for _, n := range j.nodes {
+		if !n.alive {
+			continue
+		}
+		for s := n.firstSlot; s < n.firstSlot+n.slots && s < j.totalSlots; s++ {
+			live[s] = true
+		}
+	}
+	load := make([]int, j.totalSlots)
+	for id := range j.owners {
+		o := &j.owners[id]
+		if !o.done && o.slot >= 0 && o.slot < len(load) {
+			load[o.slot]++
+		}
+	}
+	best, bestLoad := -1, int(^uint(0)>>1)
+	for s := 0; s < j.totalSlots; s++ {
+		if live[s] && load[s] < bestLoad {
+			best, bestLoad = s, load[s]
+		}
+	}
+	if best < 0 {
+		return preferred
+	}
+	return best
 }
 
 // absorb claims a late-joining worker for the running elastic job: its
@@ -701,7 +747,7 @@ func (j *job) spawn(fullName string, machine int, spec pvm.Spec, payload []byte)
 	} else {
 		j.remoteLive++
 	}
-	j.owners = append(j.owners, taskOwner{node: owner})
+	j.owners = append(j.owners, taskOwner{node: owner, slot: slot})
 	j.spawns++
 	j.mu.Unlock()
 
@@ -945,6 +991,7 @@ func (j *job) nodeLost(n *node, cause error) {
 	if !finished && tolerable {
 		for _, id := range lost {
 			j.owners[id].done = true
+			j.owners[id].lost = true
 			j.remoteLive--
 			for _, w := range j.watchers[id] {
 				if int(w) >= len(j.owners) {
@@ -991,10 +1038,38 @@ func (j *job) nodeLost(n *node, cause error) {
 }
 
 // addWatcher registers watcher for a TagExit notification on watched.
+// Like PVM's pvm_notify, a watch on a task that was already written
+// off with its dying node is answered immediately — the respawn
+// protocol re-arms watches on tasks adopted from a checkpoint, and a
+// task that died in the unwatched gap must still be noticed.
 func (j *job) addWatcher(watched, watcher pvm.TaskID) {
 	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.watchers[watched] = append(j.watchers[watched], watcher)
+	already := int(watched) >= 0 && int(watched) < len(j.owners) && j.owners[watched].lost
+	if !already {
+		j.watchers[watched] = append(j.watchers[watched], watcher)
+		j.mu.Unlock()
+		return
+	}
+	var local *mTask
+	var remote *node
+	if int(watcher) < len(j.owners) {
+		if wo := j.owners[watcher]; wo.node == nil {
+			local = j.local[watcher]
+		} else if wo.node.alive && !wo.done {
+			remote = wo.node
+		}
+	}
+	j.mu.Unlock()
+	if local != nil {
+		local.box.deliver(pvm.Message{From: watched, Tag: pvm.TagExit})
+		return
+	}
+	if remote != nil {
+		f := &frame{Type: fMsg, From: watched, To: watcher, Tag: pvm.TagExit}
+		if err := remote.c.write(f); err != nil {
+			j.nodeLost(remote, err)
+		}
+	}
 }
 
 // abortFrom retires a misbehaving worker (protocol violation, job
@@ -1121,6 +1196,14 @@ func (t *mTask) NotifyExit(id pvm.TaskID) { t.j.addWatcher(id, t.id) }
 // MachineSpeed implements pvm.SpeedReporter from the registry's
 // declared node speeds.
 func (t *mTask) MachineSpeed(machine int) float64 { return t.j.slotSpeed(machine) }
+
+// RespawnSlot implements pvm.RespawnPlacer: spare absorbed capacity
+// first, else the least-loaded surviving node.
+func (t *mTask) RespawnSlot(preferred int) int { return t.j.respawnSlot(preferred) }
+
+// AbortRun implements pvm.RunAborter: the program declared a loss
+// unrecoverable, so tear the run down like a fatal transport failure.
+func (t *mTask) AbortRun(cause error) { t.j.abort(cause) }
 
 func (t *mTask) Spawn(name string, machine int, fn pvm.TaskFunc) pvm.TaskID {
 	return t.SpawnSpec(name, machine, pvm.Spec{Fn: fn})

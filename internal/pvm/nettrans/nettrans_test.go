@@ -817,3 +817,84 @@ func pollFactory(kind string, data any) (pvm.TaskFunc, error) {
 		env.Send(spec.Parent, tagPong, 0)
 	}, nil
 }
+
+// TestRetroactiveExitWatchAndRespawnSlot covers the respawn substrate:
+// (1) a watch registered on a task already written off with its dying
+// node is answered immediately, PVM pvm_notify style — the recovery
+// protocol re-arms watches on tasks adopted from a checkpoint and must
+// not silently miss ones that died in the unwatched gap; (2) the
+// respawn placement capability resolves to a slot backed by a live
+// process, so the replacement spawn cannot land on the dead node and
+// abort the run.
+func TestRetroactiveExitWatchAndRespawnSlot(t *testing.T) {
+	m, err := Listen(MasterConfig{Addr: "127.0.0.1:0", Workers: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// A hand-rolled worker that dies on the first task message — a
+	// kill -9 while hosting a watched task.
+	c := newConn(rawDial(t, m.Addr()))
+	if err := c.write(&frame{Type: fJoin, Worker: "doomed", Speed: 1, Capacity: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if ack, err := c.read(); err != nil || ack.Err != "" {
+		t.Fatalf("join: %+v, %v", ack, err)
+	}
+	go func() {
+		for {
+			f, err := c.read()
+			if err != nil {
+				return
+			}
+			if f.Type == fMsg {
+				c.close()
+				return
+			}
+		}
+	}()
+
+	var retro bool
+	var slot int
+	total := 0
+	_, err = m.Run(pvm.Options{Seed: 5, Spawner: echoFactory}, func(env pvm.Env) {
+		victim := env.SpawnSpec("echo0", 1, pvm.Spec{
+			Kind: kindEcho, Data: echoSpec{Parent: env.Self(), Bias: 100},
+		})
+		pvm.NotifyExit(env, victim)
+		env.Send(victim, tagPing, 1)
+		if msg := env.Recv(pvm.TagExit); msg.From != victim {
+			t.Errorf("TagExit from %d, want %d", msg.From, victim)
+		}
+
+		// Re-arming a watch on the already-dead task must answer
+		// immediately instead of never.
+		pvm.NotifyExit(env, victim)
+		if msg, ok := env.TryRecv(pvm.TagExit); ok && msg.From == victim {
+			retro = true
+		}
+
+		// The placement capability must steer the replacement to live
+		// capacity: the only live slot left is the master's own 0.
+		slot = pvm.RespawnSlotOf(env, 1)
+		replacement := env.SpawnSpec("echo0-r1", slot, pvm.Spec{
+			Kind: kindEcho, Data: echoSpec{Parent: env.Self(), Bias: 100},
+		})
+		env.Send(replacement, tagPing, 2)
+		total = env.Recv(tagPong).Data.(int)
+	})
+	if err != nil {
+		t.Fatalf("watched worker loss aborted the run: %v", err)
+	}
+	if !retro {
+		t.Error("watch on an already-lost task was not answered retroactively")
+	}
+	if slot != 0 {
+		t.Errorf("respawn slot = %d, want 0 (the only live slot)", slot)
+	}
+	if total != 102 {
+		t.Errorf("replacement pong = %d, want 102", total)
+	}
+	m.Finish(nil)
+}

@@ -130,6 +130,51 @@ func NotifyExit(env Env, id TaskID) bool {
 	return false
 }
 
+// RespawnPlacer is an optional Env capability: transports that track
+// node liveness resolve where a replacement task should be spawned
+// after a loss — absorbed elastic spare capacity first (a live slot
+// hosting nothing), else the least-loaded surviving node. Transports
+// whose tasks cannot be lost need not implement it; respawn never
+// happens there.
+type RespawnPlacer interface {
+	// RespawnSlot returns the machine slot a replacement for a task
+	// lost on (or near) the preferred slot should be placed on. The
+	// returned slot is live at the time of the call.
+	RespawnSlot(preferred int) int
+}
+
+// RespawnSlotOf resolves a replacement task's machine slot through
+// env, falling back to the preferred slot on transports that do not
+// track liveness (where the preferred slot cannot have died).
+func RespawnSlotOf(env Env, preferred int) int {
+	if p, ok := env.(RespawnPlacer); ok {
+		return p.RespawnSlot(preferred)
+	}
+	return preferred
+}
+
+// RunAborter is an optional Env capability: tear the whole run down
+// from inside a task when the program decides a loss is unrecoverable
+// (e.g. a worker lost before any recovery state was captured). The
+// transport unwinds every task and Run returns an error wrapping
+// ErrAborted; state the program assembled before the abort stays
+// intact.
+type RunAborter interface {
+	AbortRun(cause error)
+}
+
+// AbortRunOf aborts the run through env when the transport supports
+// it, reporting whether it did. On transports that cannot lose tasks
+// it returns false — the unrecoverable-loss situation cannot arise
+// there.
+func AbortRunOf(env Env, cause error) bool {
+	if a, ok := env.(RunAborter); ok {
+		a.AbortRun(cause)
+		return true
+	}
+	return false
+}
+
 // SpeedReporter is an optional Env capability: the declared relative
 // compute speed of a machine slot, the heterogeneity knob schedulers
 // seed their initial work shares from.

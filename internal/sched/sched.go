@@ -250,6 +250,39 @@ func (t *Tracker) Kill(i int) {
 	t.w[i].weight = 0
 }
 
+// Revive marks worker i alive again with a fresh seed weight — the
+// respawn path, where a replacement worker takes over a dead worker's
+// index. Its observation baseline is reset (the replacement's
+// cumulative counters start over), and the next Rebalance always
+// adopts because an alive worker now holds an empty range.
+// Non-positive seeds are lifted to 1, like NewTracker's.
+func (t *Tracker) Revive(i int, seed float64) {
+	if i < 0 || i >= len(t.w) {
+		return
+	}
+	if seed <= 0 {
+		seed = 1
+	}
+	t.w[i] = workerState{weight: seed, alive: true}
+}
+
+// MeanAliveWeight returns the average weight of the live workers (1 if
+// none) — the neutral seed a revived worker re-enters the pool with
+// when its new host's speed is unknown.
+func (t *Tracker) MeanAliveWeight() float64 {
+	total, n := 0.0, 0
+	for i := range t.w {
+		if t.w[i].alive && t.w[i].weight > 0 {
+			total += t.w[i].weight
+			n++
+		}
+	}
+	if n == 0 || total <= 0 {
+		return 1
+	}
+	return total / float64(n)
+}
+
 // Alive returns how many workers are still alive.
 func (t *Tracker) Alive() int {
 	n := 0
@@ -297,9 +330,11 @@ func (t *Tracker) Partition() [][2]int32 {
 }
 
 // Rebalance proposes a new partition and reports whether it should be
-// adopted over cur: always when membership shrank (cur serves a dead
-// worker a non-empty range), otherwise only when the total element
-// movement exceeds minShift×n. minShift <= 0 uses DefaultMinShift.
+// adopted over cur: always when membership changed — a dead worker
+// still holds a non-empty range, or a live (e.g. just-revived) worker
+// holds an empty one the proposal would fill — otherwise only when the
+// total element movement exceeds minShift×n. minShift <= 0 uses
+// DefaultMinShift.
 func (t *Tracker) Rebalance(cur [][2]int32, minShift float64) ([][2]int32, bool) {
 	if minShift <= 0 {
 		minShift = DefaultMinShift
@@ -311,6 +346,9 @@ func (t *Tracker) Rebalance(cur [][2]int32, minShift float64) ([][2]int32, bool)
 	for i := range t.w {
 		if !t.w[i].alive && cur[i][1] > cur[i][0] {
 			return next, true // a dead worker still holds elements
+		}
+		if t.w[i].alive && cur[i][1] <= cur[i][0] && next[i][1] > next[i][0] {
+			return next, true // a revived worker is owed a range
 		}
 	}
 	if float64(Moved(cur, next)) > minShift*float64(t.n) {

@@ -302,3 +302,60 @@ func TestObserveIgnoresBadWindows(t *testing.T) {
 	tr.Observe(-1, 5, 5) // out of range: no panic
 	tr.Observe(9, 5, 5)
 }
+
+func TestReviveRestoresWorkerAndForcesRebalance(t *testing.T) {
+	tr := NewTracker(100, []float64{1, 1, 1})
+	cur := tr.Partition()
+	tr.Kill(1)
+	// The fold: the dead worker's range must be re-absorbed.
+	cur, changed := tr.Rebalance(cur, 0)
+	if !changed {
+		t.Fatal("kill did not force a rebalance")
+	}
+	if cur[1][1] > cur[1][0] {
+		t.Fatalf("dead worker kept elements: %v", cur)
+	}
+	if tr.Alive() != 2 {
+		t.Fatalf("Alive = %d, want 2", tr.Alive())
+	}
+
+	// The respawn: a revived worker holds an empty range, which must
+	// force the next rebalance to carve it a share again.
+	tr.Revive(1, tr.MeanAliveWeight())
+	if tr.Alive() != 3 {
+		t.Fatalf("Alive after revive = %d, want 3", tr.Alive())
+	}
+	next, changed := tr.Rebalance(cur, 0)
+	if !changed {
+		t.Fatal("revive did not force a rebalance")
+	}
+	if next[1][1] <= next[1][0] {
+		t.Fatalf("revived worker still starved: %v", next)
+	}
+	// The revived worker's baseline was reset: its first observation
+	// only re-establishes it instead of producing a bogus rate.
+	before := tr.Weights()[1]
+	tr.Observe(1, 1e9, 100)
+	if after := tr.Weights()[1]; after != before {
+		t.Errorf("first post-revive observation moved the weight: %v -> %v", before, after)
+	}
+
+	tr.Revive(-1, 1) // out of range: no panic
+	tr.Revive(9, 1)
+}
+
+func TestMeanAliveWeight(t *testing.T) {
+	tr := NewTracker(100, []float64{2, 4, 6})
+	if m := tr.MeanAliveWeight(); m != 4 {
+		t.Errorf("MeanAliveWeight = %v, want 4", m)
+	}
+	tr.Kill(2)
+	if m := tr.MeanAliveWeight(); m != 3 {
+		t.Errorf("MeanAliveWeight after kill = %v, want 3", m)
+	}
+	tr.Kill(0)
+	tr.Kill(1)
+	if m := tr.MeanAliveWeight(); m != 1 {
+		t.Errorf("MeanAliveWeight with no live workers = %v, want the neutral 1", m)
+	}
+}

@@ -61,6 +61,26 @@ func (f *Frequency) LeastMoved(r *rand.Rand, lo, hi int32) int32 {
 	return best
 }
 
+// Export returns a copy of the per-element move counts — the
+// long-term-memory half of a worker checkpoint.
+func (f *Frequency) Export() []int64 {
+	return append([]int64(nil), f.count...)
+}
+
+// Import replaces the counts with an exported snapshot; entries beyond
+// the memory's size are ignored, missing ones count as zero.
+func (f *Frequency) Import(counts []int64) {
+	f.total = 0
+	for i := range f.count {
+		if i < len(counts) {
+			f.count[i] = counts[i]
+		} else {
+			f.count[i] = 0
+		}
+		f.total += f.count[i]
+	}
+}
+
 // Reset clears all counts.
 func (f *Frequency) Reset() {
 	for i := range f.count {

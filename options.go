@@ -106,6 +106,39 @@ func WithAdaptive(on bool) Option {
 	return func(s *settings) { s.cfg.Adaptive = on }
 }
 
+// WithRespawn toggles worker recovery in adaptive runs (on by
+// default).
+//
+// With recovery on, a candidate-list worker lost with its hosting
+// process is not merely folded into the survivors: the owning TSW
+// requests a replacement from the master, which spawns it onto live
+// capacity — absorbed elastic spare slots first, else the least-loaded
+// surviving node — and the TSW re-seeds it from its current solution
+// at the next synchronization barrier, restoring the lost parallelism.
+// Each TSW also piggybacks a recovery checkpoint (incumbent solution,
+// tabu memory, iteration counters, random-stream seed, CLW attachment
+// table) on its periodic reports, so a lost TSW is resurrected from
+// its last checkpoint with its surviving CLWs re-attached — no single
+// worker process is fatal. Result.Stats counts both sides as
+// WorkersLost and WorkersRespawned.
+//
+// WithRespawn(false) restores the fold-only degradation: CLW losses
+// shrink the search and a TSW loss aborts the run (best-so-far with
+// Result.Interrupted). Without WithAdaptive neither mode applies —
+// static runs abort on any loss, the paper's behavior.
+func WithRespawn(on bool) Option {
+	return func(s *settings) { s.cfg.DisableRespawn = !on }
+}
+
+// WithCheckpointEvery sets how many reports a TSW lets pass between
+// piggybacked recovery checkpoints: 1 (the default) checkpoints on
+// every report; larger values shrink report payloads at the price of
+// resurrecting a lost TSW from a staler state. Only meaningful in
+// adaptive runs with respawn enabled.
+func WithCheckpointEvery(reports int) Option {
+	return func(s *settings) { s.cfg.CheckpointEvery = reports }
+}
+
 // WithCluster selects the machines the run executes on.
 func WithCluster(c Cluster) Option {
 	return func(s *settings) { s.clus = c.c }

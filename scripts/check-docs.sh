@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Documentation drift check (CI-blocking): ARCHITECTURE.md's wire-
+# protocol table must stay in lockstep with the code.
+#
+#  1. Every Tag* constant declared in internal/core/messages.go (plus
+#     the reserved pvm.TagExit) must appear as a `| `Tag...` |` table
+#     row in ARCHITECTURE.md.
+#  2. Every Tag* named in an ARCHITECTURE.md table row must still
+#     exist in the code — removed messages cannot linger in the doc.
+#
+# Usage: scripts/check-docs.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Tags declared in the protocol (the const block's identifiers).
+code_tags=$(grep -oE '^	Tag[A-Za-z0-9]+' internal/core/messages.go | tr -d '\t' | sort -u)
+code_tags="$code_tags
+TagExit"
+
+for tag in $code_tags; do
+  if ! grep -qE "^\| \`$tag\` \|" ARCHITECTURE.md; then
+    echo "FAIL: $tag is in the protocol but has no table row in ARCHITECTURE.md"
+    fail=1
+  fi
+done
+
+# Tags documented in ARCHITECTURE.md table rows.
+doc_tags=$(grep -oE '^\| `Tag[A-Za-z0-9]+` \|' ARCHITECTURE.md | grep -oE 'Tag[A-Za-z0-9]+' | sort -u)
+for tag in $doc_tags; do
+  if [ "$tag" = "TagExit" ]; then
+    grep -q "TagExit" internal/pvm/pvm.go && continue
+  fi
+  if ! grep -qE "^	$tag( |$)" internal/core/messages.go; then
+    echo "FAIL: ARCHITECTURE.md documents $tag, which no longer exists in internal/core/messages.go"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "ARCHITECTURE.md's wire-protocol table is out of sync with the code."
+  exit 1
+fi
+n=$(echo "$code_tags" | wc -l | tr -d ' ')
+echo "PASS: all $n protocol tags documented in ARCHITECTURE.md, no stale rows"

@@ -78,8 +78,11 @@ echo "PASS: distributed run reproduces the single-process best cost exactly"
 # Adaptive variant: 1 master + 3 workers with declared speeds 4/1/1, one
 # slow CLW-hosting worker killed (-9) mid-run. Under -adaptive the run
 # must complete un-Interrupted over the full iteration budget, with the
-# dead CLW's range re-absorbed by the survivors (WorkersLost:1 in the
-# master's stats). Join order fixes the slot ring: with 1 TSW x 3 CLWs
+# loss both counted and repaired: the dead CLW's range is re-absorbed,
+# a replacement CLW is respawned onto surviving capacity and re-seeded
+# from the TSW's current solution (WorkersLost:1 AND WorkersRespawned:1
+# in the master's stats — the post-recovery CLW count equals the
+# pre-kill count). Join order fixes the slot ring: with 1 TSW x 3 CLWs
 # the first worker hosts the TSW and the second/third host one CLW each
 # (the third CLW lands on the master process).
 echo "== adaptive distributed run: kill one slow CLW-hosting worker mid-run"
@@ -129,6 +132,10 @@ fi
 grep -q "WorkersLost:1" "$OUT/amaster.log" || {
   echo "FAIL: master stats do not record the lost worker"; cat "$OUT/amaster.log"; exit 1
 }
+grep -q "WorkersRespawned:1" "$OUT/amaster.log" || {
+  echo "FAIL: master stats do not record the respawned replacement (parallelism not restored)"
+  cat "$OUT/amaster.log"; exit 1
+}
 grep -q "best cost" "$OUT/amaster.log" || {
   echo "FAIL: adaptive master reported no best cost"; cat "$OUT/amaster.log"; exit 1
 }
@@ -140,4 +147,65 @@ for i in 1 2; do
     echo "FAIL: surviving worker a$i did not report a completed job"; cat "$OUT/aworker$i.log"; exit 1
   }
 done
-echo "PASS: adaptive run survived the worker kill un-Interrupted (range re-absorbed)"
+echo "PASS: adaptive run survived the worker kill with parallelism restored (WorkersLost:1, WorkersRespawned:1)"
+
+# ---------------------------------------------------------------------------
+# TSW-kill variant: same topology, but the FIRST worker — the one
+# hosting the TSW itself — is killed -9 mid-run. The master must
+# resurrect the TSW from its piggybacked checkpoint on surviving
+# capacity, re-attach the three surviving CLWs, and still complete the
+# full budget un-Interrupted.
+echo "== adaptive distributed run: kill the TSW-hosting worker mid-run"
+ADDR3="127.0.0.1:$((PORT + 2))"
+
+"$BIN" "${AFLAGS[@]}" -serve "$ADDR3" -net-workers 3 -progress -json "$OUT/tswkill.json" \
+  > "$OUT/tmaster.log" 2>&1 &
+TMASTER=$!
+sleep 1
+"$BIN" -circuit c532 -worker "$ADDR3" -node-name t1 -speed 4 -jobs 1 > "$OUT/tworker1.log" 2>&1 &
+TDOOMED=$!
+sleep 0.5
+"$BIN" -circuit c532 -worker "$ADDR3" -node-name t2 -speed 1 -jobs 1 > "$OUT/tworker2.log" 2>&1 &
+T2=$!
+sleep 0.5
+"$BIN" -circuit c532 -worker "$ADDR3" -node-name t3 -speed 1 -jobs 1 > "$OUT/tworker3.log" 2>&1 &
+T3=$!
+
+for _ in $(seq 1 150); do
+  grep -q "round   2/" "$OUT/tmaster.log" 2>/dev/null && break
+  sleep 0.2
+done
+grep -q "round   2/" "$OUT/tmaster.log" || {
+  echo "FAIL: TSW-kill run never reached round 2"; cat "$OUT/tmaster.log"; exit 1
+}
+kill -9 "$TDOOMED" 2>/dev/null || true
+
+if ! wait "$TMASTER"; then
+  echo "FAIL: TSW-kill master exited non-zero:"; cat "$OUT/tmaster.log"; exit 1
+fi
+wait "$T2" || {
+  echo "FAIL: surviving worker t2 exited non-zero"; cat "$OUT/tworker2.log"; exit 1
+}
+wait "$T3" || {
+  echo "FAIL: surviving worker t3 exited non-zero"; cat "$OUT/tworker3.log"; exit 1
+}
+wait "$TDOOMED" 2>/dev/null || true
+
+if grep -q "interrupted" "$OUT/tmaster.log"; then
+  echo "FAIL: TSW-kill run reported an interrupted result"; cat "$OUT/tmaster.log"; exit 1
+fi
+grep -q '"Interrupted": false' "$OUT/tswkill.json" || {
+  echo "FAIL: TSW-kill result JSON is marked Interrupted"; exit 1
+}
+grep -Eq "WorkersLost:[1-9]" "$OUT/tmaster.log" || {
+  echo "FAIL: master stats do not record the lost TSW"; cat "$OUT/tmaster.log"; exit 1
+}
+grep -Eq "WorkersRespawned:[1-9]" "$OUT/tmaster.log" || {
+  echo "FAIL: master stats do not record the resurrected TSW"; cat "$OUT/tmaster.log"; exit 1
+}
+for i in 2 3; do
+  grep -q "job completed" "$OUT/tworker$i.log" || {
+    echo "FAIL: surviving worker t$i did not report a completed job"; cat "$OUT/tworker$i.log"; exit 1
+  }
+done
+echo "PASS: TSW kill resurrected from checkpoint, run completed un-Interrupted"

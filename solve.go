@@ -82,10 +82,17 @@ type WorkerStats struct {
 	// Rebalances is the number of adaptive range re-partitions adopted
 	// by workers (0 unless WithAdaptive is on).
 	Rebalances int64
-	// WorkersLost is the number of candidate-list workers written off
-	// after their hosting process died mid-run (adaptive distributed
-	// runs only; a static run aborts instead).
+	// WorkersLost is the number of workers (candidate-list workers and
+	// tabu search workers) written off after their hosting process died
+	// mid-run (adaptive distributed runs only; a static run aborts
+	// instead).
 	WorkersLost int64
+	// WorkersRespawned is the number of replacement workers spawned
+	// onto surviving capacity to take over for lost ones: CLW
+	// replacements re-seeded from their TSW's current solution, plus
+	// TSWs resurrected from their piggybacked checkpoints. Equal to
+	// WorkersLost when every loss was recovered (see WithRespawn).
+	WorkersRespawned int64
 }
 
 // newWorkerStats mirrors the engine's counters into the public type.
@@ -102,6 +109,7 @@ func newWorkerStats(ws core.WorkerStats) WorkerStats {
 		Diversifications: ws.Diversifications,
 		Rebalances:       ws.Rebalances,
 		WorkersLost:      ws.WorkersLost,
+		WorkersRespawned: ws.WorkersRespawned,
 	}
 }
 
