@@ -16,6 +16,10 @@
 //
 //	pts -circuit c532 -serve :9017 -net-workers 3   # master: wait for 3 workers, then run
 //	pts -circuit c532 -worker host:9017 -speed 0.55 # worker daemon: join and host tasks
+//	pts -worker host:9017 -any -jobs 0              # fleet worker for ptsd: serve any workload until SIGTERM
+//
+// Worker daemons drain gracefully on SIGTERM (deregister from the
+// master, then exit) and stop hard on Ctrl-C.
 //
 // The run is context-bound: -timeout and Ctrl-C both cancel it, and the
 // best solution found so far is printed.
@@ -28,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"pts"
 )
@@ -63,6 +68,7 @@ func main() {
 		serveAddr  = flag.String("serve", "", "master mode: listen on this address and run distributed (implies -mode real)")
 		netWorkers = flag.Int("net-workers", 1, "master mode: worker processes to wait for before starting")
 		workerAddr = flag.String("worker", "", "worker mode: join the master at this address and host tasks")
+		anyProb    = flag.Bool("any", false, "worker mode: serve any built-in workload named by each job's payload (for ptsd fleets; ignores -circuit/-qap)")
 		nodeName   = flag.String("node-name", "", "worker mode: cluster-unique node name (default hostname:pid)")
 		speed      = flag.Float64("speed", 1.0, "worker mode: declared relative speed factor of this node")
 		capacity   = flag.Int("capacity", 1, "worker mode: machine slots this node contributes")
@@ -79,6 +85,13 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	// A resolver-equipped worker builds each job's problem on demand and
+	// needs no local inputs at all.
+	if *workerAddr != "" && *anyProb {
+		runWorker(ctx, nil, *workerAddr, *nodeName, *speed, *capacity, *jobs)
+		return
 	}
 
 	var problem pts.Problem
@@ -213,11 +226,26 @@ func formatShares(shares []float64) string {
 
 // runWorker runs the worker daemon: join the master, host this node's
 // share of the search for each job, and print each job's outcome.
+// SIGTERM drains gracefully — the worker deregisters from the master
+// (fLeave) instead of just vanishing — while Ctrl-C (SIGINT, via ctx)
+// stays the hard stop.
 func runWorker(ctx context.Context, problem pts.Problem, addr, name string, speed float64, capacity, jobs int) {
+	drain := make(chan struct{})
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, syscall.SIGTERM)
+	go func() {
+		select {
+		case <-term:
+			fmt.Fprintln(os.Stderr, "pts: SIGTERM, draining worker")
+			close(drain)
+		case <-ctx.Done():
+		}
+	}()
 	node := pts.NodeOptions{
 		Name:     name,
 		Speed:    speed,
 		Capacity: capacity,
+		Drain:    drain,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

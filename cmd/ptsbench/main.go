@@ -11,6 +11,7 @@
 //	ptsbench -hotpath            # trial-kernel microbench -> BENCH_hotpath.json
 //	ptsbench -hetero             # static vs adaptive scheduling on a 4:1 skewed cluster -> BENCH_hetero.json
 //	ptsbench -recovery           # fold-only vs respawn after a mid-run worker kill -> BENCH_recovery.json
+//	ptsbench -serve              # multi-job scheduler throughput/latency on a shared fleet -> BENCH_serve.json
 package main
 
 import (
@@ -43,6 +44,9 @@ func main() {
 		recovery    = flag.Bool("recovery", false, "compare fold-only vs respawn recovery after a mid-run worker kill over loopback TCP and write BENCH_recovery.json")
 		recScale    = flag.Float64("recovery-workscale", 0, "work emulation factor for -recovery (0 = default)")
 		recKillAt   = flag.Int("recovery-kill-round", 0, "round whose report triggers the -recovery kill (0 = default)")
+		serveBench  = flag.Bool("serve", false, "measure the multi-job serving scheduler (jobs/minute, p50/p95 latency at 1 vs full-fleet concurrency) over a loopback fleet and write BENCH_serve.json + bench_serve.md")
+		serveJobs   = flag.Int("serve-jobs", 0, "jobs per concurrency level for -serve (0 = default)")
+		serveFleet  = flag.Int("serve-fleet", 0, "loopback fleet size for -serve (0 = default 4)")
 	)
 	flag.Parse()
 
@@ -95,6 +99,31 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(bench.RenderRecovery(rep))
+		fmt.Printf("wrote %s\n", path)
+		return
+	}
+
+	if *serveBench {
+		var circuit string
+		if *circuits != "" {
+			circuit = strings.Split(*circuits, ",")[0]
+		}
+		rep, err := bench.Serve(bench.ServeOpts{
+			Context:      ctx,
+			Circuit:      circuit,
+			FleetWorkers: *serveFleet,
+			Jobs:         *serveJobs,
+			Scale:        *scale,
+			Seed:         *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		path, err := bench.WriteServe(rep, *out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.RenderServe(rep))
 		fmt.Printf("wrote %s\n", path)
 		return
 	}

@@ -283,3 +283,41 @@ func TestHeteroSmoke(t *testing.T) {
 		t.Errorf("path = %s", path)
 	}
 }
+
+func TestServeSmoke(t *testing.T) {
+	// Tiny fleet and job budget with near-free work emulation: exercises
+	// the scheduler-over-loopback-fleet plumbing, both concurrency
+	// levels, and both output files without meaningful sleeps.
+	rep, err := Serve(ServeOpts{
+		FleetWorkers: 2,
+		Jobs:         3,
+		GlobalIters:  1,
+		LocalIters:   2,
+		WorkScale:    1e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Levels) != 2 || rep.Levels[0].Concurrency != 1 || rep.Levels[1].Concurrency != 2 {
+		t.Fatalf("levels = %+v", rep.Levels)
+	}
+	for _, l := range rep.Levels {
+		if l.Jobs != 3 || l.JobsPerMinute <= 0 || l.P50Seconds <= 0 || l.P95Seconds < l.P50Seconds {
+			t.Errorf("degenerate level: %+v", l)
+		}
+	}
+	if rep.ThroughputGain <= 0 {
+		t.Errorf("throughput gain = %v", rep.ThroughputGain)
+	}
+	dir := t.TempDir()
+	path, err := WriteServe(rep, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_serve.json" {
+		t.Errorf("path = %s", path)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bench_serve.md")); err != nil {
+		t.Errorf("bench_serve.md not written: %v", err)
+	}
+}

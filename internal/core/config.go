@@ -112,6 +112,13 @@ type Config struct {
 	// distributed runs across processes. Process-local, never
 	// serialized.
 	Transport pvm.Transport
+	// ProblemSpec, when non-nil, names the built-in workload in a
+	// distributed run's job payload, so worker daemons equipped with a
+	// resolver (WorkerOptions.Resolve) construct the job's problem on
+	// demand instead of serving one fixed problem. Nil (the default)
+	// requires every worker to have been started with the master's
+	// problem. Ignored outside the distributed path.
+	ProblemSpec *ProblemSpec
 	// WorkScale, when positive, makes Real-mode runs emulate machine
 	// speed: every Env.Work(s) sleeps s*WorkScale/speed wall seconds on
 	// its node. It is how a distributed run expresses the paper's

@@ -43,6 +43,25 @@ type clwSpec struct {
 	Tune Tuning
 }
 
+// ProblemSpec names a built-in workload well enough for any process to
+// construct it deterministically — the serving mode's answer to SPMD
+// problem construction: instead of starting every worker with one fixed
+// problem, a daemon fleet resolves each job's problem on demand from
+// the spec in its payload. The usual fingerprint validation still runs
+// afterwards, so a resolver that builds the wrong instance refuses the
+// job rather than corrupting the search.
+type ProblemSpec struct {
+	// Kind selects the workload family: "placement" or "qap".
+	Kind string
+	// Circuit is the placement benchmark name (e.g. "c532") or circuit
+	// file path, for Kind "placement".
+	Circuit string
+	// QAPN and QAPSeed parameterize the random QAP instance, for Kind
+	// "qap".
+	QAPN    int
+	QAPSeed uint64
+}
+
 // jobPayload is the job description the master ships to every worker
 // when a distributed run starts.
 type jobPayload struct {
@@ -57,6 +76,9 @@ type jobPayload struct {
 	Size        int32
 	InitialCost float64
 	Cfg         wireConfig
+	// Spec, when non-nil, lets resolver-equipped workers construct the
+	// job's problem on demand (Config.ProblemSpec on the master side).
+	Spec *ProblemSpec
 }
 
 // runSummary is the final outcome the master reports back to workers,
@@ -205,6 +227,16 @@ type WorkerOptions struct {
 	Capacity int
 	// Jobs bounds how many jobs to serve (0 = until ctx cancels).
 	Jobs int
+	// Resolve, when non-nil, constructs a job's problem from the
+	// ProblemSpec in its payload, letting one daemon serve any built-in
+	// workload. A worker started with a fixed problem ignores it; a
+	// worker started with a nil problem requires it.
+	Resolve func(ProblemSpec) (Problem, error)
+	// Drain, when non-nil, requests a graceful shutdown when it becomes
+	// readable (typically a closed channel): the worker deregisters from
+	// the master cleanly instead of dropping its connection, and
+	// ServeWorker returns nil.
+	Drain <-chan struct{}
 	// Logf, when non-nil, receives connection and job lifecycle lines.
 	Logf func(format string, args ...any)
 }
@@ -213,8 +245,10 @@ type WorkerOptions struct {
 // incoming jobs against the locally constructed problem and records the
 // final summaries.
 type workerHandler struct {
-	prob  Problem
-	onJob func(*Result)
+	prob    Problem // fixed problem; nil for resolver-equipped daemons
+	resolve func(ProblemSpec) (Problem, error)
+	onJob   func(*Result)
+	cur     Problem // the current job's problem (jobs are served sequentially)
 }
 
 func (h *workerHandler) Start(payload any) (nettrans.TaskFactory, error) {
@@ -222,9 +256,21 @@ func (h *workerHandler) Start(payload any) (nettrans.TaskFactory, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: unexpected job payload %T", payload)
 	}
-	if jp.Problem != h.prob.Name() || jp.Size != h.prob.Size() {
+	prob := h.prob
+	if prob == nil {
+		// Serving mode: construct the job's problem from its spec.
+		if jp.Spec == nil {
+			return nil, fmt.Errorf("core: job %s carries no problem spec and this worker has no fixed problem", jp.Problem)
+		}
+		p, err := h.resolve(*jp.Spec)
+		if err != nil {
+			return nil, fmt.Errorf("core: resolving job problem %s: %w", jp.Problem, err)
+		}
+		prob = p
+	}
+	if jp.Problem != prob.Name() || jp.Size != prob.Size() {
 		return nil, fmt.Errorf("core: job is %s (%d elements) but this worker built %s (%d elements); start the worker with the master's inputs",
-			jp.Problem, jp.Size, h.prob.Name(), h.prob.Size())
+			jp.Problem, jp.Size, prob.Name(), prob.Size())
 	}
 	cfg := jp.Cfg.config()
 	// Derive the run-scoped shared context (e.g. the placement fuzzy
@@ -233,7 +279,7 @@ func (h *workerHandler) Start(payload any) (nettrans.TaskFactory, error) {
 	// itself is discarded — but its cost must reproduce the master's
 	// exactly, or this process was built over different instance data
 	// (or different cost goals) and would corrupt the search.
-	st, err := h.prob.Initial(cfg.Seed)
+	st, err := prob.Initial(cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("core: deriving shared initial state: %w", err)
 	}
@@ -245,7 +291,8 @@ func (h *workerHandler) Start(payload any) (nettrans.TaskFactory, error) {
 		return nil, fmt.Errorf("core: job %s: this worker's initial cost %v does not reproduce the master's %v; the problem inputs (or cost configuration) differ",
 			jp.Problem, c, jp.InitialCost)
 	}
-	return taskFactory(h.prob, cfg), nil
+	h.cur = prob
+	return taskFactory(prob, cfg), nil
 }
 
 func (h *workerHandler) Done(summary any) {
@@ -262,8 +309,10 @@ func (h *workerHandler) Done(summary any) {
 		Rounds:      rs.Rounds,
 		Interrupted: rs.Interrupted,
 	}
-	if r, err := finalize(h.prob, res); err == nil {
-		res = r
+	if prob := h.cur; prob != nil {
+		if r, err := finalize(prob, res); err == nil {
+			res = r
+		}
 	}
 	h.onJob(res)
 }
@@ -274,15 +323,23 @@ func (h *workerHandler) Done(summary any) {
 // job's final result — the same outcome the master returns — to onJob
 // (which may be nil). It returns after opts.Jobs jobs, or when ctx is
 // cancelled.
+//
+// prob may be nil when opts.Resolve is set: the daemon then serves any
+// built-in workload, constructing each job's problem from the spec in
+// its payload.
 func ServeWorker(ctx context.Context, prob Problem, opts WorkerOptions, onJob func(*Result)) error {
+	if prob == nil && opts.Resolve == nil {
+		return fmt.Errorf("core: worker needs a problem or a resolver")
+	}
 	return nettrans.RunWorker(ctx, nettrans.WorkerConfig{
 		Addr:     opts.Addr,
 		Name:     opts.Name,
 		Speed:    opts.Speed,
 		Capacity: opts.Capacity,
 		Jobs:     opts.Jobs,
+		Drain:    opts.Drain,
 		Logf:     opts.Logf,
-	}, &workerHandler{prob: prob, onJob: onJob})
+	}, &workerHandler{prob: prob, resolve: opts.Resolve, onJob: onJob})
 }
 
 // JoinWorker serves exactly one job as a worker of a distributed run

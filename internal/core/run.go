@@ -124,6 +124,7 @@ func RunProblem(ctx context.Context, prob Problem, clus cluster.Cluster, cfg Con
 			Size:        prob.Size(),
 			InitialCost: initCost,
 			Cfg:         cfg.wire(),
+			Spec:        cfg.ProblemSpec,
 		}
 		opts.Spawner = taskFactory(prob, cfg)
 	}

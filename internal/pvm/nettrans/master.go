@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -27,23 +28,37 @@ type MasterConfig struct {
 	// Logf, when non-nil, receives one line per registry event (joins,
 	// refusals, losses).
 	Logf func(format string, args ...any)
+	// OnRegistry, when non-nil, is called — without master locks held —
+	// after the set of idle workers changes: a join, a drain or loss, or
+	// a finished lease returning its nodes. Serving layers use it to pump
+	// their admission queue.
+	OnRegistry func()
 }
 
 // Master is the hub transport: it listens for worker joins, records
 // their capacity and speed in the registry, and hosts runs whose tasks
-// execute partly in this process and partly on the joined workers. It
-// implements pvm.Transport and pvm.Finisher and serves one run; use
-// Close to release it if the run never happens.
+// execute partly in this process and partly on the joined workers.
+//
+// Two usage modes share the registry. The one-shot mode — Master itself
+// implements pvm.Transport and pvm.Finisher — claims every joined
+// worker for a single run and shuts the master down when it finishes.
+// The serving mode hands out long-lived slices of the fleet instead:
+// Lease claims a disjoint subset of idle workers, hosts one run on it
+// (each Lease is itself a pvm.Transport and pvm.Finisher), and returns
+// the workers — connections intact — to the lobby for the next job, so
+// one master multiplexes many concurrent runs without ever sharing a
+// machine slot between two of them.
 type Master struct {
 	cfg MasterConfig
 	ln  net.Listener
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	lobby  []*node
-	names  map[string]*node
-	closed bool
-	job    *job
+	mu        sync.Mutex
+	cond      *sync.Cond
+	lobby     []*node
+	names     map[string]*node
+	closed    bool
+	exclusive *job              // the one-shot Run's job, target of elastic absorption
+	active    map[*job]struct{} // every running job, one-shot or leased
 }
 
 // node is one registered worker process.
@@ -55,10 +70,12 @@ type node struct {
 
 	firstSlot, slots int
 
-	alive   bool
-	claimed bool
-	sends   int64
-	bye     chan struct{}
+	alive bool   // guarded by its current job's mu
+	job   *job   // the run currently hosted on this node; guarded by Master.mu
+	lease *Lease // non-nil from Lease() until the nodes are returned; guarded by Master.mu
+	gone  bool   // retired from the registry (lost, drained or misbehaving); guarded by Master.mu
+	sends int64  // guarded by its current job's mu
+	bye   chan struct{}
 }
 
 // NodeInfo describes one registry entry.
@@ -66,14 +83,19 @@ type NodeInfo struct {
 	Name     string
 	Speed    float64
 	Capacity int
+	// Busy reports that the worker is leased to (or hosting) a run
+	// rather than idle in the lobby.
+	Busy bool
 }
 
 // Listen starts a master: it binds cfg.Addr immediately and accepts
 // worker joins in the background, so workers may connect before the run
 // starts.
 func Listen(cfg MasterConfig) (*Master, error) {
-	if cfg.Workers < 1 {
-		return nil, fmt.Errorf("nettrans: master needs at least 1 worker, got %d", cfg.Workers)
+	// Workers only gates the one-shot Run (it waits for that many joins
+	// before claiming the lobby); a lease-only serving master sets 0.
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("nettrans: negative worker count %d", cfg.Workers)
 	}
 	if cfg.JoinWait <= 0 {
 		cfg.JoinWait = 2 * time.Minute
@@ -88,7 +110,7 @@ func Listen(cfg MasterConfig) (*Master, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := &Master{cfg: cfg, ln: ln, names: make(map[string]*node)}
+	m := &Master{cfg: cfg, ln: ln, names: make(map[string]*node), active: make(map[*job]struct{})}
 	m.cond = sync.NewCond(&m.mu)
 	go m.acceptLoop()
 	return m, nil
@@ -97,21 +119,48 @@ func Listen(cfg MasterConfig) (*Master, error) {
 // Addr returns the bound listen address (useful with ":0").
 func (m *Master) Addr() string { return m.ln.Addr().String() }
 
-// Nodes lists the currently joined workers.
+// Nodes lists the currently joined workers — idle, leased or hosting a
+// run — in name order.
 func (m *Master) Nodes() []NodeInfo {
 	m.mu.Lock()
-	var out []NodeInfo
-	for _, n := range m.lobby {
-		out = append(out, NodeInfo{Name: n.name, Speed: n.speed, Capacity: n.capacity})
+	out := make([]NodeInfo, 0, len(m.names))
+	for _, n := range m.names {
+		if n.gone {
+			continue
+		}
+		out = append(out, NodeInfo{Name: n.name, Speed: n.speed, Capacity: n.capacity, Busy: n.job != nil || n.lease != nil})
 	}
-	j := m.job
 	m.mu.Unlock()
-	if j != nil {
-		for _, n := range j.nodeList() {
-			out = append(out, NodeInfo{Name: n.name, Speed: n.speed, Capacity: n.capacity})
+	sort.Slice(out, func(i, k int) bool { return out[i].Name < out[k].Name })
+	return out
+}
+
+// FreeWorkers returns how many joined workers are idle in the lobby —
+// available for the next Lease or one-shot run.
+func (m *Master) FreeWorkers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.lobby)
+}
+
+// TotalWorkers returns how many workers are joined in any state.
+func (m *Master) TotalWorkers() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	total := 0
+	for _, n := range m.names {
+		if !n.gone {
+			total++
 		}
 	}
-	return out
+	return total
+}
+
+// notifyRegistry invokes the registry-change hook outside master locks.
+func (m *Master) notifyRegistry() {
+	if m.cfg.OnRegistry != nil {
+		m.cfg.OnRegistry()
+	}
 }
 
 // Close shuts the master down: the listener stops and every worker
@@ -126,20 +175,15 @@ func (m *Master) Close() error {
 		return nil
 	}
 	m.closed = true
-	lobby := m.lobby
 	m.lobby = nil
-	j := m.job
+	conns := make([]*conn, 0, len(m.names))
+	for _, n := range m.names {
+		conns = append(conns, n.c)
+	}
 	m.cond.Broadcast()
 	m.mu.Unlock()
-	var claimed []*node
-	if j != nil {
-		claimed = j.nodeList()
-	}
-	for _, n := range lobby {
-		n.c.close()
-	}
-	for _, n := range claimed {
-		n.c.close()
+	for _, c := range conns {
+		c.close()
 	}
 	return m.ln.Close()
 }
@@ -208,13 +252,15 @@ func (m *Master) admit(nc net.Conn) {
 		c.close()
 		return
 	}
-	// Elastic membership: while an elastic job is running, a late joiner
-	// is claimed for it immediately as spare capacity instead of waiting
-	// in the lobby for the next job.
-	j := m.job
+	// Elastic membership: while an exclusive elastic job is running, a
+	// late joiner is claimed for it immediately as spare capacity instead
+	// of waiting in the lobby for the next job. Leased jobs never absorb
+	// — their workers belong to a shared fleet, so spare capacity goes to
+	// the lobby where the serving layer's admission queue can use it.
+	j := m.exclusive
 	absorb := j != nil && j.opts.Elastic
 	if absorb {
-		n.claimed = true
+		n.job = j
 	} else {
 		m.lobby = append(m.lobby, n)
 		m.cond.Broadcast()
@@ -224,7 +270,7 @@ func (m *Master) admit(nc net.Conn) {
 		// The job ended between the check and the claim: park the node in
 		// the lobby after all.
 		m.mu.Lock()
-		n.claimed = false
+		n.job = nil
 		if m.closed {
 			delete(m.names, n.name)
 			m.mu.Unlock()
@@ -236,6 +282,7 @@ func (m *Master) admit(nc net.Conn) {
 		m.mu.Unlock()
 	}
 	m.cfg.Logf("nettrans: worker %q joined (speed %.2f, capacity %d)", n.name, n.speed, n.capacity)
+	m.notifyRegistry()
 	// One persistent reader owns the connection from here on: it spots a
 	// worker dying while idle in the lobby (freeing its name so the
 	// daemon's reconnect is not refused as a duplicate, and keeping dead
@@ -244,9 +291,10 @@ func (m *Master) admit(nc net.Conn) {
 }
 
 // serveConn is the per-connection read loop, from admission to
-// disconnect: lobby frames are protocol violations, job frames are
-// dispatched to the run that claimed the node, and read errors retire
-// the node from whichever state it is in.
+// disconnect: job frames are dispatched to the run currently hosted on
+// the node, idle frames other than a graceful fLeave (or a straggling
+// counter report) are protocol violations, and read errors retire the
+// node from whichever state it is in.
 func (m *Master) serveConn(n *node) {
 	for {
 		f, err := n.c.read()
@@ -255,12 +303,22 @@ func (m *Master) serveConn(n *node) {
 			if j != nil {
 				j.nodeLost(n, err)
 			} else {
-				m.dropLobby(n, err)
+				m.retireIdle(n, err, false)
 			}
 			return
 		}
 		if j == nil {
-			m.dropLobby(n, fmt.Errorf("unexpected frame type %d while idle", f.Type))
+			switch f.Type {
+			case fLeave:
+				m.retireIdle(n, nil, true)
+				return
+			case fBye:
+				// A counter report that straggled past the job's bye
+				// deadline and its release; the counters were forfeited,
+				// the worker is fine.
+				continue
+			}
+			m.retireIdle(n, fmt.Errorf("unexpected frame type %d while idle", f.Type), false)
 			return
 		}
 		if !j.handleFrame(n, f) {
@@ -269,26 +327,26 @@ func (m *Master) serveConn(n *node) {
 	}
 }
 
-// jobOf returns the run that claimed n, if any.
+// jobOf returns the run currently hosted on n, if any.
 func (m *Master) jobOf(n *node) *job {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if n.claimed {
-		return m.job
-	}
-	return nil
+	return n.job
 }
 
-// freeName releases a worker name so a reconnecting daemon can rejoin.
-func (m *Master) freeName(name string) {
+// retire removes a node from the registry: its name is freed so a
+// reconnecting daemon can rejoin, and the node is marked gone so a
+// pending lease will not hand it to a new run.
+func (m *Master) retire(n *node) {
 	m.mu.Lock()
-	delete(m.names, name)
+	delete(m.names, n.name)
+	n.gone = true
 	m.mu.Unlock()
 }
 
-// dropLobby retires a worker that died (or misbehaved) before being
-// claimed by a run.
-func (m *Master) dropLobby(n *node, cause error) {
+// retireIdle retires a worker that left — gracefully (drained) or not —
+// while idle in the lobby or leased-but-not-yet-running.
+func (m *Master) retireIdle(n *node, cause error, drained bool) {
 	m.mu.Lock()
 	for i, ln := range m.lobby {
 		if ln == n {
@@ -297,20 +355,41 @@ func (m *Master) dropLobby(n *node, cause error) {
 		}
 	}
 	delete(m.names, n.name)
+	n.gone = true
 	m.mu.Unlock()
 	n.c.close()
-	m.cfg.Logf("nettrans: worker %q left the lobby: %v", n.name, cause)
+	if drained {
+		m.cfg.Logf("nettrans: worker %q drained and left the registry", n.name)
+	} else {
+		m.cfg.Logf("nettrans: worker %q left the lobby: %v", n.name, cause)
+	}
+	m.notifyRegistry()
 }
 
 // Run implements pvm.Transport: wait for the registry to fill, assign
 // machine slots, broadcast the job, then execute root here while the
-// joined workers host their share of the spawned tasks.
+// joined workers host their share of the spawned tasks. This is the
+// one-shot mode: it claims every joined worker and the paired Finish
+// shuts the master down.
 func (m *Master) Run(opts pvm.Options, root pvm.TaskFunc) (float64, error) {
 	nodes, err := m.takeWorkers(opts)
 	if err != nil {
 		return 0, err
 	}
+	j, err := m.buildJob(nodes, opts)
+	if err != nil {
+		return 0, err
+	}
+	m.launch(j, true)
+	return m.runJob(j, opts, root)
+}
 
+// buildJob lays out one run over the claimed nodes: slot 0 is this
+// process, each worker contributes capacity slots. The slot table must
+// be complete before the job is published: once a node's job pointer is
+// set, frames from (possibly misbehaving) claimed workers are
+// dispatched into j and must never observe totalSlots == 0.
+func (m *Master) buildJob(nodes []*node, opts pvm.Options) (*job, error) {
 	j := &job{
 		m:        m,
 		opts:     opts,
@@ -320,10 +399,6 @@ func (m *Master) Run(opts pvm.Options, root pvm.TaskFunc) (float64, error) {
 		start:    time.Now(),
 		allDone:  make(chan struct{}),
 	}
-	// Slot 0 is this process; each worker contributes capacity slots.
-	// The slot table must be complete before the job is published: once
-	// m.job is set, frames from (possibly misbehaving) claimed workers
-	// are dispatched into j and must never observe totalSlots == 0.
 	slot := 1
 	j.speeds = append(j.speeds, 1.0) // the master's reference slot
 	for _, n := range nodes {
@@ -336,33 +411,54 @@ func (m *Master) Run(opts pvm.Options, root pvm.TaskFunc) (float64, error) {
 	j.totalSlots = slot
 	payload, err := encodePayload(opts.JobPayload)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
 	j.payload = payload
-	// Snapshot the frame fields before publishing the job: once m.job is
-	// set, an elastic late joiner may grow the ring concurrently, and
-	// the initial workers must all receive the consistent job-start
-	// ring (they learn about growth via fRing afterwards). Holding
-	// absorbMu across the initial frame writes keeps any absorption —
-	// and its fRing broadcast — strictly after every initial fJob is on
-	// the wire.
+	return j, nil
+}
+
+// launch publishes the job — binding every claimed node to it and
+// resetting the nodes' per-job counters — and ships the fJob frames.
+//
+// The frame fields are snapshotted before publishing: once the job is
+// visible, an elastic late joiner may grow the ring concurrently, and
+// the initial workers must all receive the consistent job-start ring
+// (they learn about growth via fRing afterwards). Holding absorbMu
+// across the initial frame writes keeps any absorption — and its fRing
+// broadcast — strictly after every initial fJob is on the wire.
+func (m *Master) launch(j *job, exclusive bool) {
 	startSlots, startSpeeds := j.totalSlots, j.speeds
 	j.absorbMu.Lock()
 	m.mu.Lock()
-	m.job = j
+	m.active[j] = struct{}{}
+	if exclusive {
+		m.exclusive = j
+	}
+	for _, n := range j.nodes {
+		n.job = j
+		n.sends = 0
+		n.bye = make(chan struct{})
+	}
 	m.mu.Unlock()
 
-	for _, n := range nodes {
+	for _, n := range j.nodes {
 		err := n.c.write(&frame{
-			Type: fJob, Seed: opts.Seed, WorkScale: opts.RealWorkScale,
+			Type: fJob, Seed: j.opts.Seed, WorkScale: j.opts.RealWorkScale,
 			Slot: n.firstSlot, Slots: n.slots, TotalSlots: startSlots,
-			Speeds: startSpeeds, Payload: payload,
+			Speeds: startSpeeds, Payload: j.payload,
 		})
 		if err != nil {
 			j.nodeLost(n, err)
 		}
 	}
 	j.absorbMu.Unlock()
+}
+
+// runJob executes root as the job's task 0 and waits the run out:
+// cooperative cancellation is wired to the options context, counters
+// are collected from the surviving workers, and an aborted run reports
+// pvm.ErrAborted.
+func (m *Master) runJob(j *job, opts pvm.Options, root pvm.TaskFunc) (float64, error) {
 	// Cooperative cancellation: tasks everywhere observe Cancelled()
 	// and drain the protocol; nothing is killed.
 	stopCancel := make(chan struct{})
@@ -436,36 +532,21 @@ func (m *Master) takeWorkers(opts pvm.Options) ([]*node, error) {
 	}
 	nodes := m.lobby
 	m.lobby = nil
-	for _, n := range nodes {
-		n.claimed = true
-	}
 	return nodes, nil
 }
 
-// Finish implements pvm.Finisher: deliver the program's final summary
-// to every surviving worker, then shut the master down.
+// Finish implements pvm.Finisher for the one-shot mode: deliver the
+// program's final summary to every surviving worker, then shut the
+// master down.
 func (m *Master) Finish(summary any) error {
 	m.mu.Lock()
-	j := m.job
+	j := m.exclusive
 	m.mu.Unlock()
 	var firstErr error
 	if j != nil {
 		nodes := j.nodeList()
-		payload, err := encodePayload(summary)
-		if err != nil {
+		if err := j.deliverResult(summary); err != nil {
 			firstErr = err
-		} else {
-			for _, n := range nodes {
-				j.mu.Lock()
-				alive := n.alive
-				j.mu.Unlock()
-				if !alive {
-					continue
-				}
-				if err := n.c.write(&frame{Type: fResult, Payload: payload}); err != nil && firstErr == nil {
-					firstErr = err
-				}
-			}
 		}
 		for _, n := range nodes {
 			n.c.close()
@@ -475,6 +556,172 @@ func (m *Master) Finish(summary any) error {
 		firstErr = err
 	}
 	return firstErr
+}
+
+// deliverResult ships the program's final summary to the job's
+// surviving workers.
+func (j *job) deliverResult(summary any) error {
+	payload, err := encodePayload(summary)
+	if err != nil {
+		return err
+	}
+	var firstErr error
+	for _, n := range j.nodeList() {
+		if !j.ownerAlive(n) {
+			continue
+		}
+		if err := n.c.write(&frame{Type: fResult, Payload: payload}); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ErrNoCapacity reports that a Lease asked for more workers than are
+// idle in the lobby; callers queue and retry when the registry changes.
+var ErrNoCapacity = fmt.Errorf("nettrans: not enough idle workers")
+
+// Lease is a claimed slice of the fleet: the workers it holds belong to
+// exactly one run for the lease's lifetime, so concurrent leases never
+// share a machine slot. A Lease is a pvm.Transport (Run hosts one run
+// on the leased workers, with slot 0 in the master process) and a
+// pvm.Finisher (Finish delivers the final summary and returns the
+// surviving workers — connections intact — to the lobby). Release is
+// the idempotent cleanup for every other path: a lease abandoned before
+// Run, or a run that errored before Finish.
+type Lease struct {
+	m *Master
+
+	mu       sync.Mutex
+	nodes    []*node
+	j        *job
+	released bool
+}
+
+// Lease claims workers idle workers for one run, in join (FIFO) order.
+// It never blocks: when fewer than workers are idle it fails with
+// ErrNoCapacity and claims nothing. workers may be 0 — the run then
+// executes entirely in the master process (slot 0 only).
+func (m *Master) Lease(workers int) (*Lease, error) {
+	if workers < 0 {
+		return nil, fmt.Errorf("nettrans: lease of %d workers", workers)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("nettrans: master closed")
+	}
+	if len(m.lobby) < workers {
+		return nil, fmt.Errorf("%w: %d idle, %d requested", ErrNoCapacity, len(m.lobby), workers)
+	}
+	l := &Lease{m: m, nodes: append([]*node(nil), m.lobby[:workers]...)}
+	m.lobby = append([]*node(nil), m.lobby[workers:]...)
+	for _, n := range l.nodes {
+		n.lease = l
+	}
+	return l, nil
+}
+
+// Workers returns the leased worker names, in claim order.
+func (l *Lease) Workers() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, len(l.nodes))
+	for i, n := range l.nodes {
+		out[i] = n.name
+	}
+	return out
+}
+
+// Run implements pvm.Transport: host one run on the leased workers.
+// A leased worker that disconnected between Lease and Run fails the
+// run up front — the caller decides whether to re-lease and retry.
+func (l *Lease) Run(opts pvm.Options, root pvm.TaskFunc) (float64, error) {
+	l.mu.Lock()
+	if l.released {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("nettrans: lease already released")
+	}
+	if l.j != nil {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("nettrans: lease already ran a job")
+	}
+	nodes := append([]*node(nil), l.nodes...)
+	l.mu.Unlock()
+
+	m := l.m
+	m.mu.Lock()
+	for _, n := range nodes {
+		if n.gone {
+			m.mu.Unlock()
+			return 0, fmt.Errorf("nettrans: leased worker %q was lost before the run started", n.name)
+		}
+	}
+	m.mu.Unlock()
+
+	j, err := m.buildJob(nodes, opts)
+	if err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	l.j = j
+	l.mu.Unlock()
+	m.launch(j, false)
+	return m.runJob(j, opts, root)
+}
+
+// Finish implements pvm.Finisher: deliver the final summary to the
+// leased workers that survived the run, then return them to the lobby
+// for the next job.
+func (l *Lease) Finish(summary any) error {
+	l.mu.Lock()
+	j := l.j
+	l.mu.Unlock()
+	var firstErr error
+	if j != nil {
+		firstErr = j.deliverResult(summary)
+	}
+	l.Release()
+	return firstErr
+}
+
+// Release returns the lease's surviving workers to the lobby and
+// retires the lease. Idempotent; called implicitly by Finish. Workers
+// lost during the run are not returned — their names were already freed
+// for their daemons' reconnects.
+func (l *Lease) Release() {
+	l.mu.Lock()
+	if l.released {
+		l.mu.Unlock()
+		return
+	}
+	l.released = true
+	j := l.j
+	nodes := append([]*node(nil), l.nodes...)
+	l.mu.Unlock()
+
+	// A node is returned only when it is still registered (not gone) and
+	// still bound to this lease's job — nodeLost retires the gone ones. A
+	// dead-but-not-yet-retired node may slip back into the lobby here;
+	// its read loop error then retires it from the lobby as usual.
+	m := l.m
+	m.mu.Lock()
+	if j != nil {
+		delete(m.active, j)
+	}
+	if !m.closed {
+		for _, n := range nodes {
+			if n.gone || n.lease != l {
+				continue
+			}
+			n.lease = nil
+			n.job = nil
+			m.lobby = append(m.lobby, n)
+		}
+		m.cond.Broadcast()
+	}
+	m.mu.Unlock()
+	m.notifyRegistry()
 }
 
 // job is the state of one distributed run.
@@ -882,6 +1129,13 @@ func (j *job) handleFrame(n *node, f *frame) bool {
 		default:
 			close(n.bye)
 		}
+	case fLeave:
+		// A graceful drain mid-job is an orderly loss: the node's tasks
+		// are written off through the same watcher machinery as a crash —
+		// adaptive runs fold or respawn them, static runs abort — and the
+		// worker deregisters cleanly.
+		j.nodeLost(n, errDrained)
+		return false
 	default:
 		j.abortFrom(n, fmt.Errorf("unexpected frame type %d", f.Type))
 	}
@@ -951,6 +1205,10 @@ func (j *job) isCancelled() bool {
 
 func doneChanJob(j *job) <-chan struct{} { return doneChan(j.opts) }
 
+// errDrained is the loss cause of a worker that deregistered
+// gracefully (SIGTERM drain) while hosting tasks.
+var errDrained = fmt.Errorf("worker drained (graceful deregistration)")
+
 // nodeLost handles a worker dying or misbehaving mid-job. When every
 // unfinished task the node hosted has a registered exit watcher, the
 // loss is survivable: those tasks are written off, each watcher
@@ -1014,7 +1272,7 @@ func (j *job) nodeLost(n *node, cause error) {
 	}
 	j.mu.Unlock()
 	n.c.close()
-	j.m.freeName(n.name)
+	j.m.retire(n)
 	if finished {
 		return
 	}
@@ -1084,7 +1342,7 @@ func (j *job) abortFrom(n *node, cause error) {
 	j.mu.Unlock()
 	if wasAlive {
 		n.c.close()
-		j.m.freeName(n.name)
+		j.m.retire(n)
 	}
 	if finished {
 		return

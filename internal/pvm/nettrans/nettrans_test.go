@@ -119,6 +119,16 @@ func startWorkers(t *testing.T, addr string, n int, speeds []float64, factory Ta
 // Σ(i+100).
 func runEcho(t *testing.T, tr pvm.Transport, tasks int, counters *pvm.Counters) int {
 	t.Helper()
+	total, err := runEchoErr(tr, tasks, counters)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return total
+}
+
+// runEchoErr is runEcho for goroutines: it reports the run error
+// instead of failing the test from off the test goroutine.
+func runEchoErr(tr pvm.Transport, tasks int, counters *pvm.Counters) (int, error) {
 	total := 0
 	opts := pvm.Options{
 		Seed:     7,
@@ -142,10 +152,19 @@ func runEcho(t *testing.T, tr pvm.Transport, tasks int, counters *pvm.Counters) 
 			total += env.Recv(tagPong).Data.(int)
 		}
 	})
-	if err != nil {
-		t.Fatalf("run: %v", err)
+	return total, err
+}
+
+// waitFree polls the registry until n workers are idle in the lobby.
+func waitFree(t *testing.T, m *Master, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for m.FreeWorkers() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("lobby never reached %d idle workers (now %d)", n, m.FreeWorkers())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
-	return total
 }
 
 // inProcessEcho runs the same program on the default transport (specs
@@ -897,4 +916,282 @@ func TestRetroactiveExitWatchAndRespawnSlot(t *testing.T) {
 		t.Errorf("replacement pong = %d, want 102", total)
 	}
 	m.Finish(nil)
+}
+
+// startFleet launches n unbounded worker daemons (serving jobs until
+// the returned stop func cancels them) for lease tests.
+func startFleet(t *testing.T, addr string, n int) func() {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			//nolint:errcheck // the fleet ends by cancellation
+			RunWorker(ctx, WorkerConfig{Addr: addr, Name: fmt.Sprintf("fleet%d", i)}, &echoHandler{})
+		}(i)
+	}
+	return func() {
+		cancel()
+		wg.Wait()
+	}
+}
+
+// TestLeaseConcurrentJobsDisjoint is the serving-mode isolation
+// contract: two leases claim disjoint worker subsets, host two runs
+// concurrently over one master, and return their workers — connections
+// intact — for the fleet to be leased again.
+func TestLeaseConcurrentJobsDisjoint(t *testing.T) {
+	m, err := Listen(MasterConfig{Addr: "127.0.0.1:0", Workers: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	stop := startFleet(t, m.Addr(), 4)
+	defer stop()
+	waitFree(t, m, 4)
+
+	l1, err := m.Lease(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := m.Lease(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Lease(1); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("lease beyond the fleet = %v, want ErrNoCapacity", err)
+	}
+	seen := map[string]bool{}
+	for _, l := range []*Lease{l1, l2} {
+		names := l.Workers()
+		if len(names) != 2 {
+			t.Fatalf("lease holds %d workers, want 2", len(names))
+		}
+		for _, name := range names {
+			if seen[name] {
+				t.Fatalf("worker %q leased twice", name)
+			}
+			seen[name] = true
+		}
+	}
+
+	// Host both runs at once; each must complete independently.
+	type outcome struct {
+		total int
+		err   error
+	}
+	results := make(chan outcome, 2)
+	for _, l := range []*Lease{l1, l2} {
+		go func(l *Lease) {
+			total, err := runEchoErr(l, 4, nil)
+			if ferr := l.Finish(testSummary{Total: total}); ferr != nil && err == nil {
+				err = ferr
+			}
+			results <- outcome{total, err}
+		}(l)
+	}
+	want := 100 + 101 + 102 + 103
+	for i := 0; i < 2; i++ {
+		got := <-results
+		if got.err != nil {
+			t.Fatalf("leased run: %v", got.err)
+		}
+		if got.total != want {
+			t.Errorf("leased run total = %d, want %d", got.total, want)
+		}
+	}
+
+	// Finish returned every worker to the lobby; the fleet is reusable.
+	waitFree(t, m, 4)
+	l3, err := m.Lease(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total := runEcho(t, l3, 5, nil); total != want+104 {
+		t.Errorf("second-generation run total = %d, want %d", total, want+104)
+	}
+	if err := l3.Finish(nil); err != nil {
+		t.Errorf("finish: %v", err)
+	}
+	waitFree(t, m, 4)
+}
+
+// TestLeaseReleaseWithoutRun covers the abandoned-lease path: a lease
+// that never hosts a run must hand its workers back on Release, and
+// releasing twice is harmless.
+func TestLeaseReleaseWithoutRun(t *testing.T) {
+	m, err := Listen(MasterConfig{Addr: "127.0.0.1:0", Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	stop := startFleet(t, m.Addr(), 2)
+	defer stop()
+	waitFree(t, m, 2)
+
+	l, err := m.Lease(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free := m.FreeWorkers(); free != 0 {
+		t.Fatalf("FreeWorkers = %d with everything leased, want 0", free)
+	}
+	l.Release()
+	l.Release()
+	waitFree(t, m, 2)
+	if _, err := l.Run(pvm.Options{Seed: 1}, func(pvm.Env) {}); err == nil {
+		t.Error("Run on a released lease succeeded")
+	}
+	if total := m.TotalWorkers(); total != 2 {
+		t.Errorf("TotalWorkers = %d, want 2", total)
+	}
+}
+
+// TestLeaseWorkerLossIsolated kills a worker mid-run in one lease while
+// a sibling lease's run is in flight: only the leasing job may abort,
+// and the dead worker must not leak back into the lobby.
+func TestLeaseWorkerLossIsolated(t *testing.T) {
+	m, err := Listen(MasterConfig{Addr: "127.0.0.1:0", Workers: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// The doomed worker joins first so the first lease claims it (FIFO).
+	c := newConn(rawDial(t, m.Addr()))
+	if err := c.write(&frame{Type: fJoin, Worker: "doomed", Speed: 1, Capacity: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if ack, err := c.read(); err != nil || ack.Err != "" {
+		t.Fatalf("join: %+v, %v", ack, err)
+	}
+	go func() {
+		for {
+			f, err := c.read()
+			if err != nil {
+				return
+			}
+			if f.Type == fSpawn {
+				c.close() // dies holding the task
+				return
+			}
+		}
+	}()
+	waitFree(t, m, 1)
+	doomedLease, err := m.Lease(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := startFleet(t, m.Addr(), 2)
+	defer stop()
+	waitFree(t, m, 2)
+	healthyLease, err := m.Lease(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	healthyDone := make(chan error, 1)
+	var healthyTotal int
+	go func() {
+		total, err := runEchoErr(healthyLease, 3, nil)
+		healthyTotal = total
+		if ferr := healthyLease.Finish(nil); ferr != nil && err == nil {
+			err = ferr
+		}
+		healthyDone <- err
+	}()
+
+	_, err = runEchoErr(doomedLease, 1, nil)
+	if !errors.Is(err, pvm.ErrAborted) {
+		t.Fatalf("doomed lease run = %v, want ErrAborted", err)
+	}
+	doomedLease.Finish(nil)
+
+	if err := <-healthyDone; err != nil {
+		t.Fatalf("healthy lease run was disturbed: %v", err)
+	}
+	if want := 100 + 101 + 102; healthyTotal != want {
+		t.Errorf("healthy run total = %d, want %d", healthyTotal, want)
+	}
+	// Only the two healthy workers come back; the dead one is retired.
+	waitFree(t, m, 2)
+	if total := m.TotalWorkers(); total != 2 {
+		t.Errorf("TotalWorkers = %d after the loss, want 2", total)
+	}
+}
+
+// TestWorkerDrainIdleDeregisters covers the graceful-drain satellite:
+// an idle daemon told to drain announces fLeave, leaves the registry
+// cleanly (name freed), and RunWorker returns nil without reconnecting.
+func TestWorkerDrainIdleDeregisters(t *testing.T) {
+	m, err := Listen(MasterConfig{Addr: "127.0.0.1:0", Workers: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	drain := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- RunWorker(context.Background(),
+			WorkerConfig{Addr: m.Addr(), Name: "drainer", Drain: drain}, &echoHandler{})
+	}()
+	waitFree(t, m, 1)
+	close(drain)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("drained worker returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("drained worker never returned")
+	}
+	waitFree(t, m, 0)
+	if total := m.TotalWorkers(); total != 0 {
+		t.Errorf("TotalWorkers = %d after drain, want 0", total)
+	}
+}
+
+// TestWorkerDrainMidJob drains a worker while it hosts a task of a
+// static run: the master writes the task off deliberately (here
+// unwatched, so the run aborts exactly like a loss) and the draining
+// daemon still exits cleanly with nil.
+func TestWorkerDrainMidJob(t *testing.T) {
+	m, err := Listen(MasterConfig{Addr: "127.0.0.1:0", Workers: 1, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	drain := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- RunWorker(context.Background(),
+			WorkerConfig{Addr: m.Addr(), Name: "drainer", Drain: drain}, &echoHandler{})
+	}()
+
+	_, err = m.Run(pvm.Options{Seed: 1, Spawner: echoFactory}, func(env pvm.Env) {
+		// The echo task blocks awaiting a ping that never comes, so it is
+		// guaranteed unfinished — and unwatched — when the drain arrives.
+		env.SpawnSpec("echo0", 1, pvm.Spec{
+			Kind: kindEcho, Data: echoSpec{Parent: env.Self(), Bias: 1},
+		})
+		close(drain) // SIGTERM arrives while the task is in flight
+		env.Recv(tagPong)
+	})
+	if !errors.Is(err, pvm.ErrAborted) {
+		t.Fatalf("run = %v, want ErrAborted (unwatched drained task)", err)
+	}
+	m.Finish(nil)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("draining worker returned %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("draining worker never returned")
+	}
 }

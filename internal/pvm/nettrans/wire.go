@@ -84,6 +84,12 @@ const (
 	// hosting the job, so their machine-index wrapping and speed
 	// lookups stay consistent with the master's (master→worker).
 	fRing
+	// fLeave is a worker's graceful deregistration (SIGTERM drain): the
+	// master retires the node deliberately — idle nodes leave the
+	// registry quietly, a node hosting tasks has them written off with
+	// pvm.TagExit delivered to their watchers, exactly like a loss but
+	// orderly — and closes the connection (worker→master).
+	fLeave
 )
 
 // frame is the single wire message; which fields are meaningful depends

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	randv2 "math/rand/v2"
 	"net"
 	"sync"
 	"syscall"
@@ -54,8 +55,17 @@ type WorkerConfig struct {
 	// until the context is cancelled).
 	Jobs int
 	// MaxBackoff caps the reconnect backoff (default 5s; dialing starts
-	// at 100ms and doubles per failure).
+	// at 100ms and doubles per failure, with ±50% jitter so a fleet of
+	// daemons does not retry a restarted master in lockstep).
 	MaxBackoff time.Duration
+	// Drain, when non-nil, requests a graceful shutdown when it becomes
+	// readable (typically a closed channel or a context's Done): the
+	// worker deregisters from the master with an fLeave frame instead of
+	// dropping the connection — an idle worker leaves the registry
+	// quietly; one hosting tasks has them written off deliberately
+	// through the master's exit-watch (pvm.TagExit) machinery — and
+	// RunWorker returns nil without reconnecting.
+	Drain <-chan struct{}
 	// Logf, when non-nil, receives one line per connection event.
 	Logf func(format string, args ...any)
 }
@@ -96,6 +106,13 @@ func RunWorker(ctx context.Context, cfg WorkerConfig, h Handler) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		select {
+		case <-cfg.Drain:
+			// Drained while disconnected: there is nothing to deregister.
+			cfg.Logf("nettrans: worker %q drained", cfg.Name)
+			return nil
+		default:
+		}
 		c, err := dialJoin(ctx, cfg)
 		if err != nil {
 			if errors.Is(err, ErrJoinRefused) || ctx.Err() != nil {
@@ -108,9 +125,17 @@ func RunWorker(ctx context.Context, cfg WorkerConfig, h Handler) error {
 			if cfg.Jobs > 0 && everJoined && errors.Is(err, syscall.ECONNREFUSED) {
 				return fmt.Errorf("nettrans: master %s is gone before the job ended: %w", cfg.Addr, err)
 			}
-			cfg.Logf("nettrans: worker %q: %v (retrying in %v)", cfg.Name, err, backoff)
+			// Jittered backoff, uniform in [backoff/2, backoff*1.5): after
+			// a master restart the whole fleet holds the same schedule, and
+			// without jitter every daemon would hammer the new master in
+			// lockstep.
+			sleep := backoff/2 + time.Duration(randv2.Int64N(int64(backoff)))
+			cfg.Logf("nettrans: worker %q: %v (retrying in %v)", cfg.Name, err, sleep)
 			select {
-			case <-time.After(backoff):
+			case <-time.After(sleep):
+			case <-cfg.Drain:
+				cfg.Logf("nettrans: worker %q drained", cfg.Name)
+				return nil
 			case <-ctx.Done():
 				return ctx.Err()
 			}
@@ -123,11 +148,31 @@ func RunWorker(ctx context.Context, cfg WorkerConfig, h Handler) error {
 		everJoined = true
 		cfg.Logf("nettrans: worker %q joined %s", cfg.Name, cfg.Addr)
 		// The session blocks in reads; honoring cancellation means
-		// closing the connection out from under them.
+		// closing the connection out from under them. A drain request is
+		// gentler: announce the departure with fLeave and let the master
+		// retire this node and close the connection.
 		stop := context.AfterFunc(ctx, func() { c.close() })
+		stopDrain := make(chan struct{})
+		if cfg.Drain != nil {
+			go func() {
+				select {
+				case <-cfg.Drain:
+					cfg.Logf("nettrans: worker %q draining, deregistering from %s", cfg.Name, cfg.Addr)
+					c.write(&frame{Type: fLeave}) //nolint:errcheck // a broken conn retires us anyway
+				case <-stopDrain:
+				}
+			}()
+		}
 		n, err := serveSession(ctx, cfg, c, h)
 		stop()
+		close(stopDrain)
 		served += n
+		select {
+		case <-cfg.Drain:
+			cfg.Logf("nettrans: worker %q drained after %d job(s)", cfg.Name, served)
+			return nil
+		default:
+		}
 		if cfg.Jobs > 0 && served >= cfg.Jobs {
 			// The budget is met by ended jobs; err reports whether the
 			// last one finished cleanly or aborted under us.

@@ -1,0 +1,92 @@
+package sched
+
+import "fmt"
+
+// Ledger is the fleet-wide capacity account of the serving mode: it
+// tracks how many workers the fleet holds, how many each admitted job
+// has leased, and refuses over-commitment. Like the rest of the
+// package it is runtime-free bookkeeping — the admission layer consults
+// it to decide *whether* a job may claim workers, while the transport's
+// lease machinery enforces *which* concrete workers (and therefore
+// machine slots) each job owns.
+//
+// The ledger is not safe for concurrent use; callers serialize access
+// (the serving scheduler holds its own lock across queue and ledger).
+type Ledger struct {
+	total  int
+	leased map[string]int
+}
+
+// NewLedger returns a ledger for a fleet of total workers.
+func NewLedger(total int) *Ledger {
+	if total < 0 {
+		total = 0
+	}
+	return &Ledger{total: total, leased: make(map[string]int)}
+}
+
+// SetTotal updates the fleet size as workers join and leave. Shrinking
+// below the currently leased sum is recorded as-is: running jobs keep
+// their claims (the transport survives or aborts them), and Free simply
+// reports zero until leases release.
+func (l *Ledger) SetTotal(total int) {
+	if total < 0 {
+		total = 0
+	}
+	l.total = total
+}
+
+// Total returns the fleet size last recorded by SetTotal.
+func (l *Ledger) Total() int { return l.total }
+
+// Leased returns the sum of all outstanding claims.
+func (l *Ledger) Leased() int {
+	sum := 0
+	for _, n := range l.leased {
+		sum += n
+	}
+	return sum
+}
+
+// Free returns how many workers remain claimable: total minus leased,
+// floored at zero (the fleet may have shrunk under its commitments).
+func (l *Ledger) Free() int {
+	free := l.total - l.Leased()
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Admissible reports whether a job wanting n workers could EVER be
+// admitted on this fleet — n within the total regardless of current
+// claims. The admission layer refuses inadmissible jobs outright
+// instead of queueing them forever.
+func (l *Ledger) Admissible(n int) bool { return n >= 0 && n <= l.total }
+
+// Lease records a claim of n workers under id. It refuses a negative
+// or over-committing claim, and a duplicate id (a job never holds two
+// claims).
+func (l *Ledger) Lease(id string, n int) error {
+	if n < 0 {
+		return fmt.Errorf("sched: lease %q of %d workers", id, n)
+	}
+	if _, ok := l.leased[id]; ok {
+		return fmt.Errorf("sched: lease %q already outstanding", id)
+	}
+	if n > l.Free() {
+		return fmt.Errorf("sched: lease %q wants %d workers, %d free of %d", id, n, l.Free(), l.total)
+	}
+	l.leased[id] = n
+	return nil
+}
+
+// Release drops the claim recorded under id, returning its workers to
+// the free pool. Releasing an unknown id is a no-op, so teardown paths
+// need not track whether their claim was ever recorded.
+func (l *Ledger) Release(id string) {
+	delete(l.leased, id)
+}
+
+// Outstanding returns how many claims are currently recorded.
+func (l *Ledger) Outstanding() int { return len(l.leased) }

@@ -1,0 +1,91 @@
+package sched
+
+import "testing"
+
+func TestLedgerLeaseRelease(t *testing.T) {
+	l := NewLedger(4)
+	if l.Total() != 4 || l.Free() != 4 || l.Leased() != 0 {
+		t.Fatalf("fresh ledger: total=%d free=%d leased=%d", l.Total(), l.Free(), l.Leased())
+	}
+	if err := l.Lease("a", 3); err != nil {
+		t.Fatalf("lease a: %v", err)
+	}
+	if l.Free() != 1 || l.Leased() != 3 || l.Outstanding() != 1 {
+		t.Fatalf("after a: free=%d leased=%d outstanding=%d", l.Free(), l.Leased(), l.Outstanding())
+	}
+	if err := l.Lease("b", 2); err == nil {
+		t.Fatal("over-commit lease accepted")
+	}
+	if err := l.Lease("b", 1); err != nil {
+		t.Fatalf("lease b: %v", err)
+	}
+	if l.Free() != 0 {
+		t.Fatalf("free = %d, want 0", l.Free())
+	}
+	l.Release("a")
+	if l.Free() != 3 || l.Outstanding() != 1 {
+		t.Fatalf("after release a: free=%d outstanding=%d", l.Free(), l.Outstanding())
+	}
+	l.Release("a") // idempotent
+	l.Release("never-leased")
+	if l.Free() != 3 {
+		t.Fatalf("idempotent release changed free to %d", l.Free())
+	}
+}
+
+func TestLedgerRefusals(t *testing.T) {
+	l := NewLedger(2)
+	if err := l.Lease("a", -1); err == nil {
+		t.Fatal("negative lease accepted")
+	}
+	if err := l.Lease("a", 1); err != nil {
+		t.Fatalf("lease a: %v", err)
+	}
+	if err := l.Lease("a", 1); err == nil {
+		t.Fatal("duplicate lease id accepted")
+	}
+}
+
+func TestLedgerAdmissible(t *testing.T) {
+	l := NewLedger(3)
+	if err := l.Lease("a", 3); err != nil {
+		t.Fatalf("lease: %v", err)
+	}
+	// Admissible ignores current claims: 3 workers could be had once the
+	// outstanding lease releases, 4 never.
+	if !l.Admissible(3) {
+		t.Fatal("3 of 3 reported inadmissible")
+	}
+	if l.Admissible(4) {
+		t.Fatal("4 of 3 reported admissible")
+	}
+	if l.Admissible(-1) {
+		t.Fatal("negative want reported admissible")
+	}
+	// Master-only runs (0 workers) are always admissible.
+	if !NewLedger(0).Admissible(0) {
+		t.Fatal("0 of 0 reported inadmissible")
+	}
+}
+
+func TestLedgerShrinkUnderCommitment(t *testing.T) {
+	l := NewLedger(4)
+	if err := l.Lease("a", 4); err != nil {
+		t.Fatalf("lease: %v", err)
+	}
+	l.SetTotal(2) // fleet shrank under its commitments
+	if l.Free() != 0 {
+		t.Fatalf("free = %d, want 0 while over-committed", l.Free())
+	}
+	if l.Admissible(3) {
+		t.Fatal("3 of 2 reported admissible after shrink")
+	}
+	l.Release("a")
+	if l.Free() != 2 {
+		t.Fatalf("free = %d after release, want 2", l.Free())
+	}
+	l.SetTotal(-1)
+	if l.Total() != 0 {
+		t.Fatalf("negative SetTotal recorded %d", l.Total())
+	}
+}

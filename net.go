@@ -39,6 +39,9 @@ type NetMaster struct {
 // `workers` workers have joined. Use ":0" to let the OS pick a port and
 // Addr to discover it.
 func ListenMaster(addr string, workers int) (*NetMaster, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("pts: a distributed run needs at least 1 worker, got %d", workers)
+	}
 	m, err := nettrans.Listen(nettrans.MasterConfig{Addr: addr, Workers: workers})
 	if err != nil {
 		return nil, err
@@ -155,20 +158,35 @@ func (n nodeConfig) workerName() string {
 // Worker runs a distributed-run worker daemon: join the master at
 // addr, host tasks for `jobs` jobs (0 = until ctx cancels), and hand
 // each job's final Result — the same outcome the master's Solve
-// returns — to onJob (which may be nil). The problem must be built from
-// the same inputs as the master's. This is WithJoin's long-running
-// sibling, for dedicated worker processes like `pts -worker`.
+// returns — to onJob (which may be nil). This is WithJoin's
+// long-running sibling, for dedicated worker processes like
+// `pts -worker`, and the worker side of a ListenServer fleet.
+//
+// p may be non-nil — one fixed problem, built from the same inputs as
+// the master's (it is fingerprinted and jobs refused on mismatch) — or
+// nil, in which case the worker constructs each job's problem on
+// demand from the built-in workload named in the job's payload, as
+// multi-job fleets require.
 func Worker(ctx context.Context, p Problem, addr string, node NodeOptions, jobs int, onJob func(*Result)) error {
 	var deliver func(*core.Result)
 	if onJob != nil {
 		deliver = func(r *core.Result) { onJob(resultFromCore(r)) }
 	}
-	return core.ServeWorker(ctx, adapt(p), core.WorkerOptions{
+	var prob core.Problem
+	var resolve func(core.ProblemSpec) (core.Problem, error)
+	if p != nil {
+		prob = adapt(p)
+	} else {
+		resolve = resolveSpec
+	}
+	return core.ServeWorker(ctx, prob, core.WorkerOptions{
 		Addr:     addr,
 		Name:     nodeConfig{name: node.Name}.workerName(),
 		Speed:    node.Speed,
 		Capacity: node.Capacity,
 		Jobs:     jobs,
+		Resolve:  resolve,
+		Drain:    node.Drain,
 		Logf:     node.Logf,
 	}, deliver)
 }
@@ -182,6 +200,13 @@ type NodeOptions struct {
 	Speed float64
 	// Capacity is the node's machine-slot count (default 1).
 	Capacity int
+	// Drain, when non-nil, requests graceful shutdown when it becomes
+	// receivable (close it): the worker deregisters from the master —
+	// finishing cleanly if idle, having its in-flight tasks written off
+	// like a loss but in an orderly fashion if mid-job — and Worker
+	// returns nil instead of reconnecting. This is how `pts -worker`
+	// and fleet workers honor SIGTERM.
+	Drain <-chan struct{}
 	// Logf, when non-nil, receives connection lifecycle lines.
 	Logf func(format string, args ...any)
 }

@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
 # Documentation drift check (CI-blocking): ARCHITECTURE.md's wire-
-# protocol table must stay in lockstep with the code.
+# protocol table and the serving endpoint tables must stay in lockstep
+# with the code.
 #
 #  1. Every Tag* constant declared in internal/core/messages.go (plus
 #     the reserved pvm.TagExit) must appear as a `| `Tag...` |` table
 #     row in ARCHITECTURE.md.
 #  2. Every Tag* named in an ARCHITECTURE.md table row must still
 #     exist in the code — removed messages cannot linger in the doc.
+#  3. Every route registered in internal/serve/http.go's Handler must
+#     appear as a `| `METHOD /path` |` table row in BOTH README.md and
+#     ARCHITECTURE.md.
+#  4. Every endpoint named in such a table row must still be a
+#     registered route — removed endpoints cannot linger in the docs.
 #
 # Usage: scripts/check-docs.sh
 set -euo pipefail
@@ -45,3 +51,38 @@ if [ "$fail" -ne 0 ]; then
 fi
 n=$(echo "$code_tags" | wc -l | tr -d ' ')
 echo "PASS: all $n protocol tags documented in ARCHITECTURE.md, no stale rows"
+
+# Serving endpoints: the route patterns registered in Handler() are the
+# source of truth.
+code_routes=$(grep -oE 'HandleFunc\("(GET|POST|PUT|PATCH|DELETE) [^"]+"' internal/serve/http.go \
+  | sed -E 's/HandleFunc\("//; s/"$//' | sort -u)
+if [ -z "$code_routes" ]; then
+  echo "FAIL: no routes found in internal/serve/http.go (check pattern extraction)"
+  exit 1
+fi
+
+for doc in README.md ARCHITECTURE.md; do
+  while IFS= read -r route; do
+    if ! grep -qF "| \`$route\` |" "$doc"; then
+      echo "FAIL: route '$route' is registered but has no endpoint-table row in $doc"
+      fail=1
+    fi
+  done <<< "$code_routes"
+
+  doc_routes=$(grep -oE '^\| `(GET|POST|PUT|PATCH|DELETE) [^`]+` \|' "$doc" \
+    | sed -E 's/^\| `//; s/` \|$//' | sort -u)
+  while IFS= read -r route; do
+    [ -z "$route" ] && continue
+    if ! grep -qF "\"$route\"" internal/serve/http.go; then
+      echo "FAIL: $doc documents endpoint '$route', which is not a registered route"
+      fail=1
+    fi
+  done <<< "$doc_routes"
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "The serving endpoint tables are out of sync with internal/serve/http.go."
+  exit 1
+fi
+r=$(echo "$code_routes" | wc -l | tr -d ' ')
+echo "PASS: all $r serving endpoints documented in README.md and ARCHITECTURE.md, no stale rows"
