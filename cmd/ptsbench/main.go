@@ -28,25 +28,27 @@ import (
 
 func main() {
 	var (
-		fig         = flag.String("fig", "all", "figure to regenerate: 5..11 or 'all'")
-		scale       = flag.Float64("scale", 1.0, "iteration budget multiplier (1.0 = paper scale)")
-		repeats     = flag.Int("repeats", 0, "seeds per data point (0 = default)")
-		seed        = flag.Uint64("seed", 0, "master experiment seed (0 = default)")
-		clusterSeed = flag.Uint64("cluster-seed", 0, "testbed load-trace seed (0 = default)")
-		circuits    = flag.String("circuits", "", "comma-separated circuit subset (default: all four)")
-		out         = flag.String("out", "results", "directory for CSV output")
-		timeout     = flag.Duration("timeout", 0, "abort the sweep after this long (0 = unbounded)")
-		verbose     = flag.Bool("v", false, "print one line per completed run")
-		hotpath     = flag.Bool("hotpath", false, "measure the trial-evaluation hot path and write BENCH_hotpath.json")
-		hotpathDur  = flag.Duration("hotpath-dur", time.Second, "measurement duration per hot-path kernel")
-		hetero      = flag.Bool("hetero", false, "compare static vs adaptive scheduling wall time on an emulated 1-fast/3-slow cluster and write BENCH_hetero.json")
-		heteroScale = flag.Float64("hetero-workscale", 0, "work emulation factor for -hetero (0 = default)")
-		recovery    = flag.Bool("recovery", false, "compare fold-only vs respawn recovery after a mid-run worker kill over loopback TCP and write BENCH_recovery.json")
-		recScale    = flag.Float64("recovery-workscale", 0, "work emulation factor for -recovery (0 = default)")
-		recKillAt   = flag.Int("recovery-kill-round", 0, "round whose report triggers the -recovery kill (0 = default)")
-		serveBench  = flag.Bool("serve", false, "measure the multi-job serving scheduler (jobs/minute, p50/p95 latency at 1 vs full-fleet concurrency) over a loopback fleet and write BENCH_serve.json + bench_serve.md")
-		serveJobs   = flag.Int("serve-jobs", 0, "jobs per concurrency level for -serve (0 = default)")
-		serveFleet  = flag.Int("serve-fleet", 0, "loopback fleet size for -serve (0 = default 4)")
+		fig          = flag.String("fig", "all", "figure to regenerate: 5..11 or 'all'")
+		scale        = flag.Float64("scale", 1.0, "iteration budget multiplier (1.0 = paper scale)")
+		repeats      = flag.Int("repeats", 0, "seeds per data point (0 = default)")
+		seed         = flag.Uint64("seed", 0, "master experiment seed (0 = default)")
+		clusterSeed  = flag.Uint64("cluster-seed", 0, "testbed load-trace seed (0 = default)")
+		circuits     = flag.String("circuits", "", "comma-separated circuit subset (default: all four)")
+		out          = flag.String("out", "results", "directory for CSV output")
+		timeout      = flag.Duration("timeout", 0, "abort the sweep after this long (0 = unbounded)")
+		verbose      = flag.Bool("v", false, "print one line per completed run")
+		hotpath      = flag.Bool("hotpath", false, "measure the trial-evaluation hot path and write BENCH_hotpath.json")
+		hotpathDur   = flag.Duration("hotpath-dur", time.Second, "measurement duration per hot-path kernel")
+		hotpathGuard = flag.String("hotpath-guard", "", "with -hotpath: fail if this circuit's trials/sec regressed below the previous committed results by more than -hotpath-tol")
+		hotpathTol   = flag.Float64("hotpath-tol", 0.10, "relative throughput regression tolerance for -hotpath-guard")
+		hetero       = flag.Bool("hetero", false, "compare static vs adaptive scheduling wall time on an emulated 1-fast/3-slow cluster and write BENCH_hetero.json")
+		heteroScale  = flag.Float64("hetero-workscale", 0, "work emulation factor for -hetero (0 = default)")
+		recovery     = flag.Bool("recovery", false, "compare fold-only vs respawn recovery after a mid-run worker kill over loopback TCP and write BENCH_recovery.json")
+		recScale     = flag.Float64("recovery-workscale", 0, "work emulation factor for -recovery (0 = default)")
+		recKillAt    = flag.Int("recovery-kill-round", 0, "round whose report triggers the -recovery kill (0 = default)")
+		serveBench   = flag.Bool("serve", false, "measure the multi-job serving scheduler (jobs/minute, p50/p95 latency at 1 vs full-fleet concurrency) over a loopback fleet and write BENCH_serve.json + bench_serve.md")
+		serveJobs    = flag.Int("serve-jobs", 0, "jobs per concurrency level for -serve (0 = default)")
+		serveFleet   = flag.Int("serve-fleet", 0, "loopback fleet size for -serve (0 = default 4)")
 	)
 	flag.Parse()
 
@@ -65,6 +67,13 @@ func main() {
 		}
 		fmt.Print(bench.RenderHotpath(rep))
 		fmt.Printf("wrote %s\n", path)
+		if *hotpathGuard != "" {
+			msg, err := bench.HotpathGuard(rep, *hotpathGuard, *hotpathTol)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(msg)
+		}
 		return
 	}
 

@@ -121,6 +121,15 @@
 //     four tracked statistics on some axis — amortized away by the
 //     Trials-per-commit ratio of the search. Row-width commits rescan
 //     rows only when a top-two row shrinks below the runner-up.
+//   - Trials are evaluated in candidate batches (one batch per compound
+//     move, the engine's Trials parameter wide): a batch costs one
+//     evaluator-state hoist plus the per-trial O(1) work above, so
+//     per-call overhead and tabu-ring probing amortize across the batch
+//     (one tabu-list pass classifies a whole move set). Batch evaluation
+//     is contractually bit-identical to the per-candidate path —
+//     candidate generation order, float accumulation order and argmin
+//     tie-breaking are preserved, so fixed-seed static runs reproduce
+//     the scalar trajectory exactly (asserted by fuzz and golden tests).
 //
 // The implementation lives under internal/ (ARCHITECTURE.md maps the
 // layers and documents every protocol message); cmd/ holds the

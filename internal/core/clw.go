@@ -48,13 +48,14 @@ func clwRun(env pvm.Env, problem Problem, cfg Config, tune Tuning) {
 
 	var stats WorkerStats
 	var tentative tabu.CompoundMove // applied locally, awaiting TagSync
+	var batch tabu.BatchScratch     // candidate-batch buffers reused across TagSearches
 
 	for {
 		m := env.Recv(TagSearch, TagSync, TagNewState, TagStop, TagReportNow, TagRebalance, TagInit)
 		switch m.Tag {
 		case TagSearch:
 			forced := false
-			move := tabu.BuildCompound(prob, r, params, func() bool {
+			move := tabu.BuildCompoundBatch(prob, r, params, &batch, func() bool {
 				env.Work(stepWork)
 				stats.TrialsCharged += int64(params.Trials)
 				if _, ok := env.TryRecv(TagReportNow); ok {

@@ -120,6 +120,7 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID, resume 
 	// selection path allocates only when a move is actually accepted.
 	collector := newCandCollector(cs)
 	var moves []tabu.CompoundMove
+	var selSc tabu.SelectScratch
 
 	acceptedSinceRefresh := 0
 	reports := 0
@@ -187,7 +188,7 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID, resume 
 				for _, c := range cands {
 					moves = append(moves, c.Move)
 				}
-				verdict := tabu.SelectAdmissible(moves, prob.Cost(), best, list, iter)
+				verdict := tabu.SelectAdmissibleBatch(moves, prob.Cost(), best, list, iter, &selSc)
 				var chosen tabu.CompoundMove
 				if verdict.Index >= 0 {
 					chosen = moves[verdict.Index]

@@ -95,6 +95,11 @@ type Evaluator struct {
 
 	cur  Objectives
 	cost float64
+
+	// batch holds reusable buffers for DeltaSwapBatch; like the rest of
+	// the evaluator it is per-worker state (clones start with fresh,
+	// empty scratch).
+	batch batchScratch
 }
 
 // NewEvaluator builds an evaluator over p, deriving goals and ceilings

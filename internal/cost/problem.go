@@ -1,6 +1,9 @@
 package cost
 
-import "pts/internal/netlist"
+import (
+	"pts/internal/netlist"
+	"pts/internal/tabu"
+)
 
 // Problem adapts an Evaluator to the element-index interface of the tabu
 // engine (pts/internal/tabu.Problem): elements are cells, a solution
@@ -18,6 +21,13 @@ func (p Problem) Size() int32 { return p.Ev.NumCells() }
 // DeltaSwap returns the cost change of swapping cells a and b.
 func (p Problem) DeltaSwap(a, b int32) float64 {
 	return p.Ev.SwapDelta(netlist.CellID(a), netlist.CellID(b))
+}
+
+// DeltaSwapBatch evaluates a whole candidate batch in one data-parallel
+// pass; out[i] is bit-for-bit what DeltaSwap(cands[i].A, cands[i].B)
+// would return. Implements tabu.BatchEvaluator.
+func (p Problem) DeltaSwapBatch(cands []tabu.SwapCand, out []float64) {
+	p.Ev.DeltaSwapBatch(cands, out)
 }
 
 // ApplySwap swaps cells a and b.

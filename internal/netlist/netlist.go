@@ -112,6 +112,15 @@ func (nl *Netlist) CellNets(c CellID) []NetID {
 	return nl.cellNetsFlat[nl.cellNetsOff[c]:nl.cellNetsOff[c+1]]
 }
 
+// CellNetsCSR exposes the raw cell→nets CSR index — cell c's nets are
+// flat[off[c]:off[c+1]], ascending — for kernel-style consumers that
+// walk many cells' net lists in one pass (the placement batch
+// evaluator) without re-deriving a subslice header per cell. Both
+// slices are the shared index; callers must not modify them.
+func (nl *Netlist) CellNetsCSR() (off []int32, flat []NetID) {
+	return nl.cellNetsOff, nl.cellNetsFlat
+}
+
 // Drives returns the nets driven by cell c.
 func (nl *Netlist) Drives(c CellID) []NetID {
 	return nl.drivesFlat[nl.drivesOff[c]:nl.drivesOff[c+1]]

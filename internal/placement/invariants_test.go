@@ -171,6 +171,86 @@ func TestSwapDeltaWeightedMatchesVisit(t *testing.T) {
 	}
 }
 
+// TestSwapObjectivesBatchMatchesScalar fuzzes the batched trial kernel
+// against its scalar oracle: thousands of random candidate batches, each
+// compared bit-for-bit against per-candidate SwapDeltaWeighted +
+// MaxRowWidthAfterSwap. Batch sizes straddle the internal sort threshold
+// so both the generation-order and sorted visit paths are exercised, the
+// placement mutates between batches, candidates include degenerate a==b
+// pairs, and every fifth batch runs unweighted (nil w).
+func TestSwapObjectivesBatchMatchesScalar(t *testing.T) {
+	nl := testNetlist(t, 120, 7)
+	p, err := New(nl, AutoLayout(nl, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(23))
+	p.Randomize(r)
+	w := make([]float64, nl.NumNets())
+	for n := range w {
+		w[n] = r.Float64()
+	}
+	cells := nl.NumCells()
+	const maxBatch = 64
+	cands := make([]SwapCand, 0, maxBatch)
+	dLen := make([]float64, maxBatch)
+	dW := make([]float64, maxBatch)
+	area := make([]float64, maxBatch)
+	for batch := 0; batch < 2500; batch++ {
+		n := 1 + r.Intn(maxBatch) // straddles batchSortMin
+		cands = cands[:0]
+		for i := 0; i < n; i++ {
+			a := netlist.CellID(r.Intn(cells))
+			b := netlist.CellID(r.Intn(cells)) // a == b allowed
+			cands = append(cands, SwapCand{A: a, B: b})
+		}
+		wv := w
+		if batch%5 == 0 {
+			wv = nil
+		}
+		p.SwapObjectivesBatch(cands, wv, dLen, dW, area)
+		for i, c := range cands {
+			wantL, wantW := p.SwapDeltaWeighted(c.A, c.B, wv)
+			wantA := float64(p.MaxRowWidthAfterSwap(c.A, c.B))
+			if math.Float64bits(dLen[i]) != math.Float64bits(wantL) ||
+				math.Float64bits(dW[i]) != math.Float64bits(wantW) ||
+				math.Float64bits(area[i]) != math.Float64bits(wantA) {
+				t.Fatalf("batch %d cand %d (%d,%d): batch=(%v,%v,%v) scalar=(%v,%v,%v)",
+					batch, i, c.A, c.B, dLen[i], dW[i], area[i], wantL, wantW, wantA)
+			}
+		}
+		a, b := randomPair(r, cells)
+		p.SwapCells(a, b) // batches must agree on every placement, not just one
+	}
+}
+
+// TestSwapObjectivesBatchAllocFree asserts the batched kernel keeps the
+// zero-allocation contract once its scratch is warm.
+func TestSwapObjectivesBatchAllocFree(t *testing.T) {
+	nl := netlist.MustBenchmark("c532")
+	p, err := New(nl, AutoLayout(nl, 0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(1))
+	p.Randomize(r)
+	w := make([]float64, nl.NumNets())
+	cands := make([]SwapCand, 64)
+	for i := range cands {
+		a, b := randomPair(r, nl.NumCells())
+		cands[i] = SwapCand{A: a, B: b}
+	}
+	dLen := make([]float64, len(cands))
+	dW := make([]float64, len(cands))
+	area := make([]float64, len(cands))
+	p.SwapObjectivesBatch(cands, w, dLen, dW, area) // warm the key scratch
+	if allocs := testing.AllocsPerRun(200, func() {
+		p.SwapObjectivesBatch(cands, w, dLen, dW, area)
+	}); allocs != 0 {
+		t.Errorf("SwapObjectivesBatch allocates %.1f per batch, want 0", allocs)
+	}
+}
+
 // TestTrialEvaluationAllocFree asserts the zero-allocation contract of
 // the trial kernel; the CI bench-smoke job runs it with -benchmem to
 // catch regressions by numbers too.

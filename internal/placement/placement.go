@@ -88,10 +88,20 @@ type Placement struct {
 	top1W, top2W     int
 	top1Row, top2Row int32
 
+	// cellWidth is the immutable per-cell width in SoA form (the Cell
+	// structs are ~48 bytes each with a Name header, so walking widths
+	// through them drags whole cache lines per cell); built once in New
+	// and shared by clones like the netlist itself.
+	cellWidth []int32
+
 	// Scratch: rescan queues nets whose box needs a full recompute after
-	// a commit, importSeen backs Import validation.
+	// a commit, importSeen backs Import validation, batchKeys holds the
+	// batch evaluator's candidate sort keys, batchZeroW the all-zero
+	// weight vector substituted for a nil w in batch evaluation.
 	rescan     []netlist.NetID
 	importSeen []bool
+	batchKeys  []int64
+	batchZeroW []float64
 }
 
 // New creates a placement with cells assigned to slots in index order
@@ -104,12 +114,16 @@ func New(nl *netlist.Netlist, l Layout) (*Placement, error) {
 		return nil, fmt.Errorf("placement: %d slots < %d cells", l.Slots(), nl.NumCells())
 	}
 	p := &Placement{
-		nl:       nl,
-		L:        l,
-		pos:      make([]Pos, nl.NumCells()),
-		slot:     make([]netlist.CellID, l.Slots()),
-		boxes:    make([]netBox, nl.NumNets()),
-		rowWidth: make([]int, l.Rows),
+		nl:        nl,
+		L:         l,
+		pos:       make([]Pos, nl.NumCells()),
+		slot:      make([]netlist.CellID, l.Slots()),
+		boxes:     make([]netBox, nl.NumNets()),
+		rowWidth:  make([]int, l.Rows),
+		cellWidth: make([]int32, nl.NumCells()),
+	}
+	for c := range p.cellWidth {
+		p.cellWidth[c] = int32(nl.Cells[c].Width)
 	}
 	for i := range p.slot {
 		p.slot[i] = netlist.None
@@ -575,17 +589,18 @@ func (p *Placement) Import(perm []int32) error {
 // netlist.
 func (p *Placement) Clone() *Placement {
 	q := &Placement{
-		nl:       p.nl,
-		L:        p.L,
-		pos:      append([]Pos(nil), p.pos...),
-		slot:     append([]netlist.CellID(nil), p.slot...),
-		boxes:    append([]netBox(nil), p.boxes...),
-		hpwl:     p.hpwl,
-		rowWidth: append([]int(nil), p.rowWidth...),
-		top1W:    p.top1W,
-		top2W:    p.top2W,
-		top1Row:  p.top1Row,
-		top2Row:  p.top2Row,
+		nl:        p.nl,
+		L:         p.L,
+		pos:       append([]Pos(nil), p.pos...),
+		slot:      append([]netlist.CellID(nil), p.slot...),
+		boxes:     append([]netBox(nil), p.boxes...),
+		hpwl:      p.hpwl,
+		rowWidth:  append([]int(nil), p.rowWidth...),
+		top1W:     p.top1W,
+		top2W:     p.top2W,
+		top1Row:   p.top1Row,
+		top2Row:   p.top2Row,
+		cellWidth: p.cellWidth, // immutable, shared like the netlist
 	}
 	return q
 }

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"pts/internal/rng"
+	"pts/internal/tabu"
 )
 
 func TestRandomInstanceShape(t *testing.T) {
@@ -165,5 +166,35 @@ func BenchmarkDeltaSwapN64(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = s.DeltaSwap(int32(r.Intn(64)), int32(r.Intn(64)))
+	}
+}
+
+// TestDeltaSwapBatchMatchesScalar fuzzes the batched QAP kernel against
+// per-candidate DeltaSwap bit-for-bit, across many states, batch sizes
+// and degenerate a==b candidates.
+func TestDeltaSwapBatchMatchesScalar(t *testing.T) {
+	s := NewState(Random(40, 6), 7)
+	r := rng.New(11)
+	const maxBatch = 48
+	cands := make([]tabu.SwapCand, 0, maxBatch)
+	out := make([]float64, maxBatch)
+	for batch := 0; batch < 500; batch++ {
+		n := 1 + r.Intn(maxBatch)
+		cands = cands[:0]
+		for i := 0; i < n; i++ {
+			cands = append(cands, tabu.SwapCand{
+				A: int32(r.Intn(40)),
+				B: int32(r.Intn(40)), // a == b allowed
+			})
+		}
+		s.DeltaSwapBatch(cands, out[:n])
+		for i, c := range cands {
+			want := s.DeltaSwap(c.A, c.B)
+			if math.Float64bits(out[i]) != math.Float64bits(want) {
+				t.Fatalf("batch %d cand %d (%d,%d): batch %v, scalar %v",
+					batch, i, c.A, c.B, out[i], want)
+			}
+		}
+		s.ApplySwap(int32(r.Intn(40)), int32(r.Intn(40)))
 	}
 }

@@ -50,6 +50,12 @@ func (p CompoundParams) normalized(size int32) CompoundParams {
 // charge virtual compute time and poll force-report interrupts, and
 // truncates the move when it returns true. Sampling is deterministic in
 // r.
+//
+// This trial-at-a-time form is the reference implementation; the
+// parallel runtime and the sequential Search drive BuildCompoundBatch,
+// which produces bit-identical moves from the same random stream (the
+// equivalence is asserted by tests) while letting batch-capable
+// problems evaluate all trials in one data-parallel call.
 func BuildCompound(prob Problem, r *rand.Rand, p CompoundParams, step func() bool) CompoundMove {
 	size := prob.Size()
 	p = p.normalized(size)
@@ -120,6 +126,11 @@ type Verdict struct {
 // satisfies the aspiration criterion (its resulting cost beats bestCost).
 // If everything is tabu, fall back to the candidate whose tabu tenure
 // expires soonest.
+//
+// This per-candidate-probing form is the reference implementation; the
+// TSW hot loop drives SelectAdmissibleBatch, which computes the same
+// verdict with one tabu-memory pass over the whole batch (the
+// equivalence is asserted by tests).
 func SelectAdmissible(cands []CompoundMove, curCost, bestCost float64, list *List, iter int64) Verdict {
 	// Stack-backed order buffer: candidate counts are tiny (#CLWs), so
 	// the whole selection allocates nothing in the common case.

@@ -98,6 +98,23 @@ func (l *List) RemainingTenureSwaps(swaps []Swap, iter int64) int64 {
 	return max
 }
 
+// TabuStateSwaps reports, in one pass over a swap sequence, whether any
+// swap's attribute is tabu at iter and the iterations until every one
+// of them expires (0 when nothing is tabu) — AnyTabuSwaps and
+// RemainingTenureSwaps fused, so the batched selection probes the
+// short-term memory once per candidate.
+func (l *List) TabuStateSwaps(swaps []Swap, iter int64) (tabu bool, remaining int64) {
+	for _, s := range swaps {
+		if e, ok := l.expiry[s.Attribute()]; ok && e > iter {
+			tabu = true
+			if r := e - iter; r > remaining {
+				remaining = r
+			}
+		}
+	}
+	return tabu, remaining
+}
+
 // Len returns the number of stored attributes (including expired ones
 // not yet pruned).
 func (l *List) Len() int { return len(l.expiry) }

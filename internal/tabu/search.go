@@ -56,6 +56,7 @@ type Search struct {
 	iter  int64
 	best  float64
 	snap  []int32
+	sc    BatchScratch // candidate-batch buffers reused across Steps
 }
 
 // NewSearch builds a search over prob; the current solution becomes the
@@ -102,12 +103,12 @@ func (s *Search) Step() {
 	s.iter++
 	s.Stats.Steps++
 	cur := s.Prob.Cost()
-	move := BuildCompound(s.Prob, s.r, CompoundParams{
+	move := BuildCompoundBatch(s.Prob, s.r, CompoundParams{
 		Trials:  s.P.Trials,
 		Depth:   s.P.Depth,
 		RangeLo: s.P.RangeLo,
 		RangeHi: s.P.RangeHi,
-	}, nil)
+	}, &s.sc, nil)
 	if move.Empty() {
 		return
 	}

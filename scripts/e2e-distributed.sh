@@ -67,6 +67,15 @@ if [ "$SINGLE" != "$DIST" ]; then
   echo "FAIL: distributed best cost differs from the single-process run"
   exit 1
 fi
+# Pin the trajectory itself, not just single == distributed: this literal
+# was captured before the batched hot path landed, so any change to
+# candidate generation order, batch evaluation or argmin tie-breaking
+# that perturbs the fixed-seed search shows up here as a mismatch.
+GOLDEN=0.3713116793094111
+if [ "$SINGLE" != "$GOLDEN" ]; then
+  echo "FAIL: best cost $SINGLE differs from the golden static-run cost $GOLDEN"
+  exit 1
+fi
 for i in 1 2 3; do
   grep -q "job completed" "$OUT/worker$i.log" || {
     echo "FAIL: worker $i did not report a completed job"; cat "$OUT/worker$i.log"; exit 1
