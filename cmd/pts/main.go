@@ -10,6 +10,7 @@
 //	pts -netlist s1494.bench                   # a real ISCAS-89 .bench file
 //	pts -qap 64                                # quadratic assignment instead
 //	pts -circuit c3540 -timeout 2s -progress   # bounded, streamed run
+//	pts -circuit c532 -state-dir /tmp/run      # durable: re-run the same command to resume after a kill
 //
 // Distributed mode runs the same protocol across OS processes over TCP
 // (every process must be given the same problem inputs):
@@ -55,6 +56,7 @@ func main() {
 		respawn  = flag.Bool("respawn", true, "adaptive mode: recover lost workers (respawn CLWs onto live capacity, resurrect TSWs from checkpoints); false = fold-only degradation")
 		ckEvery  = flag.Int("checkpoint-every", 1, "adaptive mode: reports between TSW recovery checkpoints")
 		mode     = flag.String("mode", "virtual", "runtime: virtual or real")
+		stateDir = flag.String("state-dir", "", "directory for durable run state; re-running the same command resumes an interrupted run from it")
 		seed     = flag.Uint64("seed", 1, "run seed")
 		loadSeed = flag.Uint64("cluster-seed", 12, "testbed load-trace seed (0 = idle machines)")
 		timeout  = flag.Duration("timeout", 0, "cancel the run after this long (0 = unbounded)")
@@ -133,6 +135,13 @@ func main() {
 		pts.WithSeed(*seed),
 		pts.WithCluster(pts.Testbed12(*loadSeed)),
 		pts.WithWorkScale(*workScale),
+	}
+	if *stateDir != "" {
+		st, err := pts.NewFileStore(*stateDir)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, pts.WithStore(st))
 	}
 	if *serveAddr != "" {
 		if *mode == "virtual" {

@@ -24,6 +24,12 @@
 // its own disjoint set of workers. On SIGTERM/SIGINT the daemon drains:
 // queued jobs are cancelled, running jobs stop at their next protocol
 // boundary and report their best-so-far, then the process exits.
+//
+// With -state-dir the daemon is crash-only: job specs, lifecycle and
+// results are journaled to the directory, and a restarted ptsd over the
+// same directory re-serves completed results, re-admits queued jobs,
+// and resumes interrupted runs from their last synchronization barrier
+// — kill -9 loses at most the tail of a round.
 package main
 
 import (
@@ -46,6 +52,7 @@ func main() {
 		httpAddr     = flag.String("http", ":8080", "HTTP API listen address")
 		queueDepth   = flag.Int("queue", 0, "max queued jobs behind the running ones (0 = default)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for running jobs to stop at a boundary")
+		stateDir     = flag.String("state-dir", "", "directory for durable job state; restarts recover jobs from it (empty = in-memory only)")
 		quiet        = flag.Bool("quiet", false, "suppress lifecycle log lines")
 	)
 	flag.Parse()
@@ -57,9 +64,18 @@ func main() {
 		logf = nil
 	}
 
+	var st pts.Store
+	if *stateDir != "" {
+		var err error
+		if st, err = pts.NewFileStore(*stateDir); err != nil {
+			fatal(err)
+		}
+	}
+
 	srv, err := pts.ListenServer(pts.ServerOptions{
 		FleetAddr:  *fleetAddr,
 		QueueDepth: *queueDepth,
+		Store:      st,
 		Logf:       logf,
 	})
 	if err != nil {

@@ -260,6 +260,115 @@ func TestAdaptiveWorkerLossDegradesGracefully(t *testing.T) {
 	}
 }
 
+// TestDistributedMasterRestartResumes is the crash-only acceptance
+// gate at the process level: a store-backed distributed run whose
+// master is cancelled mid-run is picked up by a fresh master — new
+// port, new worker processes — over the same state directory, and
+// finishes with the same best solution as the run left uninterrupted.
+func TestDistributedMasterRestartResumes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed loopback run")
+	}
+	ctx := context.Background()
+	newProblem := func() Problem { return RandomQAP(24, 5) }
+	searchOpts := func() []Option {
+		return []Option{
+			WithWorkers(2, 2),
+			WithIterations(6, 10),
+			WithTabu(10, 6, 3),
+			WithSeed(7),
+			WithHalfSync(false),
+		}
+	}
+
+	// The reference outcome: the same store-backed configuration left
+	// uninterrupted. Single-process real mode suffices — with half-sync
+	// off the TCP runs reproduce it exactly.
+	ref, err := Solve(ctx, newProblem(),
+		append(searchOpts(), WithRealTime(), WithStore(NewMemStore()))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// runPhase starts a fresh master and two fresh worker processes over
+	// st; interruptAt > 0 cancels the master mid-run at that round.
+	runPhase := func(interruptAt int) *Result {
+		t.Helper()
+		master, err := ListenMaster("127.0.0.1:0", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer master.Close()
+
+		wctx, wcancel := context.WithTimeout(ctx, time.Minute)
+		defer wcancel()
+		var wg sync.WaitGroup
+		for i := 0; i < 2; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				// An interrupted phase kills the job under its workers;
+				// their error (if any) is that phase's expected outcome.
+				_ = Worker(wctx, newProblem(), master.Addr(),
+					NodeOptions{Name: fmt.Sprintf("node%d", i), Speed: 1}, 1,
+					func(*Result) {})
+			}(i)
+		}
+
+		mctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		opts := append(searchOpts(),
+			WithStore(st),
+			WithTransport(master.Transport()),
+		)
+		if interruptAt > 0 {
+			opts = append(opts, WithProgress(func(s Snapshot) {
+				if s.Round == interruptAt {
+					cancel() // the "crash": the master abandons the run mid-budget
+				}
+			}))
+		}
+		res, err := Solve(mctx, newProblem(), opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wcancel()
+		wg.Wait()
+		return res
+	}
+
+	first := runPhase(2)
+	if !first.Interrupted {
+		t.Fatal("first master run was not interrupted")
+	}
+	if first.Rounds >= 6 {
+		t.Fatalf("first master run completed all %d rounds, wanted a mid-run stop", first.Rounds)
+	}
+
+	resumed := runPhase(0)
+	if resumed.Interrupted {
+		t.Fatal("resumed run reported Interrupted")
+	}
+	if resumed.Rounds != 6 {
+		t.Errorf("resumed run completed %d rounds, want the full 6", resumed.Rounds)
+	}
+	if resumed.BestCost != ref.BestCost {
+		t.Errorf("resumed best %.9f != uninterrupted best %.9f", resumed.BestCost, ref.BestCost)
+	}
+	if !reflect.DeepEqual(resumed.Best, ref.Best) {
+		t.Error("resumed best permutation differs from the uninterrupted run's")
+	}
+	// Clean completion deletes the snapshot: a later run starts fresh.
+	if _, ok, _ := st.Get("runs/run"); ok {
+		t.Error("snapshot survived clean completion")
+	}
+}
+
 // TestDistributedOptionValidation pins the configuration errors.
 func TestDistributedOptionValidation(t *testing.T) {
 	ctx := context.Background()

@@ -93,9 +93,16 @@ func clwRun(env pvm.Env, problem Problem, cfg Config, tune Tuning) {
 			env.Work(float64(len(chosen.Swaps)) * cfg.WorkPerTrial)
 
 		case TagNewState:
-			perm := m.Data.(stateMsg).Perm
-			if err := prob.Restore(perm); err != nil {
+			sm := m.Data.(stateMsg)
+			if err := prob.Restore(sm.Perm); err != nil {
 				panic(fmt.Sprintf("core: clw %s: %v", env.Name(), err))
+			}
+			if sm.HasReseed {
+				// Durable runs: the barrier reseed makes this worker's
+				// stream a function of the TSW's persisted state, so a run
+				// resumed from a snapshot draws the same numbers as the
+				// uninterrupted one.
+				r = rng.New(sm.Reseed)
 			}
 			tentative = tabu.CompoundMove{}
 			env.Work(staWork)
@@ -113,6 +120,9 @@ func clwRun(env pvm.Env, problem Problem, cfg Config, tune Tuning) {
 			if in.Trials > 0 {
 				params.Trials = in.Trials
 				stepWork = float64(params.Trials) * cfg.WorkPerTrial
+			}
+			if in.HasReseed {
+				r = rng.New(in.Reseed)
 			}
 			tentative = tabu.CompoundMove{}
 			env.Work(staWork)

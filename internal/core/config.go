@@ -29,6 +29,7 @@ import (
 
 	"pts/internal/cost"
 	"pts/internal/pvm"
+	"pts/internal/store"
 )
 
 // Config parameterizes one parallel tabu search run.
@@ -87,6 +88,28 @@ type Config struct {
 	// values trade recovery freshness for report size. Ignored when
 	// respawn is disabled.
 	CheckpointEvery int
+	// Store, when non-nil, makes the run durable: the master persists a
+	// run snapshot (round index, incumbent best, the TSW checkpoint
+	// ledger) under "runs/<RunID>" at every resync barrier, and a fresh
+	// run that finds a snapshot there resumes it instead of starting
+	// over. A store implies checkpointing — TSWs take checkpoints even
+	// in static runs — and turns on the durable reseed discipline that
+	// makes a resumed static fixed-seed run reproduce the uninterrupted
+	// store-enabled run (with CheckpointEvery 1, the default). The
+	// snapshot is deleted when the run completes uninterrupted.
+	// Process-local (master only), never serialized.
+	Store store.Store `json:"-"`
+	// RunID names the snapshot key within the store ("runs/<RunID>");
+	// empty means "run". Give concurrent runs sharing one store
+	// distinct IDs.
+	RunID string
+	// Durable is the wire twin of Store for worker processes: a
+	// distributed master sets it from Store != nil so TSWs and CLWs on
+	// other nodes follow the durable checkpoint/reseed discipline
+	// without holding the (process-local) store themselves. Callers use
+	// Store; Durable alone changes worker behavior but persists
+	// nothing.
+	Durable bool
 	// RefreshEvery re-runs timing analysis on a TSW's evaluator every
 	// that many accepted moves (0 = only at global sync).
 	RefreshEvery int
@@ -106,12 +129,12 @@ type Config struct {
 	// The callback runs on the master's thread of execution (the virtual
 	// kernel's single goroutine in Virtual mode): keep it fast and do
 	// not call back into the run from it.
-	Progress func(Snapshot)
+	Progress func(Snapshot) `json:"-"`
 	// Transport, when non-nil, hosts Real-mode runs: the in-process
 	// goroutine transport when nil, or a nettrans master for
 	// distributed runs across processes. Process-local, never
 	// serialized.
-	Transport pvm.Transport
+	Transport pvm.Transport `json:"-"`
 	// ProblemSpec, when non-nil, names the built-in workload in a
 	// distributed run's job payload, so worker daemons equipped with a
 	// resolver (WorkerOptions.Resolve) construct the job's problem on
@@ -259,6 +282,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: WorkScale %v < 0", c.WorkScale)
 	case c.CheckpointEvery < 0:
 		return fmt.Errorf("core: CheckpointEvery %d < 0", c.CheckpointEvery)
+	case c.Store != nil && !store.ValidKey(c.runKey()):
+		return fmt.Errorf("core: RunID %q is not a valid store key segment", c.RunID)
 	}
 	return nil
 }
@@ -267,6 +292,27 @@ func (c Config) Validate() error {
 // scheduling on (the only mode that watches for losses at all) and
 // recovery not explicitly disabled.
 func (c Config) respawn() bool { return c.Adaptive && !c.DisableRespawn }
+
+// durable reports whether this run follows the durable discipline:
+// TSWs checkpoint regardless of Adaptive, and workers reseed their
+// random streams at every resync barrier so a run resumed from a
+// master snapshot reproduces the uninterrupted one. True on the
+// master when a Store is attached, and on worker processes through
+// the wire flag.
+func (c Config) durable() bool { return c.Store != nil || c.Durable }
+
+// checkpoints reports whether TSWs take recovery checkpoints at all:
+// for respawn, for durability, or both.
+func (c Config) checkpoints() bool { return c.respawn() || c.durable() }
+
+// runKey is the store key of this run's master snapshot.
+func (c Config) runKey() string {
+	id := c.RunID
+	if id == "" {
+		id = "run"
+	}
+	return "runs/" + id
+}
 
 // checkpointEvery normalizes the checkpoint cadence.
 func (c Config) checkpointEvery() int {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"sort"
 
@@ -18,6 +20,97 @@ type masterState struct {
 	stats       WorkerStats
 	rounds      int
 	interrupted bool
+}
+
+// masterSnapshot is the master's durable run state — everything a
+// restarted master needs to resume the run where the dead one left
+// off. It is persisted (gob under "runs/<RunID>") at every resync
+// barrier: the point where the TSW checkpoint ledger is freshest (one
+// piggybacked checkpoint per report with the default cadence) and the
+// incumbent best was just re-selected. Problem/Size/Seed fingerprint
+// the run so a stale snapshot from different inputs is refused rather
+// than resumed.
+type masterSnapshot struct {
+	Problem string
+	Size    int32
+	Seed    uint64
+	// Round is the number of completed global iterations; the resumed
+	// run continues with round index Round.
+	Round    int
+	BestCost float64
+	BestPerm []int32
+	BestTabu []tabu.Entry
+	// Checkpoints is the recovery ledger: TSW index → latest
+	// checkpoint. An entry with OK unset belongs to a TSW none ever
+	// arrived from — it restarts from the global best instead. (A
+	// value wrapper rather than a nil pointer: gob cannot encode nil
+	// pointers inside a slice.)
+	Checkpoints []snapCheckpoint
+	// Latest carries each TSW's cumulative counters at snapshot time,
+	// for stats continuity across the restart.
+	Latest []WorkerStats
+	// Lost and Respawned carry the recovery counters across restarts.
+	Lost, Respawned int64
+}
+
+// snapCheckpoint is one TSW's slot in the persisted recovery ledger.
+type snapCheckpoint struct {
+	OK bool
+	CK tswCheckpoint
+}
+
+// encodeSnapshot serializes a snapshot for the store.
+func encodeSnapshot(snap *masterSnapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("core: encoding run snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeSnapshot deserializes a stored snapshot.
+func decodeSnapshot(b []byte) (*masterSnapshot, error) {
+	var snap masterSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decoding run snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// persistSnapshot writes the run's durable state to the store at a
+// resync barrier. Best-effort: a failing store degrades durability, not
+// the run in flight — the previous snapshot (if any) stays valid.
+func persistSnapshot(prob Problem, cfg Config, ts *tswSet, out *masterState, bestTabu []tabu.Entry) {
+	if cfg.Store == nil {
+		return
+	}
+	snap := &masterSnapshot{
+		Problem:  prob.Name(),
+		Size:     prob.Size(),
+		Seed:     cfg.Seed,
+		Round:    out.rounds,
+		BestCost: out.bestCost,
+		BestPerm: out.bestPerm,
+		BestTabu: bestTabu,
+		Latest:   make([]WorkerStats, cfg.TSWs),
+	}
+	if ts.rec != nil {
+		snap.Checkpoints = make([]snapCheckpoint, len(ts.rec.cks))
+		for i, ck := range ts.rec.cks {
+			if ck != nil {
+				snap.Checkpoints[i] = snapCheckpoint{OK: true, CK: *ck}
+			}
+		}
+		snap.Lost, snap.Respawned = ts.rec.lost, ts.rec.respawned
+	}
+	for id, i := range ts.idx {
+		if i < len(snap.Latest) {
+			snap.Latest[i] = ts.latest[id]
+		}
+	}
+	if b, err := encodeSnapshot(snap); err == nil {
+		_ = cfg.Store.Put(cfg.runKey(), b)
+	}
 }
 
 // masterRun is the master process body (paper Fig. 2): spawn the TSWs,
@@ -38,7 +131,7 @@ type masterState struct {
 // TSW from its checkpoint — re-attaching its surviving CLWs — so no
 // single worker process is fatal to the run.
 func masterRun(env pvm.Env, prob Problem, cfg Config,
-	initPerm []int32, initCost float64, out *masterState) {
+	initPerm []int32, initCost float64, snap *masterSnapshot, out *masterState) {
 
 	out.bestCost = initCost
 	out.bestPerm = append([]int32(nil), initPerm...)
@@ -46,6 +139,19 @@ func masterRun(env pvm.Env, prob Problem, cfg Config,
 	// monotone envelope becomes the run's trace at the end.
 	var raw []improvement
 	raw = append(raw, improvement{Time: env.Now(), Cost: initCost})
+
+	var bestTabu []tabu.Entry
+	startRound := 0
+	if snap != nil {
+		// Resuming from a persisted snapshot: adopt the incumbent and
+		// continue the round count where the dead master stopped.
+		startRound = snap.Round
+		out.bestCost = snap.BestCost
+		out.bestPerm = append(out.bestPerm[:0], snap.BestPerm...)
+		out.rounds = snap.Round
+		bestTabu = snap.BestTabu
+		raw = append(raw, improvement{Time: env.Now(), Cost: snap.BestCost})
+	}
 
 	// The master occupies machine 0; workers go where the assignment
 	// policy says.
@@ -56,20 +162,52 @@ func masterRun(env pvm.Env, prob Problem, cfg Config,
 		idx:    make(map[pvm.TaskID]int, cfg.TSWs),
 		latest: make(map[pvm.TaskID]WorkerStats, cfg.TSWs),
 	}
-	if cfg.respawn() {
+	if cfg.respawn() || cfg.durable() {
 		ts.rec = newRecovery(env, prob, cfg)
+		if snap != nil {
+			// Seed the recovery ledger from the snapshot — marked Restart,
+			// because the checkpointed CLW task IDs died with the old run: a
+			// resumed TSW dying again before its first fresh checkpoint is
+			// resurrected onto a fresh CLW set, never onto stale IDs.
+			for i := range snap.Checkpoints {
+				if i < len(ts.rec.cks) && snap.Checkpoints[i].OK {
+					c := snap.Checkpoints[i].CK
+					c.Restart = true
+					ts.rec.cks[i] = &c
+				}
+			}
+			ts.rec.lost = snap.Lost
+			ts.rec.respawned = snap.Respawned
+		}
 	}
+	resumed := make([]bool, cfg.TSWs)
 	for i := 0; i < cfg.TSWs; i++ {
+		var resume *tswCheckpoint
+		if snap != nil && i < len(snap.Checkpoints) && snap.Checkpoints[i].OK {
+			// This TSW restarts from its persisted checkpoint: fresh CLWs
+			// (the old ones died with the old master), straight to the
+			// verdict wait — its checkpointed round is already in the
+			// snapshot's round count.
+			ck := snap.Checkpoints[i].CK
+			ck.Restart = true
+			ck.SkipRound = true
+			resume = &ck
+			resumed[i] = true
+		}
+		rs := resume
 		ts.ids[i] = env.SpawnSpec(fmt.Sprintf("tsw%d", i), cfg.tswMachine(i), pvm.Spec{
 			Kind: taskKindTSW,
-			Data: tswSpec{Master: env.Self()},
+			Data: tswSpec{Master: env.Self(), Resume: rs},
 			Fn: func(e pvm.Env) {
-				tswRun(e, prob, cfg, env.Self(), nil)
+				tswRun(e, prob, cfg, env.Self(), rs)
 			},
 		})
 		// Recovery: watch the TSWs themselves, so a lost one can be
 		// resurrected from its checkpoint instead of aborting the run.
-		if ts.rec != nil {
+		// (Durable-only runs — static with a store — keep the static
+		// loss semantics: no watch, a lost worker aborts the run; the
+		// persisted snapshot is then what makes the abort recoverable.)
+		if cfg.respawn() {
 			pvm.NotifyExit(env, ts.ids[i])
 		}
 	}
@@ -83,19 +221,36 @@ func masterRun(env pvm.Env, prob Problem, cfg Config,
 		track = seededTracker(env, prob.Size(), cfg.TSWs, cfg.tswMachine)
 		divRanges = track.Partition()
 	}
+	kickoff := globalMsg{Perm: out.bestPerm, Tabu: bestTabu}
 	for i, id := range ts.ids {
 		ts.idx[id] = i
+		if snap != nil && i < len(snap.Latest) {
+			ts.latest[id] = snap.Latest[i]
+		}
+		if resumed[i] {
+			// The resumed TSW waits at the verdict boundary; the kick-off
+			// broadcast — the TagGlobal the dead master never sent — starts
+			// its next round. Skipped when the snapshot already covers the
+			// full budget: the TSW then waits for the TagStop below.
+			if startRound < cfg.GlobalIters {
+				env.Send(id, TagGlobal, kickoff)
+			}
+			continue
+		}
+		// Fresh TSWs — none in a fresh run's resume, all of them in a
+		// plain run, the pre-first-checkpoint stragglers in a resume —
+		// start from the global best-so-far (the initial solution when
+		// there is none yet).
 		env.Send(id, TagInit, initMsg{
-			Perm:      initPerm,
+			Perm:      out.bestPerm,
 			RangeLo:   divRanges[i][0],
 			RangeHi:   divRanges[i][1],
 			WorkerIdx: i,
 		})
 	}
 
-	var bestTabu []tabu.Entry
 	roundStart := env.Now()
-	for g := 0; g < cfg.GlobalIters; g++ {
+	for g := startRound; g < cfg.GlobalIters; g++ {
 		reports := ts.collect(cfg.HalfSync)
 		env.Work(float64(len(reports.msgs)) * cfg.WorkPerTrial)
 		improved := false
@@ -129,6 +284,16 @@ func masterRun(env pvm.Env, prob Problem, cfg Config,
 		// The round-end observation keeps the trace's time axis spanning
 		// the full run even when no TSW improved this round.
 		raw = append(raw, improvement{Time: env.Now(), Cost: out.bestCost})
+		// Durable runs snapshot here — the barrier, where the checkpoint
+		// ledger is freshest and the incumbent was just re-selected. A
+		// round collected after cancellation fired is never persisted:
+		// its reports may come from cancel-truncated local searches,
+		// and resuming from it would fork off the uninterrupted
+		// trajectory. The previous snapshot stays, and a restart
+		// re-runs this round at full length instead.
+		if !env.Cancelled() {
+			persistSnapshot(prob, cfg, ts, out, bestTabu)
+		}
 
 		if cfg.Progress != nil {
 			snap := Snapshot{

@@ -59,23 +59,31 @@ const (
 
 // initMsg is the TagInit payload. Trials, when positive, overrides the
 // worker's per-step trial budget (the adaptive scheduler's
-// share-proportional budget); 0 keeps the tuned default.
+// share-proportional budget); 0 keeps the tuned default. Reseed (with
+// HasReseed set) replaces the receiving CLW's random stream — durable
+// runs seed a replacement attached after the barrier's TagNewState
+// went out with the same per-slot barrier draw it would have received
+// there, so a resumed run's streams match the uninterrupted one's.
 type initMsg struct {
 	Perm             []int32
 	RangeLo, RangeHi int32
 	WorkerIdx        int
 	Trials           int
+	Reseed           uint64
+	HasReseed        bool
 }
 
 // PVMItems models the message size for latency purposes.
 //
-// Note on the size model: the adaptive-scheduling piggyback fields
-// (initMsg.Trials, candMsg.CumTrials/At, globalMsg range updates,
-// bestMsg/WorkerStats scheduler counters) are deliberately excluded
-// from every PVMItems formula. The formulas calibrate the virtual
-// runtime against the paper's 2003-era message costs, and keeping them
-// untouched keeps fixed-seed static-mode runs bit-identical across
-// releases — the few extra words are far below the model's resolution.
+// Note on the size model: the adaptive-scheduling and durability
+// piggyback fields (initMsg.Trials/Reseed, candMsg.CumTrials/At,
+// stateMsg.Reseed, globalMsg range updates, bestMsg/WorkerStats
+// scheduler counters, tswCheckpoint restart flags) are deliberately
+// excluded from every PVMItems formula. The formulas calibrate the
+// virtual runtime against the paper's 2003-era message costs, and
+// keeping them untouched keeps fixed-seed static-mode runs
+// bit-identical across releases — the few extra words are far below
+// the model's resolution.
 func (m initMsg) PVMItems() int { return len(m.Perm) + 4 }
 
 // candMsg is the TagCandidate payload. CumTrials and At piggyback the
@@ -177,16 +185,42 @@ type tswCheckpoint struct {
 	DivLo     int32
 	DivHi     int32
 	CLWs      []clwSlot
+	// Reports is how many rounds the TSW had reported when the
+	// checkpoint was taken; a successor continues the count so the
+	// CheckpointEvery cadence survives a resume.
+	Reports int
+	// AcceptedRefresh is the accepted-move count toward the next
+	// RefreshEvery evaluator refresh. It carries across rounds, so a
+	// successor must continue it mid-cycle — resetting it would shift
+	// every later refresh point and (because a refresh flushes the
+	// incremental evaluator's float accumulation) fork a durable
+	// resume off the uninterrupted trajectory.
+	AcceptedRefresh int
 	// Extra lists replacements the master spawned for this TSW whose
 	// acks are not reflected in the checkpoint (set only by the master
 	// when handing the checkpoint to a resumed TSW).
 	Extra []respawnEntry
+	// Restart marks a checkpoint that crossed a master restart: the
+	// CLW task IDs in it are stale (the transport aborted every worker
+	// task when the old master died), so the resumed TSW spawns a
+	// fresh CLW set instead of adopting, and skips the re-announce
+	// checkpoint (which would advance its restored random stream).
+	// Set only by the master when resuming from a persisted snapshot.
+	Restart bool
+	// SkipRound additionally marks that the checkpointed round is
+	// already complete and folded into the master's snapshot: the
+	// resumed TSW skips straight to the verdict wait for the master's
+	// kick-off broadcast instead of re-running (and re-reporting) it.
+	// Set only on the checkpoints handed to TSWs spawned at master
+	// resume — a TSW lost *during* the resumed run re-runs its
+	// checkpointed round like any mid-run resurrection.
+	SkipRound bool
 }
 
-// PVMItems: checkpoints exist only in adaptive runs and are excluded
-// from the calibrated latency model like every adaptive piggyback (see
-// the note on initMsg.PVMItems); the bare TagCheckpoint message counts
-// as the minimum one item.
+// PVMItems: checkpoints exist only in adaptive and durable runs and
+// are excluded from the calibrated latency model like every adaptive
+// piggyback (see the note on initMsg.PVMItems); the bare TagCheckpoint
+// message counts as the minimum one item.
 func (c tswCheckpoint) PVMItems() int { return 1 }
 
 // syncMsg is the TagSync payload: the winning move of the iteration
@@ -197,11 +231,23 @@ type syncMsg struct {
 
 func (m syncMsg) PVMItems() int { return 2*len(m.Chosen.Swaps) + 3 }
 
-// stateMsg is the TagNewState payload.
+// stateMsg is the TagNewState payload. Reseed (with HasReseed set)
+// replaces the receiving CLW's random stream: durable runs draw one
+// reseed per CLW slot from the TSW's own stream at every resync
+// barrier — exactly Config.CLWs draws in slot order, regardless of
+// slot liveness, so the TSW's stream consumption is independent of
+// losses — making every CLW stream a pure function of the persisted
+// TSW state rather than of the spawn path. That is what lets a run
+// resumed from a master snapshot reproduce the uninterrupted
+// store-enabled run bit-for-bit.
 type stateMsg struct {
-	Perm []int32
+	Perm      []int32
+	Reseed    uint64
+	HasReseed bool
 }
 
+// PVMItems excludes the durable reseed like every piggyback field (see
+// the note on initMsg.PVMItems).
 func (m stateMsg) PVMItems() int { return len(m.Perm) }
 
 // improvement is one incumbent improvement a TSW observed locally:
@@ -224,8 +270,8 @@ type bestMsg struct {
 	Forced bool
 	Stats  WorkerStats
 	// Checkpoint, when non-nil, is the TSW's piggybacked recovery
-	// state (adaptive runs with respawn enabled; excluded from the
-	// latency model like every adaptive field).
+	// state (adaptive runs with respawn enabled, and every durable
+	// run; excluded from the latency model like every adaptive field).
 	Checkpoint *tswCheckpoint
 }
 

@@ -105,6 +105,7 @@ type wireConfig struct {
 	Adaptive                bool
 	DisableRespawn          bool
 	CheckpointEvery         int
+	Durable                 bool
 	RefreshEvery            int
 	Utilization             float64
 	Cost                    cost.Config
@@ -121,11 +122,14 @@ func (c Config) wire() wireConfig {
 		TSWs: c.TSWs, CLWs: c.CLWs,
 		GlobalIters: c.GlobalIters, LocalIters: c.LocalIters,
 		Trials: c.Trials, Depth: c.Depth, Tenure: c.Tenure,
-		DiversifyDepth:    c.DiversifyDepth,
-		HalfSync:          c.HalfSync,
-		Adaptive:          c.Adaptive,
-		DisableRespawn:    c.DisableRespawn,
-		CheckpointEvery:   c.CheckpointEvery,
+		DiversifyDepth:  c.DiversifyDepth,
+		HalfSync:        c.HalfSync,
+		Adaptive:        c.Adaptive,
+		DisableRespawn:  c.DisableRespawn,
+		CheckpointEvery: c.CheckpointEvery,
+		// The store itself never crosses the wire; workers only need
+		// the durable discipline flag (checkpoints + barrier reseeds).
+		Durable:           c.durable(),
 		RefreshEvery:      c.RefreshEvery,
 		Utilization:       c.Utilization,
 		Cost:              c.Cost,
@@ -148,6 +152,7 @@ func (w wireConfig) config() Config {
 		Adaptive:          w.Adaptive,
 		DisableRespawn:    w.DisableRespawn,
 		CheckpointEvery:   w.CheckpointEvery,
+		Durable:           w.Durable,
 		RefreshEvery:      w.RefreshEvery,
 		Utilization:       w.Utilization,
 		WorkPerTrial:      w.WorkPerTrial,

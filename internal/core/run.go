@@ -102,9 +102,16 @@ func RunProblem(ctx context.Context, prob Problem, clus cluster.Cluster, cfg Con
 		return finalize(prob, res)
 	}
 
+	// Durable runs: a snapshot left behind by a dead master resumes the
+	// run where it stopped. A snapshot whose fingerprint (problem, size,
+	// seed) does not match this run's inputs is stale state from a
+	// different run under the same RunID — ignored, then overwritten by
+	// the first barrier of the fresh run.
+	snap := loadSnapshot(prob, cfg, initPerm)
+
 	var ms masterState
 	root := func(env pvm.Env) {
-		masterRun(env, prob, cfg, initPerm, initCost, &ms)
+		masterRun(env, prob, cfg, initPerm, initCost, snap, &ms)
 	}
 	var counters pvm.Counters
 	opts := pvm.Options{
@@ -171,6 +178,12 @@ func RunProblem(ctx context.Context, prob Problem, clus cluster.Cluster, cfg Con
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Store != nil && !res.Interrupted {
+		// Clean completion: the run no longer needs its snapshot. An
+		// interrupted run keeps it — that is exactly the state a restart
+		// resumes from.
+		_ = cfg.Store.Delete(cfg.runKey())
+	}
 	summary = runSummary{
 		Problem:     res.Problem,
 		BestCost:    res.BestCost,
@@ -181,6 +194,31 @@ func RunProblem(ctx context.Context, prob Problem, clus cluster.Cluster, cfg Con
 		Interrupted: res.Interrupted,
 	}
 	return res, nil
+}
+
+// loadSnapshot fetches and validates a persisted run snapshot, or
+// returns nil when there is none (or it is unusable). Store read
+// failures are treated as "no snapshot": durability must never make a
+// fresh run un-startable.
+func loadSnapshot(prob Problem, cfg Config, initPerm []int32) *masterSnapshot {
+	if cfg.Store == nil {
+		return nil
+	}
+	b, ok, err := cfg.Store.Get(cfg.runKey())
+	if err != nil || !ok {
+		return nil
+	}
+	snap, err := decodeSnapshot(b)
+	if err != nil {
+		return nil
+	}
+	if snap.Problem != prob.Name() || snap.Size != prob.Size() || snap.Seed != cfg.Seed {
+		return nil
+	}
+	if snap.Round <= 0 || len(snap.BestPerm) != len(initPerm) {
+		return nil
+	}
+	return snap
 }
 
 // finalize attaches problem-specific exact scoring when the problem

@@ -35,7 +35,11 @@ import (
 // skips the TagInit handshake, restores the dead predecessor's search
 // state, re-attaches the surviving CLWs (re-parenting them with a
 // fresh TagInit) and re-arms their exit watches before entering the
-// round loop.
+// round loop. A checkpoint marked Restart crossed a master restart:
+// its CLW task IDs died with the old master's run, so a fresh CLW set
+// is spawned instead, and with SkipRound also set the TSW skips
+// straight to the verdict wait — the checkpointed round is already in
+// the master's snapshot.
 func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID, resume *tswCheckpoint) {
 	list := tabu.NewList()
 	var (
@@ -51,6 +55,8 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID, resume 
 	)
 	var divLo, divHi int32 // diversification range (master rebalances it)
 	var pending []improvement
+	reports := 0
+	acceptedSinceRefresh := 0
 
 	if resume == nil {
 		init := env.Recv(TagInit).Data.(initMsg)
@@ -65,13 +71,16 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID, resume 
 		// Spawn this worker's CLWs once; they live for the whole run and
 		// sit on the machines the assignment policy dictates.
 		cs = newCLWSet(env, problem, cfg, tune, init, prob.Size(), master)
-		if cfg.respawn() {
+		if cfg.checkpoints() {
 			// The spawn-time checkpoint closes the recovery gap before the
 			// first report: the master can resurrect this TSW (and find its
 			// CLWs) from the instant they exist. Sent on the same channel
 			// the CLW spawns went through, so it can never trail them.
-			env.Send(master, TagCheckpoint,
-				buildCheckpoint(init.WorkerIdx, prob, list, freq, tswRand, iter, stats, best, bestPerm, divLo, divHi, cs))
+			ck := buildCheckpoint(init.WorkerIdx, prob, list, freq, tswRand, iter, stats, best, bestPerm, divLo, divHi, reports, acceptedSinceRefresh, cs)
+			env.Send(master, TagCheckpoint, ck)
+			if cfg.durable() {
+				tswRand = selfReseed(ck.RandSeed)
+			}
 		}
 	} else {
 		ck := resume
@@ -85,17 +94,39 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID, resume 
 		best = ck.Best
 		bestPerm = append([]int32(nil), ck.BestPerm...)
 		divLo, divHi = ck.DivLo, ck.DivHi
+		reports = ck.Reports
+		acceptedSinceRefresh = ck.AcceptedRefresh
 		// The predecessor drew RandSeed from its own stream at checkpoint
 		// time, so recovery continues the sampling trajectory instead of
 		// replaying the run's beginning under a new spawn-path stream.
+		// (In durable runs the predecessor reseeded itself from the same
+		// value, which is what makes the two trajectories identical.)
 		tswRand = rng.New(ck.RandSeed)
-		cs = adoptCLWSet(env, cfg, tune, ck, master)
-		// Re-announce the adopted state immediately, like the fresh-spawn
-		// checkpoint: the master's ledger of handed-over replacements is
-		// pruned by it, and a successor dying straight away resumes from
-		// this attachment table instead of the predecessor's stale one.
-		env.Send(master, TagCheckpoint,
-			buildCheckpoint(ck.WorkerIdx, prob, list, freq, tswRand, iter, stats, best, bestPerm, divLo, divHi, cs))
+		if ck.Restart {
+			// Master restart: the transport aborted every worker task with
+			// the old master, so there are no survivors to adopt — spawn a
+			// fresh CLW set over the checkpointed solution and range. No
+			// re-announce either: the master's ledger was seeded from the
+			// same snapshot this checkpoint came out of, and building one
+			// here would advance the restored random stream.
+			cs = newCLWSet(env, problem, cfg, tune, initMsg{
+				Perm:      ck.Perm,
+				RangeLo:   ck.DivLo,
+				RangeHi:   ck.DivHi,
+				WorkerIdx: ck.WorkerIdx,
+			}, prob.Size(), master)
+		} else {
+			cs = adoptCLWSet(env, cfg, tune, ck, master)
+			// Re-announce the adopted state immediately, like the fresh-spawn
+			// checkpoint: the master's ledger of handed-over replacements is
+			// pruned by it, and a successor dying straight away resumes from
+			// this attachment table instead of the predecessor's stale one.
+			ack := buildCheckpoint(ck.WorkerIdx, prob, list, freq, tswRand, iter, stats, best, bestPerm, divLo, divHi, reports, acceptedSinceRefresh, cs)
+			env.Send(master, TagCheckpoint, ack)
+			if cfg.durable() {
+				tswRand = selfReseed(ack.RandSeed)
+			}
+		}
 	}
 	staWork := workSTA(cfg, prob.Size())
 
@@ -122,124 +153,152 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID, resume 
 	var moves []tabu.CompoundMove
 	var selSc tabu.SelectScratch
 
-	acceptedSinceRefresh := 0
-	reports := 0
 	firstRound := resume == nil
+	// A master-restart resume re-enters the protocol at the verdict
+	// wait: its checkpointed round is already folded into the master's
+	// snapshot, and the master's kick-off TagGlobal starts the next one.
+	skipRound := resume != nil && resume.SkipRound
 	for {
 		forcedByMaster := false
-		// Cooperative cancellation: skip the round's search work and
-		// report immediately; the master will answer with TagStop once it
-		// has observed the cancellation itself. A TSW whose CLWs all died
-		// likewise degrades to reporting its standing best.
-		if !env.Cancelled() && cs.alive+len(cs.pend) > 0 {
-			// Diversification w.r.t. this worker's own element range (Kelly
-			// et al. [10]): forced swaps of the least-moved elements of the
-			// range.
-			if tune.DiversifyDepth > 0 {
-				diversify(prob, env, tswRand, freq, list, iter, cfg, tune, divLo, divHi)
-				stats.Diversifications++
-				refresh(prob)
-				env.Work(staWork)
-				noteBest()
-			}
-			// The resync barrier: adaptive re-partitions and replacement
-			// seeding only ever happen here, immediately before the full
-			// state push, so no candidate built against an old range (or
-			// an unseeded worker) is in flight.
-			newly := cs.revivePending()
-			if (!firstRound || len(newly) > 0) && cs.rebalance(env) {
-				stats.Rebalances++
-			}
-			perm := prob.Snapshot()
-			for j, id := range cs.ids {
-				if cs.live[j] {
-					env.Send(id, TagNewState, stateMsg{Perm: perm})
-				}
-			}
-			cs.attach(env, newly, perm)
-
-			for l := 0; l < cfg.LocalIters; l++ {
-				// Heterogeneity: the master may force us to report early;
-				// a cancelled context forces everyone at once.
-				if _, ok := env.TryRecv(TagReportNow); ok {
-					forcedByMaster = true
-					stats.ForcedReports++
-					break
-				}
-				if env.Cancelled() {
-					break
-				}
-				stats.LocalIters++
-				iter++
-
-				// Fan the candidate construction out to the CLWs.
-				for j, id := range cs.ids {
-					if cs.live[j] {
-						env.Send(id, TagSearch, nil)
-					}
-				}
-				cands := collector.collect(env, cfg.HalfSync, &stats)
-				if len(cands) == 0 {
-					break // every CLW died mid-iteration
-				}
-				env.Work(float64(len(cands)) * cfg.WorkPerTrial) // selection cost
-
-				moves = moves[:0]
-				for _, c := range cands {
-					moves = append(moves, c.Move)
-				}
-				verdict := tabu.SelectAdmissibleBatch(moves, prob.Cost(), best, list, iter, &selSc)
-				var chosen tabu.CompoundMove
-				if verdict.Index >= 0 {
-					chosen = moves[verdict.Index]
-					chosen.Apply(prob)
-					env.Work(float64(len(chosen.Swaps)) * cfg.WorkPerTrial)
-					for _, s := range chosen.Swaps {
-						list.Add(s.Attribute(), iter+int64(tune.Tenure))
-					}
-					freq.BumpMove(&chosen)
-					stats.MovesAccepted++
-					acceptedSinceRefresh++
-					noteBest()
-				}
-				stats.TabuRejected += int64(verdict.TabuRejected)
-				if verdict.Aspired {
-					stats.Aspirations++
-				}
-				if verdict.Fallback {
-					stats.Fallbacks++
-				}
-				syncCLWs(chosen)
-
-				if cfg.RefreshEvery > 0 && acceptedSinceRefresh >= cfg.RefreshEvery {
-					acceptedSinceRefresh = 0
+		if skipRound {
+			skipRound = false
+		} else {
+			// Cooperative cancellation: skip the round's search work and
+			// report immediately; the master will answer with TagStop once it
+			// has observed the cancellation itself. A TSW whose CLWs all died
+			// likewise degrades to reporting its standing best.
+			if !env.Cancelled() && cs.alive+len(cs.pend) > 0 {
+				// Diversification w.r.t. this worker's own element range (Kelly
+				// et al. [10]): forced swaps of the least-moved elements of the
+				// range.
+				if tune.DiversifyDepth > 0 {
+					diversify(prob, env, tswRand, freq, list, iter, cfg, tune, divLo, divHi)
+					stats.Diversifications++
 					refresh(prob)
 					env.Work(staWork)
 					noteBest()
 				}
-			}
-		}
-		firstRound = false
+				// The resync barrier: adaptive re-partitions and replacement
+				// seeding only ever happen here, immediately before the full
+				// state push, so no candidate built against an old range (or
+				// an unseeded worker) is in flight.
+				newly := cs.revivePending()
+				if (!firstRound || len(newly) > 0) && cs.rebalance(env) {
+					stats.Rebalances++
+				}
+				// Durable runs reseed every CLW at the barrier: exactly
+				// Config.CLWs draws in slot order, liveness notwithstanding, so
+				// this stream's consumption — and with it every CLW's stream —
+				// is a pure function of the checkpointed state.
+				var reseeds []uint64
+				if cfg.durable() {
+					reseeds = make([]uint64, cfg.CLWs)
+					for j := range reseeds {
+						reseeds[j] = tswRand.Uint64()
+					}
+				}
+				perm := prob.Snapshot()
+				for j, id := range cs.ids {
+					if cs.live[j] {
+						sm := stateMsg{Perm: perm}
+						if reseeds != nil {
+							sm.Reseed, sm.HasReseed = reseeds[j], true
+						}
+						env.Send(id, TagNewState, sm)
+					}
+				}
+				cs.attach(env, newly, perm, reseeds)
 
-		// Report the best to the master (solution + tabu list, §4.1). The
-		// permutation is copied because bestPerm is a reused buffer the
-		// next round keeps writing into. Every checkpointEvery-th report
-		// piggybacks the recovery checkpoint.
-		reports++
-		msg := bestMsg{
-			Cost:   best,
-			Perm:   append([]int32(nil), bestPerm...),
-			Tabu:   list.Export(iter),
-			Points: pending,
-			Forced: forcedByMaster,
-			Stats:  stats,
+				for l := 0; l < cfg.LocalIters; l++ {
+					// Heterogeneity: the master may force us to report early;
+					// a cancelled context forces everyone at once.
+					if _, ok := env.TryRecv(TagReportNow); ok {
+						forcedByMaster = true
+						stats.ForcedReports++
+						break
+					}
+					if env.Cancelled() {
+						break
+					}
+					stats.LocalIters++
+					iter++
+
+					// Fan the candidate construction out to the CLWs.
+					for j, id := range cs.ids {
+						if cs.live[j] {
+							env.Send(id, TagSearch, nil)
+						}
+					}
+					cands := collector.collect(env, cfg.HalfSync, &stats)
+					if len(cands) == 0 {
+						break // every CLW died mid-iteration
+					}
+					env.Work(float64(len(cands)) * cfg.WorkPerTrial) // selection cost
+
+					moves = moves[:0]
+					for _, c := range cands {
+						moves = append(moves, c.Move)
+					}
+					verdict := tabu.SelectAdmissibleBatch(moves, prob.Cost(), best, list, iter, &selSc)
+					var chosen tabu.CompoundMove
+					if verdict.Index >= 0 {
+						chosen = moves[verdict.Index]
+						chosen.Apply(prob)
+						env.Work(float64(len(chosen.Swaps)) * cfg.WorkPerTrial)
+						for _, s := range chosen.Swaps {
+							list.Add(s.Attribute(), iter+int64(tune.Tenure))
+						}
+						freq.BumpMove(&chosen)
+						stats.MovesAccepted++
+						acceptedSinceRefresh++
+						noteBest()
+					}
+					stats.TabuRejected += int64(verdict.TabuRejected)
+					if verdict.Aspired {
+						stats.Aspirations++
+					}
+					if verdict.Fallback {
+						stats.Fallbacks++
+					}
+					syncCLWs(chosen)
+
+					if cfg.RefreshEvery > 0 && acceptedSinceRefresh >= cfg.RefreshEvery {
+						acceptedSinceRefresh = 0
+						refresh(prob)
+						env.Work(staWork)
+						noteBest()
+					}
+				}
+			}
+			firstRound = false
+
+			// Report the best to the master (solution + tabu list, §4.1). The
+			// permutation is copied because bestPerm is a reused buffer the
+			// next round keeps writing into. Every checkpointEvery-th report
+			// piggybacks the recovery checkpoint.
+			reports++
+			msg := bestMsg{
+				Cost:   best,
+				Perm:   append([]int32(nil), bestPerm...),
+				Tabu:   list.Export(iter),
+				Points: pending,
+				Forced: forcedByMaster,
+				Stats:  stats,
+			}
+			if cfg.checkpoints() && reports%cfg.checkpointEvery() == 0 {
+				ck := buildCheckpoint(cs.widx, prob, list, freq, tswRand, iter, stats, best, bestPerm, divLo, divHi, reports, acceptedSinceRefresh, cs)
+				msg.Checkpoint = &ck
+				if cfg.durable() {
+					// Continue from the seed just published: a successor
+					// restoring rng.New(RandSeed) then carries exactly this
+					// stream, which is what makes a resumed durable run
+					// reproduce the uninterrupted one.
+					tswRand = selfReseed(ck.RandSeed)
+				}
+			}
+			env.Send(master, TagBest, msg)
+			pending = nil
 		}
-		if cfg.respawn() && reports%cfg.checkpointEvery() == 0 {
-			ck := buildCheckpoint(cs.widx, prob, list, freq, tswRand, iter, stats, best, bestPerm, divLo, divHi, cs)
-			msg.Checkpoint = &ck
-		}
-		env.Send(master, TagBest, msg)
-		pending = nil
 
 		// Wait for the verdict; ignore stale force requests.
 		for {
@@ -283,22 +342,31 @@ func tswRun(env pvm.Env, problem Problem, cfg Config, master pvm.TaskID, resume 
 // must stay valid after the TSW keeps mutating its buffers.
 func buildCheckpoint(widx int, prob State, list *tabu.List, freq *tabu.Frequency,
 	r *rand.Rand, iter int64, stats WorkerStats, best float64, bestPerm []int32,
-	divLo, divHi int32, cs *clwSet) tswCheckpoint {
+	divLo, divHi int32, reports, acceptedRefresh int, cs *clwSet) tswCheckpoint {
 	return tswCheckpoint{
-		WorkerIdx: widx,
-		Iter:      iter,
-		Best:      best,
-		BestPerm:  append([]int32(nil), bestPerm...),
-		Perm:      prob.Snapshot(),
-		Tabu:      list.Export(iter),
-		Freq:      freq.Export(),
-		RandSeed:  r.Uint64(),
-		Stats:     stats,
-		DivLo:     divLo,
-		DivHi:     divHi,
-		CLWs:      cs.slots(),
+		WorkerIdx:       widx,
+		Iter:            iter,
+		Best:            best,
+		BestPerm:        append([]int32(nil), bestPerm...),
+		Perm:            prob.Snapshot(),
+		Tabu:            list.Export(iter),
+		Freq:            freq.Export(),
+		RandSeed:        r.Uint64(),
+		Stats:           stats,
+		DivLo:           divLo,
+		DivHi:           divHi,
+		Reports:         reports,
+		AcceptedRefresh: acceptedRefresh,
+		CLWs:            cs.slots(),
 	}
 }
+
+// selfReseed is the durable TSW's half of the checkpoint contract:
+// after publishing a checkpoint it continues from the very seed it
+// published, so the stream a successor restores with rng.New(RandSeed)
+// is the stream this TSW carries forward — resumed and uninterrupted
+// runs draw identical numbers from here on.
+func selfReseed(seed uint64) *rand.Rand { return rng.New(seed) }
 
 // clwSet is a TSW's view of its candidate-list workers: identity,
 // liveness, current element ranges and per-step trial budgets, plus
@@ -629,21 +697,28 @@ func (cs *clwSet) revivePending() []int {
 // attach is the second half: the revived slots go live and each
 // replacement is seeded with a TagInit carrying the current solution,
 // its range from the just-adopted partition, and its budget — after
-// which it participates in the round like any other CLW.
-func (cs *clwSet) attach(env pvm.Env, newly []int, perm []int32) {
+// which it participates in the round like any other CLW. In durable
+// runs the TagInit also carries the slot's barrier reseed (the
+// replacement attaches after the barrier's TagNewState went out, so
+// this is where it receives the draw its slot was dealt).
+func (cs *clwSet) attach(env pvm.Env, newly []int, perm []int32, reseeds []uint64) {
 	for _, j := range newly {
 		id := cs.pend[j]
 		delete(cs.pend, j)
 		cs.ids[j] = id
 		cs.live[j] = true
 		cs.alive++
-		env.Send(id, TagInit, initMsg{
+		im := initMsg{
 			Perm:      perm,
 			RangeLo:   cs.rng[j][0],
 			RangeHi:   cs.rng[j][1],
 			WorkerIdx: j,
 			Trials:    cs.trialsFor(j),
-		})
+		}
+		if reseeds != nil {
+			im.Reseed, im.HasReseed = reseeds[j], true
+		}
+		env.Send(id, TagInit, im)
 	}
 }
 

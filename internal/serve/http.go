@@ -48,19 +48,51 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// writeError maps a scheduler error to its status code and emits the
-// standard error payload.
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
+// errorBody is the uniform error envelope every non-2xx response
+// carries: {"error":{"code":"...","message":"..."}}. The code is the
+// machine-readable half of the contract — clients branch on it, the
+// message is for humans and may change wording freely.
+type errorBody struct {
+	Error errorInfo `json:"error"`
+}
+
+type errorInfo struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Error codes of the v1 API.
+const (
+	codeQueueFull       = "queue_full"       // 429: bounded job queue at capacity
+	codeNeverAdmissible = "never_admissible" // 409: more workers requested than the fleet has
+	codeTerminal        = "terminal"         // 409: cancel of an already-finished job
+	codeDraining        = "draining"         // 503: daemon is shutting down
+	codeNotFound        = "not_found"        // 404: no such job
+	codeBadSpec         = "bad_spec"         // 400: malformed or invalid submission
+	codeBadRequest      = "bad_request"      // 400: malformed query parameter
+)
+
+// writeError maps a scheduler error to its status code and machine
+// code and emits the error envelope; fallbackCode classifies plain
+// errors (decode and validation failures) that carry no sentinel.
+func writeError(w http.ResponseWriter, err error, fallbackCode string) {
+	status, code := http.StatusBadRequest, fallbackCode
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		status = http.StatusTooManyRequests
-	case errors.Is(err, ErrNeverAdmissible), errors.Is(err, ErrTerminal):
-		status = http.StatusConflict
+		status, code = http.StatusTooManyRequests, codeQueueFull
+	case errors.Is(err, ErrNeverAdmissible):
+		status, code = http.StatusConflict, codeNeverAdmissible
+	case errors.Is(err, ErrTerminal):
+		status, code = http.StatusConflict, codeTerminal
 	case errors.Is(err, ErrDraining):
-		status = http.StatusServiceUnavailable
+		status, code = http.StatusServiceUnavailable, codeDraining
 	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+	writeJSON(w, status, errorBody{errorInfo{Code: code, Message: err.Error()}})
+}
+
+// writeNotFound emits the 404 envelope.
+func writeNotFound(w http.ResponseWriter) {
+	writeJSON(w, http.StatusNotFound, errorBody{errorInfo{Code: codeNotFound, Message: "no such job"}})
 }
 
 // submitPayload is the POST /v1/jobs request body.
@@ -154,7 +186,7 @@ func (a *API) submitJob(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&p); err != nil {
-		writeError(w, fmt.Errorf("decode request: %w", err))
+		writeError(w, fmt.Errorf("decode request: %w", err), codeBadSpec)
 		return
 	}
 	j, err := a.s.Submit(Request{
@@ -168,21 +200,68 @@ func (a *API) submitJob(w http.ResponseWriter, r *http.Request) {
 		Cfg:     p.Config.buildConfig(),
 	})
 	if err != nil {
-		writeError(w, err)
+		writeError(w, err, codeBadSpec)
 		return
 	}
 	writeJSON(w, http.StatusCreated, j.View(false))
 }
 
-// listJobs handles GET /v1/jobs: every job in submission order,
-// without the (large) result payloads.
+// listJobs handles GET /v1/jobs: jobs in submission order (which is
+// job-id order — ids are sequential), without the (large) result
+// payloads. Optional query parameters filter and paginate:
+// ?status=queued|running|done|failed|cancelled keeps one lifecycle
+// state, ?limit=N caps the page size, and ?after=<job id> resumes
+// after the named job — pages are keyed by the stable job id, so a
+// job finishing between requests never shifts the cursor. A truncated
+// page carries "next_after": the cursor of the next one.
 func (a *API) listJobs(w http.ResponseWriter, r *http.Request) {
-	jobs := a.s.Jobs()
-	views := make([]View, len(jobs))
-	for i, j := range jobs {
-		views[i] = j.View(false)
+	q := r.URL.Query()
+	statusFilter := ""
+	if v := q.Get("status"); v != "" {
+		if _, ok := statusFromWire(v); !ok {
+			writeError(w, fmt.Errorf("unknown status %q", v), codeBadRequest)
+			return
+		}
+		statusFilter = v
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": views})
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, fmt.Errorf("limit %q is not a positive integer", v), codeBadRequest)
+			return
+		}
+		limit = n
+	}
+	after := q.Get("after")
+
+	jobs := a.s.Jobs()
+	if after != "" {
+		i := 0
+		for i < len(jobs) && jobs[i].ID() != after {
+			i++
+		}
+		if i == len(jobs) {
+			writeError(w, fmt.Errorf("unknown cursor %q", after), codeBadRequest)
+			return
+		}
+		jobs = jobs[i+1:]
+	}
+	views := make([]View, 0, len(jobs))
+	for _, j := range jobs {
+		v := j.View(false)
+		if statusFilter != "" && v.Status != statusFilter {
+			continue
+		}
+		views = append(views, v)
+	}
+	body := map[string]any{"jobs": views}
+	if limit > 0 && len(views) > limit {
+		views = views[:limit]
+		body["jobs"] = views
+		body["next_after"] = views[limit-1].ID
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // getJob handles GET /v1/jobs/{id}: the full view including the run
@@ -190,7 +269,7 @@ func (a *API) listJobs(w http.ResponseWriter, r *http.Request) {
 func (a *API) getJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := a.s.Get(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+		writeNotFound(w)
 		return
 	}
 	writeJSON(w, http.StatusOK, j.View(true))
@@ -202,11 +281,11 @@ func (a *API) cancelJob(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	j, ok := a.s.Get(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+		writeNotFound(w)
 		return
 	}
 	if err := a.s.Cancel(id); err != nil {
-		writeError(w, err)
+		writeError(w, err, codeBadRequest)
 		return
 	}
 	writeJSON(w, http.StatusOK, j.View(false))
@@ -220,12 +299,13 @@ func (a *API) cancelJob(w http.ResponseWriter, r *http.Request) {
 func (a *API) jobEvents(w http.ResponseWriter, r *http.Request) {
 	j, ok := a.s.Get(r.PathValue("id"))
 	if !ok {
-		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no such job"})
+		writeNotFound(w)
 		return
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeJSON(w, http.StatusInternalServerError, map[string]string{"error": "streaming unsupported"})
+		writeJSON(w, http.StatusInternalServerError,
+			errorBody{errorInfo{Code: "internal", Message: "streaming unsupported"}})
 		return
 	}
 	next := 0

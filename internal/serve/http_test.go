@@ -49,6 +49,55 @@ const tinyJobBody = `{
   "config": {"tsws": 1, "clws": 1, "global_iters": 3, "local_iters": 2, "half_sync": false}
 }`
 
+// decodeErr parses the uniform error envelope and returns its machine
+// code, failing the test when the envelope shape is off.
+func decodeErr(t *testing.T, raw []byte) string {
+	t.Helper()
+	var body struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		t.Fatalf("decode error envelope: %v (%s)", err, raw)
+	}
+	if body.Error.Code == "" || body.Error.Message == "" {
+		t.Fatalf("error envelope incomplete: %s", raw)
+	}
+	return body.Error.Code
+}
+
+// doErr performs req and returns the status plus the envelope code.
+func doErr(t *testing.T, req *http.Request) (int, string) {
+	t.Helper()
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", req.Method, req.URL, err)
+	}
+	defer resp.Body.Close()
+	raw := new(bytes.Buffer)
+	if _, err := raw.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	return resp.StatusCode, decodeErr(t, raw.Bytes())
+}
+
+// postErr submits body and returns the status plus the envelope code.
+func postErr(t *testing.T, srv *httptest.Server, body string) (int, string) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v1/jobs", strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	return doErr(t, req)
+}
+
+// getErr fetches path and returns the status plus the envelope code.
+func getErr(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+path, nil)
+	return doErr(t, req)
+}
+
 func TestHTTPSubmitGetListLifecycle(t *testing.T) {
 	srv, _, _ := newTestServer(t, 2, 4)
 
@@ -115,20 +164,21 @@ func TestHTTPSubmitGetListLifecycle(t *testing.T) {
 func TestHTTPStatusCodes(t *testing.T) {
 	srv, s, _ := newTestServer(t, 1, 1)
 
-	// Workers beyond the fleet: 409.
-	resp, _ := postJob(t, srv, `{"problem": {"kind": "placement", "circuit": "highway"}, "workers": 5}`)
-	if resp.StatusCode != http.StatusConflict {
-		t.Fatalf("inadmissible status = %d, want 409", resp.StatusCode)
+	// Workers beyond the fleet: 409 never_admissible.
+	if st, code := postErr(t, srv, `{"problem": {"kind": "placement", "circuit": "highway"}, "workers": 5}`); st != http.StatusConflict || code != "never_admissible" {
+		t.Fatalf("inadmissible = %d %q, want 409 never_admissible", st, code)
 	}
-	// Malformed JSON: 400.
-	resp, _ = postJob(t, srv, `{"problem": `)
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("malformed status = %d, want 400", resp.StatusCode)
+	// Malformed JSON: 400 bad_spec.
+	if st, code := postErr(t, srv, `{"problem": `); st != http.StatusBadRequest || code != "bad_spec" {
+		t.Fatalf("malformed = %d %q, want 400 bad_spec", st, code)
 	}
-	// Unknown field: 400.
-	resp, _ = postJob(t, srv, `{"problem": {"kind": "placement", "circuit": "highway"}, "wrokers": 1}`)
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("unknown-field status = %d, want 400", resp.StatusCode)
+	// Unknown field: 400 bad_spec.
+	if st, code := postErr(t, srv, `{"problem": {"kind": "placement", "circuit": "highway"}, "wrokers": 1}`); st != http.StatusBadRequest || code != "bad_spec" {
+		t.Fatalf("unknown-field = %d %q, want 400 bad_spec", st, code)
+	}
+	// Unknown job: 404 not_found.
+	if st, code := getErr(t, srv, "/v1/jobs/nope"); st != http.StatusNotFound || code != "not_found" {
+		t.Fatalf("unknown job = %d %q, want 404 not_found", st, code)
 	}
 	// Fill the single-slot queue behind a held runner, then overflow: 429.
 	started := make(chan string, 4)
@@ -143,11 +193,11 @@ func TestHTTPStatusCodes(t *testing.T) {
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("queued job status = %d", resp.StatusCode)
 	}
-	resp, _ = postJob(t, srv, tinyJobBody)
-	if resp.StatusCode != http.StatusTooManyRequests {
-		t.Fatalf("overflow status = %d, want 429", resp.StatusCode)
+	if st, code := postErr(t, srv, tinyJobBody); st != http.StatusTooManyRequests || code != "queue_full" {
+		t.Fatalf("overflow = %d %q, want 429 queue_full", st, code)
 	}
-	// DELETE the running job: 200, then a second DELETE conflicts: 409.
+	// DELETE the running job: 200, then a second DELETE conflicts: 409
+	// terminal.
 	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+v1.ID, nil)
 	resp2, err := http.DefaultClient.Do(req)
 	if err != nil {
@@ -159,16 +209,100 @@ func TestHTTPStatusCodes(t *testing.T) {
 	}
 	j, _ := s.Get(v1.ID)
 	waitStatus(t, j, Cancelled)
-	resp2, err = http.DefaultClient.Do(req)
-	if err != nil {
-		t.Fatalf("DELETE again: %v", err)
-	}
-	resp2.Body.Close()
-	if resp2.StatusCode != http.StatusConflict {
-		t.Fatalf("re-cancel status = %d, want 409", resp2.StatusCode)
+	req2, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+v1.ID, nil)
+	if st, code := doErr(t, req2); st != http.StatusConflict || code != "terminal" {
+		t.Fatalf("re-cancel = %d %q, want 409 terminal", st, code)
 	}
 	<-started // the queued job takes the slot
 	step()    // and is allowed to finish
+}
+
+// listPage fetches GET /v1/jobs with query and returns ids plus the
+// next_after cursor ("" when the page is complete).
+func listPage(t *testing.T, srv *httptest.Server, query string) ([]string, string) {
+	t.Helper()
+	r, err := http.Get(srv.URL + "/v1/jobs" + query)
+	if err != nil {
+		t.Fatalf("GET jobs%s: %v", query, err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("GET jobs%s status = %d", query, r.StatusCode)
+	}
+	var page struct {
+		Jobs      []View `json:"jobs"`
+		NextAfter string `json:"next_after"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&page); err != nil {
+		t.Fatalf("decode list: %v", err)
+	}
+	ids := make([]string, len(page.Jobs))
+	for i, v := range page.Jobs {
+		ids[i] = v.ID
+	}
+	return ids, page.NextAfter
+}
+
+func TestHTTPListFilterAndPagination(t *testing.T) {
+	srv, s, _ := newTestServer(t, 1, 8)
+	started := make(chan string, 8)
+	runner, step := blockingRunner(started)
+	s.runJob = runner
+
+	// One running job holds the single worker; two more queue behind it.
+	var ids []string
+	for i := 0; i < 3; i++ {
+		resp, v := postJob(t, srv, tinyJobBody)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("submit %d status = %d", i, resp.StatusCode)
+		}
+		ids = append(ids, v.ID)
+	}
+	<-started
+
+	if got, next := listPage(t, srv, ""); len(got) != 3 || next != "" {
+		t.Fatalf("unfiltered list = %v next %q", got, next)
+	}
+	if got, _ := listPage(t, srv, "?status=running"); len(got) != 1 || got[0] != ids[0] {
+		t.Fatalf("running filter = %v, want [%s]", got, ids[0])
+	}
+	if got, _ := listPage(t, srv, "?status=queued"); len(got) != 2 || got[0] != ids[1] || got[1] != ids[2] {
+		t.Fatalf("queued filter = %v, want %v", got, ids[1:])
+	}
+	if got, _ := listPage(t, srv, "?status=done"); len(got) != 0 {
+		t.Fatalf("done filter = %v, want empty", got)
+	}
+	// Pagination walks the stable id order.
+	got, next := listPage(t, srv, "?limit=2")
+	if len(got) != 2 || got[0] != ids[0] || got[1] != ids[1] || next != ids[1] {
+		t.Fatalf("page 1 = %v next %q", got, next)
+	}
+	got, next = listPage(t, srv, "?limit=2&after="+next)
+	if len(got) != 1 || got[0] != ids[2] || next != "" {
+		t.Fatalf("page 2 = %v next %q", got, next)
+	}
+	// Filters compose with the cursor.
+	if got, _ := listPage(t, srv, "?status=queued&after="+ids[1]); len(got) != 1 || got[0] != ids[2] {
+		t.Fatalf("filtered page = %v, want [%s]", got, ids[2])
+	}
+	// Malformed parameters: 400 bad_request.
+	for _, q := range []string{"?status=bogus", "?limit=0", "?limit=x", "?after=nope"} {
+		if st, code := getErr(t, srv, "/v1/jobs"+q); st != http.StatusBadRequest || code != "bad_request" {
+			t.Fatalf("%s = %d %q, want 400 bad_request", q, st, code)
+		}
+	}
+
+	for i := 0; i < 3; i++ {
+		step()
+		if i < 2 {
+			<-started
+		}
+	}
+	j, _ := s.Get(ids[2])
+	waitStatus(t, j, Done)
+	if got, _ := listPage(t, srv, "?status=done"); len(got) != 3 {
+		t.Fatalf("done filter after completion = %v, want all three", got)
+	}
 }
 
 // sseEvent is one parsed server-sent event.

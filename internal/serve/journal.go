@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"pts/internal/core"
+)
+
+// Job journaling: with Config.Store set, the scheduler records every
+// job's spec and lifecycle state as JSON under "jobs/<id>", updated at
+// each transition (queued, running, terminal). A restarted daemon
+// replays the journal (recover): terminal jobs come back with their
+// final result still served by GET /v1/jobs/{id}, and queued or
+// running jobs re-enter the queue in their original submission order —
+// a job that was mid-run resumes from the master snapshot its run
+// persisted under "runs/<id>" in the same store, so the work done
+// before the crash is not repeated.
+//
+// The journal is the job ledger, not the event log: per-round progress
+// events live in memory only, and a recovered job starts a fresh log.
+// Writes are best-effort — a failing store degrades durability, never
+// the job in flight — and the at-least-once discipline applies: a
+// daemon killed between a run's completion and the journal write
+// re-admits the job and re-runs it (finding no snapshot, from the
+// start) rather than losing it.
+
+// jobRecord is the journaled form of one job.
+type jobRecord struct {
+	ID       string           `json:"id"`
+	Spec     core.ProblemSpec `json:"problem"`
+	Workers  int              `json:"workers"`
+	Cfg      core.Config      `json:"config"`
+	Status   string           `json:"status"`
+	Error    string           `json:"error,omitempty"`
+	Created  time.Time        `json:"created"`
+	Started  *time.Time       `json:"started,omitempty"`
+	Finished *time.Time       `json:"finished,omitempty"`
+	Result   *core.Result     `json:"result,omitempty"`
+}
+
+// jobKey is the store key of a job's journal entry.
+func jobKey(id string) string { return "jobs/" + id }
+
+// runID is the store namespace a job's run snapshots under; the core
+// layer prefixes it to "runs/<id>".
+func runID(id string) string { return id }
+
+// persistJob journals the job's current state. Best-effort: failures
+// are logged and the job carries on in memory.
+func (s *Scheduler) persistJob(j *Job) {
+	if s.cfg.Store == nil {
+		return
+	}
+	j.mu.Lock()
+	rec := jobRecord{
+		ID:      j.id,
+		Spec:    j.req.Spec,
+		Workers: j.req.Workers,
+		Cfg:     j.req.Cfg,
+		Status:  j.status.String(),
+		Error:   j.errMsg,
+		Created: j.created,
+		Result:  j.result,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		rec.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		rec.Finished = &t
+	}
+	j.mu.Unlock()
+
+	b, err := json.Marshal(rec)
+	if err != nil {
+		s.logf("serve: journal %s: marshal: %v", j.id, err)
+		return
+	}
+	if err := s.cfg.Store.Put(jobKey(j.id), b); err != nil {
+		s.logf("serve: journal %s: %v", j.id, err)
+	}
+}
+
+// cleanupRun deletes a terminal job's run snapshot: the core layer
+// removes it after a clean completion, this covers the cancelled and
+// failed endings (a terminal job is never resumed).
+func (s *Scheduler) cleanupRun(j *Job) {
+	if s.cfg.Store == nil {
+		return
+	}
+	_ = s.cfg.Store.Delete("runs/" + runID(j.id))
+}
+
+// statusFromWire parses a journaled status name.
+func statusFromWire(name string) (Status, bool) {
+	for _, st := range []Status{Queued, Running, Done, Failed, Cancelled} {
+		if st.String() == name {
+			return st, true
+		}
+	}
+	return 0, false
+}
+
+// jobSeq extracts the numeric part of a job id ("j12" -> 12) for
+// recovery ordering; malformed ids sort first.
+func jobSeq(id string) int {
+	n, err := strconv.Atoi(strings.TrimPrefix(id, "j"))
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// recoverJobs replays the job journal into a freshly constructed
+// scheduler. Terminal jobs are restored as served history; queued and
+// running jobs re-enter the queue in submission order — admission
+// checks are not re-applied, because these jobs were admitted by the
+// previous daemon and the fleet they wait for re-registers
+// asynchronously. Called from New, before any submission can race it.
+func (s *Scheduler) recoverJobs() {
+	keys, err := s.cfg.Store.List("jobs/")
+	if err != nil {
+		s.logf("serve: recover: list journal: %v", err)
+		return
+	}
+	var recs []jobRecord
+	for _, k := range keys {
+		b, ok, err := s.cfg.Store.Get(k)
+		if err != nil || !ok {
+			s.logf("serve: recover: read %s: %v", k, err)
+			continue
+		}
+		var rec jobRecord
+		if err := json.Unmarshal(b, &rec); err != nil {
+			s.logf("serve: recover: decode %s: %v", k, err)
+			continue
+		}
+		if rec.ID == "" {
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return jobSeq(recs[i].ID) < jobSeq(recs[j].ID) })
+
+	requeued, restored := 0, 0
+	for _, rec := range recs {
+		status, ok := statusFromWire(rec.Status)
+		if !ok {
+			s.logf("serve: recover: %s has unknown status %q", rec.ID, rec.Status)
+			continue
+		}
+		if n := jobSeq(rec.ID); n > s.seq {
+			s.seq = n
+		}
+		j := &Job{
+			id:      rec.ID,
+			req:     Request{Spec: rec.Spec, Workers: rec.Workers, Cfg: rec.Cfg},
+			created: rec.Created,
+			changed: make(chan struct{}),
+			done:    make(chan struct{}),
+		}
+		if rec.Started != nil {
+			j.started = *rec.Started
+		}
+		if rec.Finished != nil {
+			j.finished = *rec.Finished
+		}
+		if status.Terminal() {
+			// History: the final state (and result) stays queryable; the
+			// event log restarts at the terminal marker.
+			j.status = status
+			j.errMsg = rec.Error
+			j.result = rec.Result
+			j.append(status.String(), nil, rec.Error)
+			close(j.done)
+			restored++
+		} else {
+			// Queued and running jobs alike re-enter the queue: the old
+			// daemon's leases died with it, and a re-admitted run resumes
+			// from its master snapshot when one was persisted.
+			prob, err := s.cfg.Resolve(rec.Spec)
+			if err != nil {
+				j.status = Failed
+				j.errMsg = "recover: resolve problem: " + err.Error()
+				j.append("failed", nil, j.errMsg)
+				close(j.done)
+				s.jobs[j.id] = j
+				s.order = append(s.order, j.id)
+				s.persistJob(j)
+				continue
+			}
+			j.prob = prob
+			j.ctx, j.cancel = context.WithCancel(context.Background())
+			j.status = Queued
+			j.append("queued", nil, "")
+			s.queue = append(s.queue, j)
+			requeued++
+			if status == Running {
+				s.persistJob(j) // journal the running->queued demotion
+			}
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	}
+	if requeued > 0 || restored > 0 {
+		s.logf("serve: recovered %d terminal job(s), re-admitted %d", restored, requeued)
+	}
+}

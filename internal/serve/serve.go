@@ -27,6 +27,7 @@ import (
 	"pts/internal/core"
 	"pts/internal/pvm"
 	"pts/internal/sched"
+	"pts/internal/store"
 )
 
 // Fleet is the scheduler's view of its worker pool: how many worker
@@ -101,6 +102,13 @@ type Config struct {
 	// QueueDepth bounds how many jobs may wait behind the running ones;
 	// 0 means DefaultQueueDepth.
 	QueueDepth int
+	// Store, when non-nil, makes the scheduler crash-only: every job's
+	// spec and lifecycle state is journaled under "jobs/<id>", each run
+	// persists its master snapshots under "runs/<id>" in the same store,
+	// and a restarted scheduler (New over the same store) re-admits
+	// queued and mid-run jobs and still serves terminal results. Nil
+	// keeps everything in memory — a restart forgets all jobs.
+	Store store.Store
 	// Logf, when non-nil, receives scheduler lifecycle lines.
 	Logf func(format string, args ...any)
 }
@@ -363,6 +371,9 @@ func New(cfg Config) (*Scheduler, error) {
 		jobs:   make(map[string]*Job),
 	}
 	s.runJob = s.solve
+	if cfg.Store != nil {
+		s.recoverJobs()
+	}
 	return s, nil
 }
 
@@ -390,6 +401,11 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 	req.Cfg.Transport = nil
 	req.Cfg.Progress = nil
 	req.Cfg.ProblemSpec = nil
+	// Durability is the scheduler's, not the submitter's: the store (and
+	// the run's snapshot namespace) is attached at solve time.
+	req.Cfg.Store = nil
+	req.Cfg.RunID = ""
+	req.Cfg.Durable = false
 	if err := req.Cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -431,6 +447,7 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 	s.queue = append(s.queue, j)
 	s.mu.Unlock()
 
+	s.persistJob(j)
 	s.logf("serve: %s queued (%s, %d workers)", j.id, describeSpec(req.Spec), req.Workers)
 	s.pump()
 	return j, nil
@@ -489,6 +506,8 @@ func (s *Scheduler) Cancel(id string) error {
 			s.queue = append(s.queue[:i], s.queue[i+1:]...)
 			s.mu.Unlock()
 			j.finish(Cancelled, nil, "")
+			s.persistJob(j)
+			s.cleanupRun(j)
 			s.logf("serve: %s cancelled while queued", id)
 			s.pump() // queue shifted: a smaller job may now be at the head
 			return nil
@@ -543,6 +562,7 @@ func (s *Scheduler) pump() {
 			}
 			s.dropHead(j)
 			j.finish(Failed, nil, fmt.Sprintf("lease workers: %v", err))
+			s.persistJob(j)
 			s.logf("serve: %s failed to lease: %v", j.id, err)
 			continue
 		}
@@ -555,6 +575,7 @@ func (s *Scheduler) pump() {
 		s.wg.Add(1)
 		s.mu.Unlock()
 
+		s.persistJob(j)
 		s.logf("serve: %s running on %d worker(s) %v", j.id, n, lease.Workers())
 		go s.run(j, lease)
 	}
@@ -599,6 +620,8 @@ func (s *Scheduler) run(j *Job, lease Lease) {
 		j.finish(Done, res, "")
 		s.logf("serve: %s done: best %.6g in %d round(s)", j.id, res.BestCost, res.Rounds)
 	}
+	s.persistJob(j)
+	s.cleanupRun(j)
 	s.pump()
 }
 
@@ -612,6 +635,12 @@ func (s *Scheduler) solve(ctx context.Context, j *Job, lease Lease) (*core.Resul
 	spec := j.req.Spec
 	cfg.ProblemSpec = &spec
 	cfg.Progress = j.progress
+	if s.cfg.Store != nil {
+		// Durable run: snapshots under "runs/<job id>", so a daemon
+		// restart resumes this job where its last barrier left it.
+		cfg.Store = s.cfg.Store
+		cfg.RunID = runID(j.id)
+	}
 	return core.RunProblem(ctx, j.prob, s.cfg.Cluster, cfg, core.Real)
 }
 
@@ -635,6 +664,8 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 
 	for _, j := range queued {
 		j.finish(Cancelled, nil, "")
+		s.persistJob(j)
+		s.cleanupRun(j)
 	}
 	for _, j := range running {
 		j.mu.Lock()

@@ -1,0 +1,264 @@
+// Package store is the pluggable durability boundary behind crash-only
+// operations: a minimal key/value contract over opaque byte values that
+// both the master run-state snapshots (internal/core) and the ptsd job
+// journal (internal/serve) persist through.
+//
+// The interface is deliberately bytes-level — callers pick their own
+// encoding (core uses gob for snapshots, serve uses JSON for the job
+// journal) so the store stays encoding-agnostic and trivially
+// implementable. Keys are slash-separated paths ("runs/<id>",
+// "jobs/<id>"); List enumerates by prefix, which is all the recovery
+// scans need.
+//
+// Two implementations ship: FileStore (one file per key under a root
+// directory, atomic tmp+rename writes, survives process death) and
+// MemStore (map under a mutex, for tests and ephemeral runs). Both are
+// safe for concurrent use.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Store is the durability contract. Implementations must be safe for
+// concurrent use; Put must be atomic (a crashed writer never leaves a
+// torn value visible to Get).
+type Store interface {
+	// Put durably associates key with value, replacing any previous
+	// value. The value slice is not retained.
+	Put(key string, value []byte) error
+	// Get returns the value stored at key. ok is false (with a nil
+	// error) when the key has never been Put or was Deleted.
+	Get(key string) (value []byte, ok bool, err error)
+	// Delete removes key. Deleting an absent key is not an error.
+	Delete(key string) error
+	// List returns the keys beginning with prefix, sorted.
+	List(prefix string) ([]string, error)
+}
+
+// ValidKey reports whether key is acceptable to the implementations in
+// this package: non-empty slash-separated segments of letters, digits,
+// and [-_.], with no "."/".." segments — so a key can never escape a
+// FileStore root or collide with its temp files.
+func ValidKey(key string) bool {
+	if key == "" {
+		return false
+	}
+	for _, seg := range strings.Split(key, "/") {
+		if seg == "" || seg == "." || seg == ".." {
+			return false
+		}
+		for _, c := range seg {
+			switch {
+			case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			case c == '-' || c == '_' || c == '.':
+			default:
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func checkKey(key string) error {
+	if !ValidKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	return nil
+}
+
+// MemStore is an in-memory Store: exact interface semantics, zero
+// durability. The zero value is ready to use.
+type MemStore struct {
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *MemStore { return &MemStore{} }
+
+// Put implements Store.
+func (s *MemStore) Put(key string, value []byte) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[string][]byte)
+	}
+	s.m[key] = append([]byte(nil), value...)
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key string) ([]byte, bool, error) {
+	if err := checkKey(key); err != nil {
+		return nil, false, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[key]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(key string) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.m, key)
+	return nil
+}
+
+// List implements Store.
+func (s *MemStore) List(prefix string) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var keys []string
+	for k := range s.m {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// FileStore is a file-backed Store: each key is one file under the
+// root directory (slash segments become subdirectories), written
+// atomically via a temp file + rename so a crash mid-Put leaves either
+// the old value or the new one, never a torn file.
+type FileStore struct {
+	root string
+	// mu serializes writers per process; cross-process atomicity comes
+	// from the rename itself.
+	mu sync.Mutex
+}
+
+// Open creates (if needed) and opens a file store rooted at dir.
+func Open(dir string) (*FileStore, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty state directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	return &FileStore{root: dir}, nil
+}
+
+// Root returns the backing directory.
+func (s *FileStore) Root() string { return s.root }
+
+func (s *FileStore) path(key string) string {
+	return filepath.Join(s.root, filepath.FromSlash(key))
+}
+
+// Put implements Store.
+func (s *FileStore) Put(key string, value []byte) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(value); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	if err := os.Rename(tmpName, p); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: put %s: %w", key, err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *FileStore) Get(key string) ([]byte, bool, error) {
+	if err := checkKey(key); err != nil {
+		return nil, false, err
+	}
+	b, err := os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: get %s: %w", key, err)
+	}
+	return b, true, nil
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(key string) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := os.Remove(s.path(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: delete %s: %w", key, err)
+	}
+	return nil
+}
+
+// List implements Store.
+func (s *FileStore) List(prefix string) ([]string, error) {
+	var keys []string
+	err := filepath.WalkDir(s.root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil // root vanished or raced a delete: empty listing
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if strings.HasPrefix(name, ".tmp-") {
+			return nil // abandoned atomic-write temp from a crashed Put
+		}
+		rel, err := filepath.Rel(s.root, p)
+		if err != nil {
+			return err
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: list %s: %w", prefix, err)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}

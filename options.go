@@ -21,6 +21,11 @@ type settings struct {
 	// to real) from "requested virtual" (a configuration error).
 	modeSet bool
 
+	// checkpointSet records an explicit WithCheckpointEvery, so Solve
+	// can refuse the contradictory WithCheckpointEvery(0)+WithStore
+	// combination up front instead of running without resume points.
+	checkpointSet bool
+
 	// Distributed execution (net.go options).
 	transport pvm.Transport
 	listen    *listenConfig
@@ -133,10 +138,48 @@ func WithRespawn(on bool) Option {
 // WithCheckpointEvery sets how many reports a TSW lets pass between
 // piggybacked recovery checkpoints: 1 (the default) checkpoints on
 // every report; larger values shrink report payloads at the price of
-// resurrecting a lost TSW from a staler state. Only meaningful in
-// adaptive runs with respawn enabled.
+// resurrecting a lost TSW from a staler state. An explicit 0 keeps
+// the default cadence in runs that checkpoint (respawn or store) and
+// is a no-op otherwise — except combined with WithStore, where asking
+// for no checkpoints contradicts the store's resume contract and
+// Solve refuses the configuration up front.
+//
+// Meaningful in adaptive runs with respawn enabled and in durable
+// (WithStore) runs; other runs carry no checkpoints at all. Note that
+// a WithStore run resumed from its snapshot is bit-equal to the
+// uninterrupted run only at the default cadence of 1 — a sparser
+// cadence still resumes correctly, from the staler checkpointed
+// state.
 func WithCheckpointEvery(reports int) Option {
-	return func(s *settings) { s.cfg.CheckpointEvery = reports }
+	return func(s *settings) {
+		s.cfg.CheckpointEvery = reports
+		s.checkpointSet = true
+	}
+}
+
+// WithStore makes the run crash-only durable: the master persists a
+// run snapshot (round index, incumbent best, every TSW's latest
+// checkpoint) to st at each synchronization barrier, and a later
+// Solve with the same store, problem, seed and parameters finds the
+// snapshot and resumes the run where it stopped — the snapshot is
+// deleted only on clean completion. A fixed-seed virtual-time run
+// resumed this way finishes bit-identical to the same store-enabled
+// run left uninterrupted (static workers, full sync, checkpoint
+// cadence 1). Snapshots live under "runs/run" in the store, so one
+// store tracks one run at a time; the serving daemon namespaces per
+// job instead.
+//
+// WithStore implies checkpointing but is independent of WithRespawn:
+// respawn recovers worker losses within a live run, the store
+// recovers the master process itself. A static store-enabled run
+// still aborts when a worker process dies — the snapshot is then what
+// makes the abort recoverable by the next Solve.
+//
+// Without a store, runs are bit-identical to earlier releases; the
+// durability machinery stays out of every message. A nil st is a
+// no-op.
+func WithStore(st Store) Option {
+	return func(s *settings) { s.cfg.Store = st }
 }
 
 // WithCluster selects the machines the run executes on.

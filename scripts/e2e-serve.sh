@@ -8,12 +8,20 @@
 #     single-process `pts -mode real` best costs exactly (with
 #     half-sync off the outcome depends only on the seed, so "the
 #     daemon does not distort the search" is provable as "identical").
+#     Both sides run with a state dir: a durable run uses the
+#     checkpoint-relative RNG protocol, a deliberately different (but
+#     equally deterministic) trajectory than a storeless run.
 #  2. While the long adaptive QAP job is still running, its leased
 #     worker — found via GET /v1/fleet busy flags — is killed -9. The
 #     job must still complete un-Interrupted (TSW resurrected from its
 #     checkpoint onto surviving lease capacity), and the already-
 #     finished neighbors prove the kill touched only the leasing job.
-#  3. SIGTERM to a worker drains it cleanly (exit 0, deregistered);
+#  3. Crash-only restart: with one job mid-run and one queued, ptsd is
+#     killed -9 and restarted over the same -state-dir. The restarted
+#     daemon must still serve the first job's completed result, resume
+#     the mid-run job, and re-admit the queued one — all finishing
+#     un-Interrupted.
+#  4. SIGTERM to a worker drains it cleanly (exit 0, deregistered);
 #     SIGTERM to ptsd shuts the daemon down cleanly.
 #
 # Usage: scripts/e2e-serve.sh [path-to-pts-binary] [path-to-ptsd-binary]
@@ -45,12 +53,12 @@ trap 'kill $(jobs -p) 2>/dev/null || true; rm -rf "$OUT"' EXIT
 STATIC=(-mode real -het=false -tsws 1 -clws 2 -global 3 -local 8
         -trials 6 -depth 3 -tenure 10 -diversify 12 -seed 5)
 
-echo "== single-process baselines"
-"$PTS" -circuit highway "${STATIC[@]}" -json "$OUT/base-highway.json" > /dev/null
-"$PTS" -circuit c532 "${STATIC[@]}" -json "$OUT/base-c532.json" > /dev/null
+echo "== single-process baselines (durable, like the daemon's jobs)"
+"$PTS" -circuit highway "${STATIC[@]}" -state-dir "$OUT/base-state-hw" -json "$OUT/base-highway.json" > /dev/null
+"$PTS" -circuit c532 "${STATIC[@]}" -state-dir "$OUT/base-state-c532" -json "$OUT/base-c532.json" > /dev/null
 
 echo "== start ptsd on $FLEET (http $BASE) + 3 any-workload workers"
-"$PTSD" -fleet "$FLEET" -http "$HTTP" > "$OUT/ptsd.log" 2>&1 &
+"$PTSD" -fleet "$FLEET" -http "$HTTP" -state-dir "$OUT/state" > "$OUT/ptsd.log" 2>&1 &
 DAEMON=$!
 sleep 0.5
 declare -A WPID
@@ -167,6 +175,61 @@ if [ "$total" != 2 ]; then
 fi
 echo "PASS: QAP job survived its worker's death un-Interrupted ($init -> $best), fleet down to 2"
 
+echo "== crash-only: kill -9 ptsd with one job mid-run + one queued, restart"
+# Occupy both surviving workers with a long job, queue a quick one
+# behind it, then kill the daemon with both in flight.
+J4=$(submit '{"problem":{"kind":"qap","n":20,"seed":5},"workers":2,
+              "config":{"tsws":1,"clws":2,"global_iters":6,"local_iters":10,
+                        "seed":5,"half_sync":false,"work_scale":20}}')
+st=""
+for _ in $(seq 1 100); do
+  st=$(curl -sf "$BASE/v1/jobs/$J4" | jq -r '.status')
+  [ "$st" = running ] && break
+  sleep 0.1
+done
+[ "$st" = running ] || { echo "FAIL: $J4 is $st, expected running"; exit 1; }
+J5=$(submit "{\"problem\":{\"kind\":\"placement\",\"circuit\":\"highway\"},\"workers\":1,\"config\":{$CFG}}")
+st=$(curl -sf "$BASE/v1/jobs/$J5" | jq -r '.status')
+[ "$st" = queued ] || { echo "FAIL: $J5 is $st, expected queued behind $J4"; exit 1; }
+J1BEST=$(curl -sf "$BASE/v1/jobs/$J1" | jq -r '.result.BestCost')
+
+echo "kill -9 ptsd (pid $DAEMON) with $J4 running and $J5 queued"
+kill -9 "$DAEMON"
+"$PTSD" -fleet "$FLEET" -http "$HTTP" -state-dir "$OUT/state" > "$OUT/ptsd2.log" 2>&1 &
+DAEMON=$!
+
+total=0
+for _ in $(seq 1 150); do
+  total=$(curl -sf "$BASE/v1/fleet" | jq -r '.total' 2>/dev/null || echo 0)
+  [ "$total" = 2 ] && break
+  sleep 0.2
+done
+if [ "$total" != 2 ]; then
+  echo "FAIL: workers never re-joined the restarted ptsd (total $total)"
+  cat "$OUT/ptsd2.log"; exit 1
+fi
+
+# The completed job's result is still served, from the journal alone.
+v=$(curl -sf "$BASE/v1/jobs/$J1")
+st=$(echo "$v" | jq -r '.status')
+got=$(echo "$v" | jq -r '.result.BestCost')
+if [ "$st" != done ] || [ "$got" != "$J1BEST" ]; then
+  echo "FAIL: restart lost $J1 (status $st, best $got; want done, $J1BEST)"; exit 1
+fi
+
+V4=$(wait_done "$J4" 120)
+V5=$(wait_done "$J5" 120)
+for pair in "$J4|$V4" "$J5|$V5"; do
+  id=${pair%%|*} v=${pair#*|}
+  st=$(echo "$v" | jq -r '.status')
+  intr=$(echo "$v" | jq -r '.result.Interrupted')
+  if [ "$st" != done ] || [ "$intr" != false ]; then
+    echo "FAIL: recovered job $id = $st (interrupted $intr)"
+    echo "$v" | jq .; cat "$OUT/ptsd2.log"; exit 1
+  fi
+done
+echo "PASS: restart re-served $J1's result, resumed $J4, re-admitted queued $J5"
+
 echo "== SIGTERM drains a worker cleanly and shuts the daemon down"
 kill -TERM "${WPID[w1]}" 2>/dev/null || kill -TERM "${WPID[w2]}" 2>/dev/null || true
 sleep 1
@@ -176,9 +239,9 @@ if [ "$total" != 1 ]; then
 fi
 kill -TERM "$DAEMON"
 if ! wait "$DAEMON"; then
-  echo "FAIL: ptsd exited non-zero on SIGTERM"; cat "$OUT/ptsd.log"; exit 1
+  echo "FAIL: ptsd exited non-zero on SIGTERM"; cat "$OUT/ptsd2.log"; exit 1
 fi
-grep -q "bye" "$OUT/ptsd.log" || {
-  echo "FAIL: ptsd did not report a clean shutdown"; cat "$OUT/ptsd.log"; exit 1
+grep -q "bye" "$OUT/ptsd2.log" || {
+  echo "FAIL: ptsd did not report a clean shutdown"; cat "$OUT/ptsd2.log"; exit 1
 }
 echo "PASS: serving daemon e2e complete"

@@ -12,16 +12,29 @@ import (
 	"pts/internal/serve"
 )
 
-// ServerOptions configures ListenServer.
+// ServerOptions configures ListenServer. The zero value is a working
+// local daemon: loopback fleet on an OS-picked port, the default queue
+// depth, no logging, and no persistence.
 type ServerOptions struct {
-	// FleetAddr is the TCP address worker daemons dial (default
-	// "127.0.0.1:0"; use ":0" to accept workers from other hosts on an
-	// OS-picked port, or a fixed ":9017"-style address).
+	// FleetAddr is the TCP address worker daemons dial. Zero value
+	// "127.0.0.1:0" accepts loopback workers on an OS-picked port; use
+	// ":0" to accept workers from other hosts, or a fixed
+	// ":9017"-style address.
 	FleetAddr string
-	// QueueDepth bounds how many jobs may wait behind the running ones
-	// (default serve.DefaultQueueDepth).
+	// QueueDepth bounds how many jobs may wait behind the running ones;
+	// submissions beyond it are refused with queue_full. Zero value
+	// means serve.DefaultQueueDepth.
 	QueueDepth int
+	// Store, when non-nil, makes the daemon crash-only: every job's
+	// spec, lifecycle and result is journaled under "jobs/<id>", each
+	// running job's solver snapshots under "runs/<id>", and a restarted
+	// ListenServer over the same store re-serves completed results,
+	// re-admits queued jobs, and resumes interrupted runs from their
+	// last synchronization barrier. Zero value (nil) keeps all job
+	// state in memory — a restart starts empty.
+	Store Store
 	// Logf, when non-nil, receives fleet and scheduler lifecycle lines.
+	// Zero value discards them.
 	Logf func(format string, args ...any)
 }
 
@@ -68,6 +81,7 @@ func ListenServer(opts ServerOptions) (*Server, error) {
 		Resolve:    resolveSpec,
 		Cluster:    cluster.Testbed12(defaultTestbedSeed),
 		QueueDepth: opts.QueueDepth,
+		Store:      opts.Store,
 		Logf:       opts.Logf,
 	})
 	if err != nil {
@@ -75,6 +89,10 @@ func ListenServer(opts ServerOptions) (*Server, error) {
 		return nil, err
 	}
 	sched.Store(s)
+	// Pump once now that the registry callback can reach the scheduler:
+	// jobs recovered from the store at construction are waiting in the
+	// queue and must not depend on a future worker join to start.
+	s.Notify()
 	return &Server{master: m, sched: s, api: serve.NewAPI(s)}, nil
 }
 
