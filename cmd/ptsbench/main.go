@@ -39,8 +39,9 @@ func main() {
 		verbose      = flag.Bool("v", false, "print one line per completed run")
 		hotpath      = flag.Bool("hotpath", false, "measure the trial-evaluation hot path and write BENCH_hotpath.json")
 		hotpathDur   = flag.Duration("hotpath-dur", time.Second, "measurement duration per hot-path kernel")
-		hotpathGuard = flag.String("hotpath-guard", "", "with -hotpath: fail if this circuit's trials/sec regressed below the previous committed results by more than -hotpath-tol")
+		hotpathGuard = flag.String("hotpath-guard", "", "with -hotpath: fail if any of these circuits' (comma-separated) trials/sec regressed below the previous committed results by more than -hotpath-tol, or if allocs_per_trial != 0 in the JSON")
 		hotpathTol   = flag.Float64("hotpath-tol", 0.10, "relative throughput regression tolerance for -hotpath-guard")
+		windows      = flag.Int("windows", bench.DefaultHotpathWindows, "best-of-K measurement windows per hot-path kernel; per-window stddev lands in the JSON")
 		hetero       = flag.Bool("hetero", false, "compare static vs adaptive scheduling wall time on an emulated 1-fast/3-slow cluster and write BENCH_hetero.json")
 		heteroScale  = flag.Float64("hetero-workscale", 0, "work emulation factor for -hetero (0 = default)")
 		recovery     = flag.Bool("recovery", false, "compare fold-only vs respawn recovery after a mid-run worker kill over loopback TCP and write BENCH_recovery.json")
@@ -57,7 +58,7 @@ func main() {
 		if *circuits != "" {
 			subset = strings.Split(*circuits, ",")
 		}
-		rep, err := bench.Hotpath(subset, *hotpathDur)
+		rep, err := bench.Hotpath(subset, *hotpathDur, *windows)
 		if err != nil {
 			fatal(err)
 		}

@@ -130,6 +130,18 @@
 //     candidate generation order, float accumulation order and argmin
 //     tie-breaking are preserved, so fixed-seed static runs reproduce
 //     the scalar trajectory exactly (asserted by fuzz and golden tests).
+//   - Strict vs relaxed accumulation: the contract above is the strict
+//     (default) mode, pinned by golden_test.go, and it never changes.
+//     WithRelaxedAccumulation opts batch evaluation into reassociated
+//     kernels — multi-lane weighted-delta accumulation and a
+//     reciprocal-multiply membership fold — that may differ from the
+//     strict path in final-ulp rounding but remain deterministic per
+//     seed; golden_relaxed_test.go pins the relaxed trajectories
+//     separately. WithEvaluationPool shards batches over persistent
+//     per-CLW worker goroutines without changing any candidate's
+//     arithmetic; it is available only in relaxed mode (strict mode
+//     keeps the audited single-threaded path) and both modes stay
+//     allocation-free per trial.
 //
 // The implementation lives under internal/ (ARCHITECTURE.md maps the
 // layers and documents every protocol message); cmd/ holds the

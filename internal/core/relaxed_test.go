@@ -1,0 +1,100 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"pts/internal/cluster"
+	"pts/internal/netlist"
+)
+
+// relaxedCfg is quickCfg with the relaxed kernels and the evaluation
+// pool forced on — the configuration the CI -race job drives through
+// this file so the pool's goroutine hand-off (channel sends of spans,
+// WaitGroup, shared output slices over disjoint ranges) is exercised
+// under the race detector.
+func relaxedCfg() Config {
+	cfg := quickCfg()
+	cfg.RelaxedAccumulation = true
+	cfg.EvalWorkers = 4
+	return cfg
+}
+
+// TestRelaxedPoolRace runs full searches with relaxed accumulation and
+// the per-CLW evaluation pool on, in both execution modes: real mode
+// for genuine parallelism between CLWs and their pool workers, virtual
+// mode because that is where the goldens live. Its value is mostly
+// under -race (the CI job runs this package with it); without the
+// detector it still checks the runs complete and improve.
+func TestRelaxedPoolRace(t *testing.T) {
+	nl := netlist.MustBenchmark("c532")
+	for _, mode := range []Mode{Real, Virtual} {
+		res, err := Run(nl, cluster.Homogeneous(12, 1), relaxedCfg(), mode)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if res.BestCost >= res.InitialCost {
+			t.Errorf("mode %v: no improvement: %v -> %v", mode, res.InitialCost, res.BestCost)
+		}
+	}
+}
+
+// TestRelaxedPoolDeterministicVirtual: the pool shards batches but never
+// reorders any candidate's arithmetic, so pooled relaxed virtual runs
+// stay bit-reproducible — and identical to the same run without the
+// pool.
+func TestRelaxedPoolDeterministicVirtual(t *testing.T) {
+	nl := netlist.MustBenchmark("highway")
+	clus := cluster.Testbed12(5)
+	a, err := Run(nl, clus, relaxedCfg(), Virtual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(nl, clus, relaxedCfg(), Virtual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(a.BestCost) != math.Float64bits(b.BestCost) {
+		t.Errorf("pooled relaxed virtual runs differ: %.17g vs %.17g", a.BestCost, b.BestCost)
+	}
+	noPool := relaxedCfg()
+	noPool.EvalWorkers = 0
+	c, err := Run(nl, clus, noPool, Virtual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(a.BestCost) != math.Float64bits(c.BestCost) {
+		t.Errorf("pool changed the trajectory: pooled %.17g, unpooled %.17g", a.BestCost, c.BestCost)
+	}
+}
+
+// TestRelaxedConfigValidation pins the pool's gating: the pool reorders
+// which goroutine evaluates a candidate (never the arithmetic), but it
+// is specified as a relaxed-mode capability, and strict mode must keep
+// the audited single-threaded path.
+func TestRelaxedConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.EvalWorkers = 4
+	if err := cfg.Validate(); err == nil {
+		t.Error("EvalWorkers > 1 without RelaxedAccumulation accepted")
+	}
+	cfg.RelaxedAccumulation = true
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("relaxed pool config rejected: %v", err)
+	}
+	cfg.EvalWorkers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative EvalWorkers accepted")
+	}
+}
+
+// TestRelaxedWireRoundTrip: the relaxed flag and pool size travel in the
+// job payload so every worker of a distributed run scores with the same
+// kernels.
+func TestRelaxedWireRoundTrip(t *testing.T) {
+	cfg := relaxedCfg()
+	got := cfg.wire().config()
+	if !got.RelaxedAccumulation || got.EvalWorkers != cfg.EvalWorkers {
+		t.Errorf("wire round trip dropped the relaxed fields: %+v", got)
+	}
+}

@@ -1,0 +1,111 @@
+package cost
+
+import (
+	"sync"
+
+	"pts/internal/placement"
+	"pts/internal/tabu"
+)
+
+// The per-CLW evaluation pool: a bounded set of persistent worker
+// goroutines that shard one DeltaSwapBatch call across cores. Every
+// candidate of a batch is a trial move against the same frozen
+// placement — batch evaluation never mutates state — so candidates are
+// independent by construction and a shard is just a contiguous index
+// range: each worker runs the placement kernel and the relaxed fold
+// over its range, writing disjoint output ranges.
+//
+// The pool exists only in relaxed mode (SetEvalWorkers is ignored by
+// DeltaSwapBatch otherwise): sharding per se does not reorder any
+// accumulation — each candidate's sums stay inside its shard — but the
+// pool is only race-audited against the relaxed kernels and strict
+// mode's contract is "the PR 7 single-threaded path, bit-identical",
+// which a pool would dilute for no gain.
+//
+// Workers are persistent (started once by SetEvalWorkers, stopped by
+// Close) because the hot path's zero-allocation contract rules out
+// per-batch goroutine spawns: a go statement with a capturing closure
+// allocates. Dispatch is a buffered channel of small value structs and
+// a WaitGroup — none of which allocate in steady state.
+
+// poolMinBatch is the smallest batch worth sharding; below it the
+// dispatch overhead (channel round trips plus a WaitGroup wait)
+// outweighs the overlap and DeltaSwapBatch runs the shard inline.
+const poolMinBatch = 32
+
+// poolSpan is one dispatched shard: a candidate index range [lo, hi).
+type poolSpan struct{ lo, hi int }
+
+// evalPool runs DeltaSwapBatch shards on persistent workers.
+type evalPool struct {
+	e       *Evaluator
+	workers int
+	work    chan poolSpan
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	// Per-batch context, written by run before any dispatch and read by
+	// workers after receiving a span (the channel send orders the two).
+	cands []tabu.SwapCand
+	pc    []placement.SwapCand
+	crit  []float64
+	dLen  []float64
+	dW    []float64
+	area  []float64
+	out   []float64
+}
+
+// newEvalPool starts `workers` persistent evaluation goroutines.
+func newEvalPool(e *Evaluator, workers int) *evalPool {
+	p := &evalPool{
+		e:       e,
+		workers: workers,
+		work:    make(chan poolSpan, workers),
+		quit:    make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// worker processes shards until the pool closes.
+func (p *evalPool) worker() {
+	for {
+		select {
+		case <-p.quit:
+			return
+		case s := <-p.work:
+			p.e.evalRange(p.cands, p.pc, p.crit, p.dLen, p.dW, p.area, p.out, s.lo, s.hi)
+			p.wg.Done()
+		}
+	}
+}
+
+// run shards one batch across the workers and blocks until every shard
+// completed. Shard size targets an even split per worker, capped at
+// placement.MaxConcurrentBatch so the placement kernel stays race-free.
+func (p *evalPool) run(cands []tabu.SwapCand, pc []placement.SwapCand, crit, dLen, dW, area, out []float64) {
+	n := len(cands)
+	shard := (n + p.workers - 1) / p.workers
+	if shard > placement.MaxConcurrentBatch {
+		shard = placement.MaxConcurrentBatch
+	}
+	p.cands, p.pc, p.crit = cands, pc, crit
+	p.dLen, p.dW, p.area, p.out = dLen, dW, area, out
+	spans := (n + shard - 1) / shard
+	p.wg.Add(spans)
+	for lo := 0; lo < n; lo += shard {
+		hi := lo + shard
+		if hi > n {
+			hi = n
+		}
+		p.work <- poolSpan{lo: lo, hi: hi}
+	}
+	p.wg.Wait()
+	p.cands, p.pc, p.crit = nil, nil, nil
+	p.dLen, p.dW, p.area, p.out = nil, nil, nil, nil
+}
+
+// close stops the workers; idempotent via Evaluator.Close's nil-out.
+func (p *evalPool) close() { close(p.quit) }

@@ -1,0 +1,174 @@
+package placement
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pts/internal/netlist"
+)
+
+// boundaryNetlist is a small random circuit for the compaction-boundary
+// fuzz: enough cells and shared nets that batch merge walks hit the
+// two-sided, one-sided and shared-net cases.
+func boundaryNetlist(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	r := rand.New(rand.NewSource(99))
+	const gates = 48
+	nl := &netlist.Netlist{Name: "boundary"}
+	nl.Cells = append(nl.Cells, netlist.Cell{Name: "pi", Width: 2, Kind: netlist.Input})
+	for i := 0; i < gates; i++ {
+		nl.Cells = append(nl.Cells, netlist.Cell{
+			Name:  "g" + string(rune('a'+i%26)) + string(rune('0'+i/26)),
+			Width: 1 + r.Intn(4), Delay: 0.1, Kind: netlist.Gate,
+		})
+	}
+	nl.Cells = append(nl.Cells, netlist.Cell{Name: "po", Width: 2, Kind: netlist.Output})
+	// One net per gate, driven by an earlier cell so the circuit stays
+	// acyclic, with 1-4 random later sinks (the last net feeds po).
+	for i := 0; i < gates; i++ {
+		drv := netlist.CellID(r.Intn(i + 1)) // 0 = pi or an earlier gate
+		sinks := []netlist.CellID{netlist.CellID(i + 1)}
+		for s := r.Intn(4); s > 0; s-- {
+			sk := netlist.CellID(i + 1 + r.Intn(gates+1-i))
+			dup := sk == drv
+			for _, have := range sinks {
+				dup = dup || sk == have
+			}
+			if !dup {
+				sinks = append(sinks, sk)
+			}
+		}
+		nl.Nets = append(nl.Nets, netlist.Net{Name: "n", Driver: drv, Sinks: sinks})
+	}
+	if err := nl.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+// TestCompactBoundaryBitEqual fuzzes the int16 compaction at its limit:
+// a 2 x 32768 layout is the largest grid the compact layout accepts
+// (columns span [0, 32767] = MaxInt16, so per-axis extents and deltas
+// touch the full int16 range), and every objective the trial kernels
+// produce there must be bit-for-bit the int32 fallback's. The wide twin
+// is the same placement through the forceWideBoxes test hook, mutated in
+// lockstep; strict and relaxed batch modes are both checked (relaxed
+// reassociates, but identically in either width).
+func TestCompactBoundaryBitEqual(t *testing.T) {
+	nl := boundaryNetlist(t)
+	l := Layout{Rows: 2, Cols: compactMaxDim}
+	p, err := New(nl, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Compact() {
+		t.Fatalf("2x%d layout not compact; compactFits broken at the boundary", compactMaxDim)
+	}
+	r := rand.New(rand.NewSource(3))
+	p.Randomize(r)
+	// Pin cells to the extreme columns so the boundary is provably
+	// exercised, not just probable: cell 0 at the first slot of row 0,
+	// cell 1 at the last slot of row 1 (column 32767).
+	for c, slot := range []int{0, l.Slots() - 1} {
+		pos := l.SlotPos(slot)
+		if p.slot[slot] == netlist.None {
+			if err := p.MoveToSlot(netlist.CellID(c), pos); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			p.SwapCells(netlist.CellID(c), p.slot[slot])
+		}
+	}
+	wide := p.Clone()
+	wide.forceWideBoxes()
+	if wide.Compact() {
+		t.Fatal("forceWideBoxes left the clone compact")
+	}
+
+	cells := nl.NumCells()
+	w := make([]float64, nl.NumNets())
+	for i := range w {
+		w[i] = 1 / float64(i+1)
+	}
+	const batch = 16
+	cands := make([]SwapCand, batch)
+	dLen16 := make([]float64, batch)
+	dW16 := make([]float64, batch)
+	area16 := make([]float64, batch)
+	dLen32 := make([]float64, batch)
+	dW32 := make([]float64, batch)
+	area32 := make([]float64, batch)
+
+	maxCol := int32(0)
+	for round := 0; round < 400; round++ {
+		relaxed := round%2 == 1
+		p.SetRelaxedAccumulation(relaxed)
+		wide.SetRelaxedAccumulation(relaxed)
+		for i := range cands {
+			cands[i] = SwapCand{
+				A: netlist.CellID(r.Intn(cells)),
+				B: netlist.CellID(r.Intn(cells)),
+			}
+		}
+		p.SwapObjectivesBatch(cands, w, dLen16, dW16, area16)
+		wide.SwapObjectivesBatch(cands, w, dLen32, dW32, area32)
+		for i := range cands {
+			if math.Float64bits(dLen16[i]) != math.Float64bits(dLen32[i]) ||
+				math.Float64bits(dW16[i]) != math.Float64bits(dW32[i]) ||
+				math.Float64bits(area16[i]) != math.Float64bits(area32[i]) {
+				t.Fatalf("round %d (relaxed=%v) cand %d (%d,%d): compact (%v,%v,%v) != wide (%v,%v,%v)",
+					round, relaxed, i, cands[i].A, cands[i].B,
+					dLen16[i], dW16[i], area16[i], dLen32[i], dW32[i], area32[i])
+			}
+		}
+		// The scalar kernel too, through the same dispatch seam.
+		a, b := cands[0].A, cands[0].B
+		sl16, sw16 := p.SwapDeltaWeighted(a, b, w)
+		sl32, sw32 := wide.SwapDeltaWeighted(a, b, w)
+		if math.Float64bits(sl16) != math.Float64bits(sl32) ||
+			math.Float64bits(sw16) != math.Float64bits(sw32) {
+			t.Fatalf("round %d scalar (%d,%d): compact (%v,%v) != wide (%v,%v)",
+				round, a, b, sl16, sw16, sl32, sw32)
+		}
+		// Commit a swap on both twins and keep fuzzing from the new state.
+		p.SwapCells(a, b)
+		wide.SwapCells(a, b)
+		if math.Float64bits(p.HPWL()) != math.Float64bits(wide.HPWL()) {
+			t.Fatalf("round %d: HPWL diverged after commit: compact %v, wide %v",
+				round, p.HPWL(), wide.HPWL())
+		}
+		for c := 0; c < cells; c++ {
+			if col := p.pos[c].Col; col > maxCol {
+				maxCol = col
+			}
+		}
+	}
+	if maxCol != compactMaxDim-1 {
+		t.Fatalf("fuzz never placed a cell at the boundary column %d (max %d)", compactMaxDim-1, maxCol)
+	}
+}
+
+// TestCompactOverflowFallback pins the overflow guard: one slot past the
+// int16 boundary on either axis and New must choose the wide layout on
+// its own.
+func TestCompactOverflowFallback(t *testing.T) {
+	nl := boundaryNetlist(t)
+	for _, l := range []Layout{
+		{Rows: 2, Cols: compactMaxDim + 1},
+		{Rows: compactMaxDim + 1, Cols: 2},
+	} {
+		p, err := New(nl, l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Compact() {
+			t.Errorf("layout %dx%d exceeds int16 coordinates but got the compact store", l.Rows, l.Cols)
+		}
+	}
+	if p, err := New(nl, Layout{Rows: 2, Cols: compactMaxDim}); err != nil {
+		t.Fatal(err)
+	} else if !p.Compact() {
+		t.Error("layout at the boundary should use the compact store")
+	}
+}

@@ -20,12 +20,12 @@ import (
 // from-scratch recompute.
 func checkConsistency(p *Placement) error {
 	hpwl := 0.0
-	for n := range p.boxes {
+	for n := 0; n < p.nl.NumNets(); n++ {
 		ref := p.scanBox(netlist.NetID(n))
-		if p.boxes[n] != ref {
-			return fmt.Errorf("net %d box drifted: have %+v want %+v", n, p.boxes[n], ref)
+		if got := p.boxAt(netlist.NetID(n)); got != ref {
+			return fmt.Errorf("net %d box drifted: have %+v want %+v", n, got, ref)
 		}
-		hpwl += ref.length()
+		hpwl += boxLength(&ref)
 	}
 	if math.Abs(hpwl-p.hpwl) > 1e-6*(1+math.Abs(hpwl)) {
 		return fmt.Errorf("hpwl drifted: have %v want %v", p.hpwl, hpwl)

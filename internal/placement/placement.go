@@ -9,56 +9,6 @@ import (
 	"pts/internal/netlist"
 )
 
-// netBox is a net's bounding box over its terminals' slot coordinates,
-// augmented per axis with the runner-up order statistics: minX2 is the
-// second-smallest pin column (equal to minX when several pins share the
-// boundary — the boundary-multiplicity encoding), maxX2 the second
-// largest, and likewise for rows. The runner-ups make every single-pin
-// trial move O(1) with no fallback: removing the pin at a boundary
-// exposes the runner-up as the new extreme, removing any other pin
-// leaves the boundary alone, and the added pin can only push a boundary
-// outward — the classic HPWL bookkeeping of timing-driven placers.
-// Nets always have ≥ 2 pins (netlist.Finish enforces a driver plus at
-// least one sink), so both statistics exist.
-type netBox struct {
-	minX, minX2, maxX2, maxX int32
-	minY, minY2, maxY2, maxY int32
-}
-
-// length returns the half-perimeter of the box.
-func (b *netBox) length() float64 {
-	return float64(b.maxX-b.minX) + float64(b.maxY-b.minY)
-}
-
-// axisExtent returns one axis' extent after removing a pin at `from`
-// and adding one at `to`, given the (m1 ≤ m2 … M2 ≤ M1) order
-// statistics: the runner-up takes over when the boundary pin leaves,
-// and the new pin can only push a boundary outward. Small enough to
-// inline, and every conditional compiles to a CMOV.
-func axisExtent(m1, m2, M2, M1, from, to int32) int32 {
-	lo, hi := m1, M1
-	if from == lo {
-		lo = m2
-	}
-	if from == hi {
-		hi = M2
-	}
-	if to < lo {
-		lo = to
-	}
-	if to > hi {
-		hi = to
-	}
-	return hi - lo
-}
-
-// trialDelta returns the integer change of the net's half-perimeter if
-// one pin relocated from `from` to `to`, in O(1) with no pin access.
-func (b *netBox) trialDelta(from, to Pos) int32 {
-	return axisExtent(b.minX, b.minX2, b.maxX2, b.maxX, from.Col, to.Col) - (b.maxX - b.minX) +
-		axisExtent(b.minY, b.minY2, b.maxY2, b.maxY, from.Row, to.Row) - (b.maxY - b.minY)
-}
-
 // Placement assigns every cell of a netlist to a distinct slot of a
 // layout and maintains, incrementally and exactly:
 //
@@ -74,10 +24,18 @@ type Placement struct {
 	nl *netlist.Netlist
 	L  Layout
 
-	pos   []Pos            // cell -> slot position
-	slot  []netlist.CellID // linear slot index -> cell (None if empty)
-	boxes []netBox         // per-net counted bounding boxes
-	hpwl  float64          // total half-perimeter wirelength
+	pos  []Pos            // cell -> slot position
+	slot []netlist.CellID // linear slot index -> cell (None if empty)
+
+	// Per-net counted bounding boxes, in exactly one of two layouts:
+	// boxes16 (the compact int16 layout, chosen when compactFits(L) so
+	// benchmark-scale box arrays stay L1-resident) or boxes (the wide
+	// int32 fallback for oversized layouts). The unused slice is nil;
+	// both layouts produce bit-identical deltas (see box.go).
+	boxes   []netBox
+	boxes16 []netBoxT[int16]
+
+	hpwl float64 // total half-perimeter wirelength
 
 	rowWidth []int // per-row sum of cell widths
 
@@ -93,6 +51,10 @@ type Placement struct {
 	// through them drags whole cache lines per cell); built once in New
 	// and shared by clones like the netlist itself.
 	cellWidth []int32
+
+	// relaxed selects the reassociated batch-accumulation kernel for
+	// SwapObjectivesBatch (see batch.go); scalar kernels are unaffected.
+	relaxed bool
 
 	// Scratch: rescan queues nets whose box needs a full recompute after
 	// a commit, importSeen backs Import validation, batchKeys holds the
@@ -118,9 +80,13 @@ func New(nl *netlist.Netlist, l Layout) (*Placement, error) {
 		L:         l,
 		pos:       make([]Pos, nl.NumCells()),
 		slot:      make([]netlist.CellID, l.Slots()),
-		boxes:     make([]netBox, nl.NumNets()),
 		rowWidth:  make([]int, l.Rows),
 		cellWidth: make([]int32, nl.NumCells()),
+	}
+	if compactFits(l) {
+		p.boxes16 = make([]netBoxT[int16], nl.NumNets())
+	} else {
+		p.boxes = make([]netBox, nl.NumNets())
 	}
 	for c := range p.cellWidth {
 		p.cellWidth[c] = int32(nl.Cells[c].Width)
@@ -158,7 +124,10 @@ func (p *Placement) CellAt(at Pos) netlist.CellID { return p.slot[p.L.SlotIndex(
 func (p *Placement) HPWL() float64 { return p.hpwl }
 
 // NetHPWL returns the maintained half-perimeter of one net.
-func (p *Placement) NetHPWL(n netlist.NetID) float64 { return p.boxes[n].length() }
+func (p *Placement) NetHPWL(n netlist.NetID) float64 {
+	b := p.boxAt(n)
+	return boxLength(&b)
+}
 
 // MaxRowWidth returns the width of the widest row, the area objective.
 func (p *Placement) MaxRowWidth() int { return p.top1W }
@@ -166,13 +135,63 @@ func (p *Placement) MaxRowWidth() int { return p.top1W }
 // RowWidth returns the occupied width of one row.
 func (p *Placement) RowWidth(row int) int { return p.rowWidth[row] }
 
+// Compact reports whether this placement stores its net boxes in the
+// L1-compact int16 layout (chosen automatically when the layout's
+// dimensions fit; see box.go).
+func (p *Placement) Compact() bool { return p.boxes16 != nil }
+
+// SetRelaxedAccumulation selects the reassociated batch-accumulation
+// kernel for SwapObjectivesBatch: the weighted-delta sum is accumulated
+// in independent lanes instead of the strictly ascending-net-id serial
+// order, so results may differ from the scalar path in final-ulp
+// rounding (deterministically — the relaxed order is fixed too). Off
+// (the default), batch evaluation is bit-identical to the scalar
+// kernels. Scalar trial and commit paths are unaffected either way.
+func (p *Placement) SetRelaxedAccumulation(on bool) { p.relaxed = on }
+
+// RelaxedAccumulation reports the current batch-accumulation mode.
+func (p *Placement) RelaxedAccumulation() bool { return p.relaxed }
+
+// boxAt returns net n's box in the wide currency regardless of layout;
+// cold paths (per-net queries, invariant checks, density maps) use it.
+func (p *Placement) boxAt(n netlist.NetID) netBox {
+	if p.boxes16 != nil {
+		return widenBox(p.boxes16[n])
+	}
+	return p.boxes[n]
+}
+
+// setBox stores a freshly scanned wide box into the active layout.
+func (p *Placement) setBox(n netlist.NetID, b netBox) {
+	if p.boxes16 != nil {
+		p.boxes16[n] = narrowBox(b)
+	} else {
+		p.boxes[n] = b
+	}
+}
+
+// forceWideBoxes rebuilds the box store in the wide int32 layout even
+// when the compact one fits — the test hook that lets the compaction
+// boundary be fuzzed by running both layouts on one placement.
+func (p *Placement) forceWideBoxes() {
+	if p.boxes16 == nil {
+		return
+	}
+	p.boxes = make([]netBox, len(p.boxes16))
+	for n, b := range p.boxes16 {
+		p.boxes[n] = widenBox(b)
+	}
+	p.boxes16 = nil
+}
+
 // recomputeAll rebuilds every net box, the total HPWL, the row widths
 // and the top-two cache from scratch. O(pins + rows).
 func (p *Placement) recomputeAll() {
 	p.hpwl = 0
 	for n := 0; n < p.nl.NumNets(); n++ {
-		p.boxes[n] = p.scanBox(netlist.NetID(n))
-		p.hpwl += p.boxes[n].length()
+		b := p.scanBox(netlist.NetID(n))
+		p.setBox(netlist.NetID(n), b)
+		p.hpwl += boxLength(&b)
 	}
 	for r := range p.rowWidth {
 		p.rowWidth[r] = 0
@@ -184,10 +203,11 @@ func (p *Placement) recomputeAll() {
 }
 
 // scanBox computes net n's bounding box with runner-up statistics from
-// the current positions by scanning its pins. O(degree); recomputeAll
-// and the commit fallback use it. The running two-smallest/two-largest
-// updates are phrased as min/max pairs so they compile to conditional
-// moves instead of data-dependent branches.
+// the current positions by scanning its pins, in the wide currency
+// (setBox narrows it when the compact layout is active). O(degree);
+// recomputeAll and the commit fallback use it. The running
+// two-smallest/two-largest updates are phrased as min/max pairs so they
+// compile to conditional moves instead of data-dependent branches.
 func (p *Placement) scanBox(n netlist.NetID) netBox {
 	pins := p.nl.Pins(n)
 	q := p.pos[pins[0]]
@@ -218,10 +238,25 @@ func (p *Placement) scanBox(n netlist.NetID) netBox {
 // outright: exchanging two of a net's pins leaves its pin multiset, and
 // hence its box, unchanged.
 func (p *Placement) SwapDeltaWeighted(a, b netlist.CellID, w []float64) (dLen, dWeighted float64) {
+	if p.boxes16 != nil {
+		return swapDeltaWeighted(p, p.boxes16, a, b, w)
+	}
+	return swapDeltaWeighted(p, p.boxes, a, b, w)
+}
+
+// swapDeltaWeighted is SwapDeltaWeighted's generic body over one box
+// layout; the accumulation order (globally ascending net id, serial) is
+// identical in both instantiations. Like the batch kernels, the per-net
+// delta is trialDelta's arithmetic written out in the loop (axisExtent
+// inlines where the composed trialDelta would cost a call per net), with
+// the positions converted to the box width C once.
+func swapDeltaWeighted[C coord](p *Placement, boxes []netBoxT[C], a, b netlist.CellID, w []float64) (dLen, dWeighted float64) {
 	pa, pb := p.pos[a], p.pos[b]
 	if pa == pb {
 		return 0, 0
 	}
+	paCol, paRow := C(pa.Col), C(pa.Row)
+	pbCol, pbRow := C(pb.Col), C(pb.Row)
 	an, bn := p.nl.CellNets(a), p.nl.CellNets(b)
 	var di int32
 	i, j := 0, 0
@@ -231,7 +266,10 @@ func (p *Placement) SwapDeltaWeighted(a, b netlist.CellID, w []float64) (dLen, d
 			i++
 			j++
 		case na < nb:
-			if d := p.boxes[na].trialDelta(pa, pb); d != 0 {
+			bx := &boxes[na]
+			d := int32(axisExtent(bx.minX, bx.minX2, bx.maxX2, bx.maxX, paCol, pbCol)-(bx.maxX-bx.minX)) +
+				int32(axisExtent(bx.minY, bx.minY2, bx.maxY2, bx.maxY, paRow, pbRow)-(bx.maxY-bx.minY))
+			if d != 0 {
 				di += d
 				if w != nil {
 					dWeighted += w[na] * float64(d)
@@ -239,7 +277,10 @@ func (p *Placement) SwapDeltaWeighted(a, b netlist.CellID, w []float64) (dLen, d
 			}
 			i++
 		default:
-			if d := p.boxes[nb].trialDelta(pb, pa); d != 0 {
+			bx := &boxes[nb]
+			d := int32(axisExtent(bx.minX, bx.minX2, bx.maxX2, bx.maxX, pbCol, paCol)-(bx.maxX-bx.minX)) +
+				int32(axisExtent(bx.minY, bx.minY2, bx.maxY2, bx.maxY, pbRow, paRow)-(bx.maxY-bx.minY))
+			if d != 0 {
 				di += d
 				if w != nil {
 					dWeighted += w[nb] * float64(d)
@@ -249,7 +290,10 @@ func (p *Placement) SwapDeltaWeighted(a, b netlist.CellID, w []float64) (dLen, d
 		}
 	}
 	for ; i < len(an); i++ {
-		if d := p.boxes[an[i]].trialDelta(pa, pb); d != 0 {
+		bx := &boxes[an[i]]
+		d := int32(axisExtent(bx.minX, bx.minX2, bx.maxX2, bx.maxX, paCol, pbCol)-(bx.maxX-bx.minX)) +
+			int32(axisExtent(bx.minY, bx.minY2, bx.maxY2, bx.maxY, paRow, pbRow)-(bx.maxY-bx.minY))
+		if d != 0 {
 			di += d
 			if w != nil {
 				dWeighted += w[an[i]] * float64(d)
@@ -257,7 +301,10 @@ func (p *Placement) SwapDeltaWeighted(a, b netlist.CellID, w []float64) (dLen, d
 		}
 	}
 	for ; j < len(bn); j++ {
-		if d := p.boxes[bn[j]].trialDelta(pb, pa); d != 0 {
+		bx := &boxes[bn[j]]
+		d := int32(axisExtent(bx.minX, bx.minX2, bx.maxX2, bx.maxX, pbCol, paCol)-(bx.maxX-bx.minX)) +
+			int32(axisExtent(bx.minY, bx.minY2, bx.maxY2, bx.maxY, pbRow, paRow)-(bx.maxY-bx.minY))
+		if d != 0 {
 			di += d
 			if w != nil {
 				dWeighted += w[bn[j]] * float64(d)
@@ -278,8 +325,9 @@ func (p *Placement) VisitSwapDeltas(a, b netlist.CellID, fn func(n netlist.NetID
 		return
 	}
 	visit := func(n netlist.NetID, from, to Pos) {
-		if d := p.boxes[n].trialDelta(from, to); d != 0 {
-			old := p.boxes[n].length()
+		b := p.boxAt(n)
+		if d := trialDelta(&b, from, to); d != 0 {
+			old := boxLength(&b)
 			fn(n, old, old+float64(d))
 		}
 	}
@@ -405,22 +453,22 @@ func (p *Placement) refreshTopRows() {
 // box statistics update in place when the moved pin sits strictly
 // between the runner-up statistics, and otherwise the net is queued on
 // p.rescan for a stats rebuild after the caller updates the position
-// arrays. Trials never rescan (see netBox.trialDelta); this amortized
+// arrays. Trials never rescan (see trialDelta); this amortized
 // fallback runs only on the rare committed moves.
-func (p *Placement) commitPinMove(n netlist.NetID, from, to Pos) {
-	b := &p.boxes[n]
-	p.hpwl += float64(b.trialDelta(from, to))
+func commitPinMove[C coord](p *Placement, boxes []netBoxT[C], n netlist.NetID, from, to Pos) {
+	b := &boxes[n]
+	p.hpwl += float64(trialDelta(b, from, to))
 	if len(p.nl.Pins(n)) <= 3 {
 		// Every pin of a 2- or 3-pin net is one of the four tracked
 		// statistics on each axis, so the O(1) update can never apply.
 		p.rescan = append(p.rescan, n)
 		return
 	}
-	loX, loX2, hiX2, hiX, okX := commitAxis(b.minX, b.minX2, b.maxX2, b.maxX, from.Col, to.Col)
+	loX, loX2, hiX2, hiX, okX := commitAxis(b.minX, b.minX2, b.maxX2, b.maxX, C(from.Col), C(to.Col))
 	if okX {
-		loY, loY2, hiY2, hiY, okY := commitAxis(b.minY, b.minY2, b.maxY2, b.maxY, from.Row, to.Row)
+		loY, loY2, hiY2, hiY, okY := commitAxis(b.minY, b.minY2, b.maxY2, b.maxY, C(from.Row), C(to.Row))
 		if okY {
-			*b = netBox{
+			*b = netBoxT[C]{
 				minX: loX, minX2: loX2, maxX2: hiX2, maxX: hiX,
 				minY: loY, minY2: loY2, maxY2: hiY2, maxY: hiY,
 			}
@@ -430,37 +478,12 @@ func (p *Placement) commitPinMove(n netlist.NetID, from, to Pos) {
 	p.rescan = append(p.rescan, n)
 }
 
-// commitAxis resolves one axis of a committed single-pin move against
-// the (m1 ≤ m2 … M2 ≤ M1) order statistics. Removing a pin that sits at
-// one of the four tracked statistics would expose an untracked third
-// statistic, so ok=false demands a rescan; otherwise the removal leaves
-// the statistics alone and the addition updates them exactly.
-func commitAxis(m1, m2, M2, M1, from, to int32) (int32, int32, int32, int32, bool) {
-	if from == to {
-		return m1, m2, M2, M1, true
-	}
-	if from <= m2 || from >= M2 {
-		return 0, 0, 0, 0, false
-	}
-	if to <= m1 {
-		m2, m1 = m1, to
-	} else if to < m2 {
-		m2 = to
-	}
-	if to >= M1 {
-		M2, M1 = M1, to
-	} else if to > M2 {
-		M2 = to
-	}
-	return m1, m2, M2, M1, true
-}
-
 // flushRescans rebuilds the queued nets' box statistics from the (now
 // current) positions; the HPWL was already adjusted exactly at commit
 // time.
 func (p *Placement) flushRescans() {
 	for _, n := range p.rescan {
-		p.boxes[n] = p.scanBox(n)
+		p.setBox(n, p.scanBox(n))
 	}
 	p.rescan = p.rescan[:0]
 }
@@ -476,26 +499,10 @@ func (p *Placement) SwapCells(a, b netlist.CellID) {
 
 	// Net boxes and total HPWL; nets carrying both cells keep their box
 	// (merge walk over the sorted CSR net lists, as in SwapDeltaWeighted).
-	an, bn := p.nl.CellNets(a), p.nl.CellNets(b)
-	i, j := 0, 0
-	for i < len(an) && j < len(bn) {
-		switch na, nb := an[i], bn[j]; {
-		case na == nb:
-			i++
-			j++
-		case na < nb:
-			p.commitPinMove(na, pa, pb)
-			i++
-		default:
-			p.commitPinMove(nb, pb, pa)
-			j++
-		}
-	}
-	for ; i < len(an); i++ {
-		p.commitPinMove(an[i], pa, pb)
-	}
-	for ; j < len(bn); j++ {
-		p.commitPinMove(bn[j], pb, pa)
+	if p.boxes16 != nil {
+		swapCommitBoxes(p, p.boxes16, a, b, pa, pb)
+	} else {
+		swapCommitBoxes(p, p.boxes, a, b, pa, pb)
 	}
 
 	// Row widths and the top-two cache.
@@ -512,6 +519,33 @@ func (p *Placement) SwapCells(a, b netlist.CellID) {
 	p.slot[p.L.SlotIndex(pa)] = b
 	p.slot[p.L.SlotIndex(pb)] = a
 	p.flushRescans()
+}
+
+// swapCommitBoxes commits the per-net box updates of a swap over one
+// box layout: the same merge walk as swapDeltaWeighted, with
+// commitPinMove at every non-shared net.
+func swapCommitBoxes[C coord](p *Placement, boxes []netBoxT[C], a, b netlist.CellID, pa, pb Pos) {
+	an, bn := p.nl.CellNets(a), p.nl.CellNets(b)
+	i, j := 0, 0
+	for i < len(an) && j < len(bn) {
+		switch na, nb := an[i], bn[j]; {
+		case na == nb:
+			i++
+			j++
+		case na < nb:
+			commitPinMove(p, boxes, na, pa, pb)
+			i++
+		default:
+			commitPinMove(p, boxes, nb, pb, pa)
+			j++
+		}
+	}
+	for ; i < len(an); i++ {
+		commitPinMove(p, boxes, an[i], pa, pb)
+	}
+	for ; j < len(bn); j++ {
+		commitPinMove(p, boxes, bn[j], pb, pa)
+	}
 }
 
 // Randomize shuffles all cells across all slots using r.
@@ -594,6 +628,7 @@ func (p *Placement) Clone() *Placement {
 		pos:       append([]Pos(nil), p.pos...),
 		slot:      append([]netlist.CellID(nil), p.slot...),
 		boxes:     append([]netBox(nil), p.boxes...),
+		boxes16:   append([]netBoxT[int16](nil), p.boxes16...),
 		hpwl:      p.hpwl,
 		rowWidth:  append([]int(nil), p.rowWidth...),
 		top1W:     p.top1W,
@@ -601,6 +636,7 @@ func (p *Placement) Clone() *Placement {
 		top1Row:   p.top1Row,
 		top2Row:   p.top2Row,
 		cellWidth: p.cellWidth, // immutable, shared like the netlist
+		relaxed:   p.relaxed,
 	}
 	return q
 }
