@@ -9,6 +9,8 @@
 //	pts -netlist my.net                        # search a custom circuit
 //	pts -netlist s1494.bench                   # a real ISCAS-89 .bench file
 //	pts -qap 64                                # quadratic assignment instead
+//	pts -flowshop ta001                        # Taillard flow shop benchmark
+//	pts -jobshop ft06                          # OR-Library job shop benchmark
 //	pts -circuit c3540 -timeout 2s -progress   # bounded, streamed run
 //	pts -circuit c532 -state-dir /tmp/run      # durable: re-run the same command to resume after a kill
 //
@@ -33,6 +35,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
+	"strings"
 	"syscall"
 
 	"pts"
@@ -43,6 +47,8 @@ func main() {
 		circuit  = flag.String("circuit", "c532", "benchmark circuit (highway, c532, c1355, c3540)")
 		nlPath   = flag.String("netlist", "", "path to a netlist file (overrides -circuit)")
 		qapN     = flag.Int("qap", 0, "solve a random QAP of this size instead of placement")
+		fsName   = flag.String("flowshop", "", "solve an embedded flow shop benchmark (ta001) or Taillard file instead of placement")
+		jsName   = flag.String("jobshop", "", "solve an embedded job shop benchmark (ft06, ft10, la01) or OR-Library file instead of placement")
 		tsws     = flag.Int("tsws", 4, "number of tabu search workers")
 		clws     = flag.Int("clws", 1, "candidate-list workers per TSW")
 		gIters   = flag.Int("global", 10, "global iterations")
@@ -96,19 +102,54 @@ func main() {
 		return
 	}
 
-	var problem pts.Problem
-	var placed *pts.PlacementProblem
-	if *qapN > 0 {
+	// Non-placement workloads make the placement-only flags meaningless.
+	warnPlacementOnly := func(sel string) {
 		for flagName, set := range map[string]bool{
 			"-netlist": *nlPath != "", "-path": *path, "-svg": *svgOut != "",
 		} {
 			if set {
-				fmt.Fprintf(os.Stderr, "pts: warning: %s is placement-only, ignored with -qap\n", flagName)
+				fmt.Fprintf(os.Stderr, "pts: warning: %s is placement-only, ignored with %s\n", flagName, sel)
 			}
 		}
+	}
+
+	var selected []string
+	for sel, set := range map[string]bool{
+		"-qap": *qapN > 0, "-flowshop": *fsName != "", "-jobshop": *jsName != "",
+	} {
+		if set {
+			selected = append(selected, sel)
+		}
+	}
+	if len(selected) > 1 {
+		sort.Strings(selected)
+		fatal(fmt.Errorf("%s select different workloads; pass exactly one", strings.Join(selected, " and ")))
+	}
+
+	var problem pts.Problem
+	var placed *pts.PlacementProblem
+	switch {
+	case *qapN > 0:
+		warnPlacementOnly("-qap")
 		problem = pts.RandomQAP(*qapN, *seed)
 		fmt.Printf("problem %s: %d facilities\n", problem.Name(), *qapN)
-	} else {
+	case *fsName != "":
+		warnPlacementOnly("-flowshop")
+		fs, err := loadFlowShop(*fsName)
+		if err != nil {
+			fatal(err)
+		}
+		problem = fs
+		fmt.Printf("problem %s: %s\n", fs.Name(), fs.Describe())
+	case *jsName != "":
+		warnPlacementOnly("-jobshop")
+		js, err := loadJobShop(*jsName)
+		if err != nil {
+			fatal(err)
+		}
+		problem = js
+		fmt.Printf("problem %s: %s\n", js.Name(), js.Describe())
+	default:
 		var err error
 		placed, err = loadCircuit(*nlPath, *circuit)
 		if err != nil {
@@ -189,6 +230,12 @@ func main() {
 	}
 	if d, ok := res.Details.(pts.QAPDetails); ok {
 		fmt.Printf("exact cost     %.0f\n", d.Cost)
+	}
+	if d, ok := res.Details.(pts.FlowShopDetails); ok {
+		printSchedDetails(d.Makespan, d.LowerBound, d.Optimum)
+	}
+	if d, ok := res.Details.(pts.JobShopDetails); ok {
+		printSchedDetails(d.Makespan, d.LowerBound, d.Optimum)
 	}
 	fmt.Printf("elapsed        %.3f s (%s)\n", res.Elapsed, *mode)
 	fmt.Printf("stats          %+v\n", res.Stats)
@@ -307,6 +354,37 @@ func loadCircuit(path, name string) (*pts.PlacementProblem, error) {
 		return pts.PlacementBenchmark(name)
 	}
 	return pts.PlacementFromFile(path)
+}
+
+// loadFlowShop resolves -flowshop: an existing file parses as Taillard
+// format, anything else names an embedded benchmark.
+func loadFlowShop(s string) (*pts.FlowShopProblem, error) {
+	if _, err := os.Stat(s); err == nil {
+		return pts.FlowShopFromFile(s)
+	}
+	return pts.FlowShopBenchmark(s)
+}
+
+// loadJobShop resolves -jobshop: an existing file parses as OR-Library
+// format, anything else names an embedded benchmark.
+func loadJobShop(s string) (*pts.JobShopProblem, error) {
+	if _, err := os.Stat(s); err == nil {
+		return pts.JobShopFromFile(s)
+	}
+	return pts.JobShopBenchmark(s)
+}
+
+// printSchedDetails renders the exact scoring of a scheduling solution
+// with its instance bounds for context.
+func printSchedDetails(makespan, lower, optimum int) {
+	fmt.Printf("makespan       %d\n", makespan)
+	if lower > 0 {
+		fmt.Printf("lower bound    %d\n", lower)
+	}
+	if optimum > 0 {
+		fmt.Printf("optimum        %d  (gap %.1f%%)\n", optimum,
+			100*float64(makespan-optimum)/float64(optimum))
+	}
 }
 
 func fatal(err error) {

@@ -12,6 +12,7 @@
 //	ptsbench -hetero             # static vs adaptive scheduling on a 4:1 skewed cluster -> BENCH_hetero.json
 //	ptsbench -recovery           # fold-only vs respawn after a mid-run worker kill -> BENCH_recovery.json
 //	ptsbench -serve              # multi-job scheduler throughput/latency on a shared fleet -> BENCH_serve.json
+//	ptsbench -sched              # flow/job shop search quality + delta-kernel throughput -> BENCH_sched.json
 package main
 
 import (
@@ -50,6 +51,8 @@ func main() {
 		serveBench   = flag.Bool("serve", false, "measure the multi-job serving scheduler (jobs/minute, p50/p95 latency at 1 vs full-fleet concurrency) over a loopback fleet and write BENCH_serve.json + bench_serve.md")
 		serveJobs    = flag.Int("serve-jobs", 0, "jobs per concurrency level for -serve (0 = default)")
 		serveFleet   = flag.Int("serve-fleet", 0, "loopback fleet size for -serve (0 = default 4)")
+		sched        = flag.Bool("sched", false, "run the engine over every embedded flow/job shop instance and measure the scalar vs batched delta kernels, writing BENCH_sched.json")
+		schedDur     = flag.Duration("sched-dur", 0, "throughput sampling window per kernel for -sched (0 = default 300ms)")
 	)
 	flag.Parse()
 
@@ -86,6 +89,25 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *sched {
+		rep, err := bench.Sched(bench.SchedOpts{
+			Context:    ctx,
+			Scale:      *scale,
+			Seed:       *seed,
+			MeasureDur: *schedDur,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		path, err := bench.WriteSched(rep, *out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.RenderSched(rep))
+		fmt.Printf("wrote %s\n", path)
+		return
 	}
 
 	if *recovery {

@@ -28,10 +28,13 @@
 //
 // The engine is problem-agnostic: anything implementing Problem — mint
 // independent search States over a shared permutation encoding — can be
-// solved. Two workloads ship built in: the paper's VLSI standard-cell
-// placement under a fuzzy multi-objective cost (PlacementProblem), and
-// the quadratic assignment problem (QAPProblem). Both run through the
-// identical Solve path.
+// solved. Four workloads ship built in: the paper's VLSI standard-cell
+// placement under a fuzzy multi-objective cost (PlacementProblem), the
+// quadratic assignment problem (QAPProblem), permutation flow shop
+// scheduling (FlowShopProblem, with Taillard's ta001 embedded), and
+// job shop scheduling under an operation-based permutation encoding
+// (JobShopProblem, with OR-Library ft06/ft10/la01 embedded). All run
+// through the identical Solve path.
 //
 // # Execution modes
 //
@@ -142,6 +145,17 @@
 //     arithmetic; it is available only in relaxed mode (strict mode
 //     keeps the audited single-threaded path) and both modes stay
 //     allocation-free per trial.
+//   - The scheduling workloads deliberately break the O(1)-per-delta
+//     pattern while keeping every contract above: a flow shop trial
+//     recomputes the critical-path section between the swapped
+//     positions against cached head/tail matrices (O(machines x span)),
+//     and a job shop trial re-decodes the whole operation sequence
+//     (O(jobs x machines), with a same-job-token fast path answering
+//     zero). Both do all schedule arithmetic in exact integers, so
+//     batch and scalar evaluation — and strict and relaxed accumulation
+//     — are bit-identical by construction (fuzzed per package, pinned
+//     by golden_sched_test.go), and both stay allocation-free per
+//     trial once caches are warm.
 //
 // The implementation lives under internal/ (ARCHITECTURE.md maps the
 // layers and documents every protocol message); cmd/ holds the
@@ -150,6 +164,8 @@
 // bench_test.go carries the per-figure benchmark harness; cmd/ptsbench
 // -hotpath measures the trial kernel (results/BENCH_hotpath.json),
 // -hetero the adaptive-scheduling payoff (results/BENCH_hetero.json),
-// and -recovery the worker-loss recovery payoff
-// (results/BENCH_recovery.json).
+// -recovery the worker-loss recovery payoff
+// (results/BENCH_recovery.json), and -sched the scheduling workloads'
+// search quality and delta-kernel throughput
+// (results/BENCH_sched.json).
 package pts

@@ -1,0 +1,145 @@
+package pts
+
+import (
+	"fmt"
+	"os"
+
+	"pts/internal/flowshop"
+	"pts/internal/rng"
+	"pts/internal/schedinst"
+)
+
+// FlowShopProblem is the permutation flow shop scheduling problem —
+// sequence n jobs through m machines in one shared order minimizing the
+// makespan — as a built-in workload over the same engine the placement
+// and QAP searches run on. Unlike those two, its swap deltas are not
+// O(1): each candidate recomputes the critical-path section the swap
+// disturbs (O(m · span) after one O(nm) cache rebuild per batch), which
+// is exactly the non-constant-cost Evaluator shape the engine's batch
+// boundary was designed to absorb.
+type FlowShopProblem struct {
+	ins *schedinst.FlowShop
+}
+
+// FlowShopBenchmark returns a named embedded benchmark instance
+// (Taillard's ta001). FlowShopInstances lists the names.
+func FlowShopBenchmark(name string) (*FlowShopProblem, error) {
+	ins, err := schedinst.FlowShopByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return &FlowShopProblem{ins: ins}, nil
+}
+
+// FlowShopInstances lists the embedded flow shop benchmark names.
+func FlowShopInstances() []string { return schedinst.FlowShopNames() }
+
+// FlowShopFromFile parses a Taillard-format instance file.
+func FlowShopFromFile(path string) (*FlowShopProblem, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ins, err := schedinst.ParseTaillard(stemOf(path), f)
+	if err != nil {
+		return nil, err
+	}
+	return &FlowShopProblem{ins: ins}, nil
+}
+
+// RandomFlowShop generates a random jobs × machines instance with
+// durations in [1, 100), deterministic in seed.
+func RandomFlowShop(jobs, machines int, seed uint64) *FlowShopProblem {
+	return &FlowShopProblem{ins: flowshop.Random(jobs, machines, seed)}
+}
+
+// NewFlowShop builds an instance from an explicit processing-time
+// matrix: proc[i][j] is the time of job j on machine i.
+func NewFlowShop(name string, proc [][]int) (*FlowShopProblem, error) {
+	ins, err := flowshop.New(name, proc)
+	if err != nil {
+		return nil, err
+	}
+	return &FlowShopProblem{ins: ins}, nil
+}
+
+// Name identifies the instance.
+func (p *FlowShopProblem) Name() string { return "flowshop-" + p.ins.Name }
+
+// Size returns the number of jobs (solutions are job sequences).
+func (p *FlowShopProblem) Size() int32 { return int32(p.ins.Jobs) }
+
+// Describe summarizes the instance dimensions and published bounds.
+func (p *FlowShopProblem) Describe() string {
+	s := fmt.Sprintf("%d jobs x %d machines", p.ins.Jobs, p.ins.Machines)
+	if p.ins.Upper > 0 {
+		s += fmt.Sprintf(", published makespan bounds [%d, %d]", p.ins.Lower, p.ins.Upper)
+	}
+	return s
+}
+
+// Instance exposes the parsed instance data.
+func (p *FlowShopProblem) Instance() *schedinst.FlowShop { return p.ins }
+
+// Initial derives the run's shared initial sequence from seed.
+func (p *FlowShopProblem) Initial(seed uint64) (State, error) {
+	return flowshop.NewState(p.ins, rng.Derive(seed, "pts.flowshop.initial")), nil
+}
+
+// NewState builds an independent sequence state positioned at snap.
+func (p *FlowShopProblem) NewState(snap []int32) (State, error) {
+	return flowshop.NewStateAt(p.ins, snap)
+}
+
+// Details recomputes the exact makespan of a solution from scratch and
+// returns a FlowShopDetails.
+func (p *FlowShopProblem) Details(best []int32) (any, error) {
+	ms, err := flowshop.Makespan(p.ins, best)
+	if err != nil {
+		return nil, err
+	}
+	return FlowShopDetails{
+		Makespan:   ms,
+		LowerBound: flowshop.LowerBound(p.ins),
+		Optimum:    p.ins.Upper,
+	}, nil
+}
+
+// Makespan evaluates a job sequence exactly with the from-scratch DP.
+func (p *FlowShopProblem) Makespan(seq []int32) (int, error) {
+	return flowshop.Makespan(p.ins, seq)
+}
+
+// BruteForceOptimum exhaustively finds the optimal makespan; limited to
+// tiny instances (jobs <= 8), the test oracle.
+func (p *FlowShopProblem) BruteForceOptimum() int { return flowshop.BruteForceOptimum(p.ins) }
+
+// FlowShopDetails is the exact scoring of a flow shop solution.
+type FlowShopDetails struct {
+	// Makespan is the solution's makespan recomputed from scratch.
+	Makespan int
+	// LowerBound is the machine-load lower bound of the instance.
+	LowerBound int
+	// Optimum is the published optimal (or best-known upper-bound)
+	// makespan, 0 when unknown.
+	Optimum int
+}
+
+// stemOf strips the directory and extension from an instance file path,
+// the conventional instance name.
+func stemOf(path string) string {
+	base := path
+	for i := len(base) - 1; i >= 0; i-- {
+		if base[i] == '/' || base[i] == os.PathSeparator {
+			base = base[i+1:]
+			break
+		}
+	}
+	for i := len(base) - 1; i > 0; i-- {
+		if base[i] == '.' {
+			return base[:i]
+		}
+	}
+	return base
+}

@@ -51,7 +51,8 @@ type clwSpec struct {
 // afterwards, so a resolver that builds the wrong instance refuses the
 // job rather than corrupting the search.
 type ProblemSpec struct {
-	// Kind selects the workload family: "placement" or "qap".
+	// Kind selects the workload family: "placement", "qap", "flowshop"
+	// or "jobshop".
 	Kind string
 	// Circuit is the placement benchmark name (e.g. "c532") or circuit
 	// file path, for Kind "placement".
@@ -60,6 +61,9 @@ type ProblemSpec struct {
 	// "qap".
 	QAPN    int
 	QAPSeed uint64
+	// Instance is the embedded scheduling benchmark name (e.g. "ta001",
+	// "ft06"), for Kinds "flowshop" and "jobshop".
+	Instance string
 }
 
 // jobPayload is the job description the master ships to every worker

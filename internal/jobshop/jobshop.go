@@ -1,0 +1,373 @@
+// Package jobshop implements the job shop scheduling problem (makespan
+// objective) as a fourth domain for the tabu engine, over the
+// operation-based permutation encoding.
+//
+// The encoding is Bierwirth's permutation with repetition, expressed
+// over distinct tokens so it fits the engine's permutation contract: a
+// solution is a permutation of the n*m operation tokens, token t
+// denoting the next unscheduled operation of job t/m. Decoding
+// dispatches tokens left to right, starting each operation as soon as
+// its job predecessor and its machine are free — a semi-active schedule
+// builder, under which every active (hence every optimal) schedule is
+// reachable. Two tokens of the same job are interchangeable, so
+// swapping them is exactly cost-neutral.
+//
+// Unlike the flow shop there is no head/tail shortcut for this
+// neighborhood: a swap changes the dispatch order globally, so the
+// delta is an honest O(nm) re-decode — the stress case for the batched
+// evaluator boundary, which here amortizes only call overhead and
+// scratch reuse, not asymptotics. All schedule arithmetic is integral
+// (int32, guarded by the instance parser), so batch and scalar paths
+// are bit-identical by construction.
+package jobshop
+
+import (
+	"fmt"
+
+	"pts/internal/rng"
+	"pts/internal/schedinst"
+	"pts/internal/tabu"
+)
+
+// New validates per-job machine routes and durations (machine[j][o],
+// dur[j][o] for job j's o-th operation) and wraps them as an instance.
+// Every job must visit every machine exactly once.
+func New(name string, machine, dur [][]int) (*schedinst.JobShop, error) {
+	if len(machine) == 0 || len(machine[0]) == 0 {
+		return nil, fmt.Errorf("jobshop: empty routing")
+	}
+	jobs, machines := len(machine), len(machine[0])
+	if len(dur) != jobs {
+		return nil, fmt.Errorf("jobshop: %d duration rows for %d jobs", len(dur), jobs)
+	}
+	ins := &schedinst.JobShop{
+		Name: name, Jobs: jobs, Machines: machines,
+		Machine: machine, Dur: dur,
+	}
+	total := int64(0)
+	seen := make([]int, machines)
+	for j := 0; j < jobs; j++ {
+		if len(machine[j]) != machines || len(dur[j]) != machines {
+			return nil, fmt.Errorf("jobshop: job %d has %d/%d operations, want %d", j, len(machine[j]), len(dur[j]), machines)
+		}
+		for o := 0; o < machines; o++ {
+			m := machine[j][o]
+			if m < 0 || m >= machines {
+				return nil, fmt.Errorf("jobshop: job %d op %d names machine %d, want [0,%d)", j, o, m, machines)
+			}
+			if seen[m] == j+1 {
+				return nil, fmt.Errorf("jobshop: job %d visits machine %d twice", j, m)
+			}
+			seen[m] = j + 1
+			if dur[j][o] < 0 {
+				return nil, fmt.Errorf("jobshop: negative duration %d (job %d, op %d)", dur[j][o], j, o)
+			}
+			total += int64(dur[j][o])
+		}
+	}
+	if total > 1<<31-1 {
+		return nil, fmt.Errorf("jobshop: total processing time %d overflows the schedule arithmetic", total)
+	}
+	return ins, nil
+}
+
+// Random generates a random instance with durations in [1, 100) and a
+// random machine route per job, deterministic in seed.
+func Random(jobs, machines int, seed uint64) *schedinst.JobShop {
+	r := rng.New(rng.Derive(seed, "jobshop"))
+	machine := make([][]int, jobs)
+	dur := make([][]int, jobs)
+	for j := 0; j < jobs; j++ {
+		machine[j] = r.Perm(machines)
+		row := make([]int, machines)
+		for o := range row {
+			row[o] = 1 + r.Intn(99)
+		}
+		dur[j] = row
+	}
+	ins, err := New(fmt.Sprintf("js%dx%d", jobs, machines), machine, dur)
+	if err != nil {
+		panic(err) // unreachable: the generator respects the invariants
+	}
+	return ins
+}
+
+// MakespanSeq evaluates a job dispatch sequence (each job id appearing
+// exactly Machines times) from scratch — the independent exact oracle
+// and the brute-force workhorse.
+func MakespanSeq(ins *schedinst.JobShop, jobs []int32) (int, error) {
+	if len(jobs) != ins.Jobs*ins.Machines {
+		return 0, fmt.Errorf("jobshop: sequence length %d != %d operations", len(jobs), ins.Jobs*ins.Machines)
+	}
+	jobNext := make([]int, ins.Jobs)
+	jobReady := make([]int, ins.Jobs)
+	machReady := make([]int, ins.Machines)
+	mk := 0
+	for _, j := range jobs {
+		if j < 0 || int(j) >= ins.Jobs {
+			return 0, fmt.Errorf("jobshop: job id %d out of range", j)
+		}
+		o := jobNext[j]
+		if o >= ins.Machines {
+			return 0, fmt.Errorf("jobshop: job %d dispatched more than %d times", j, ins.Machines)
+		}
+		jobNext[j] = o + 1
+		m := ins.Machine[j][o]
+		t := jobReady[j]
+		if machReady[m] > t {
+			t = machReady[m]
+		}
+		t += ins.Dur[j][o]
+		jobReady[j], machReady[m] = t, t
+		if t > mk {
+			mk = t
+		}
+	}
+	return mk, nil
+}
+
+// LowerBound is the machine/job load bound: no schedule beats any
+// machine's total load or any job's total processing time.
+func LowerBound(ins *schedinst.JobShop) int {
+	lb := 0
+	machLoad := make([]int, ins.Machines)
+	for j := 0; j < ins.Jobs; j++ {
+		total := 0
+		for o := 0; o < ins.Machines; o++ {
+			machLoad[ins.Machine[j][o]] += ins.Dur[j][o]
+			total += ins.Dur[j][o]
+		}
+		if total > lb {
+			lb = total
+		}
+	}
+	for _, load := range machLoad {
+		if load > lb {
+			lb = load
+		}
+	}
+	return lb
+}
+
+// BruteForceOptimum exhaustively searches every distinct job dispatch
+// sequence; limited to tiny instances (n*m <= 12), the test oracle.
+func BruteForceOptimum(ins *schedinst.JobShop) int {
+	if ins.Jobs*ins.Machines > 12 {
+		panic("jobshop: brute force limited to 12 operations")
+	}
+	remaining := make([]int, ins.Jobs)
+	for j := range remaining {
+		remaining[j] = ins.Machines
+	}
+	seq := make([]int32, 0, ins.Jobs*ins.Machines)
+	best := -1
+	var rec func()
+	rec = func() {
+		if len(seq) == cap(seq) {
+			mk, err := MakespanSeq(ins, seq)
+			if err != nil {
+				panic(err) // unreachable: the recursion emits valid sequences
+			}
+			if best < 0 || mk < best {
+				best = mk
+			}
+			return
+		}
+		for j := 0; j < ins.Jobs; j++ {
+			if remaining[j] == 0 {
+				continue
+			}
+			remaining[j]--
+			seq = append(seq, int32(j))
+			rec()
+			seq = seq[:len(seq)-1]
+			remaining[j]++
+		}
+	}
+	rec()
+	return best
+}
+
+// State is a mutable operation-token permutation implementing the tabu
+// engine's Problem interface plus the batched evaluation boundary.
+// Element indices are dispatch positions; ApplySwap(a, b) exchanges the
+// tokens at positions a and b.
+type State struct {
+	ins  *schedinst.JobShop
+	n, m int32 // jobs, machines
+	// mach and dur are flat copies: mach[j*m+o], dur[j*m+o].
+	mach, dur []int32
+	// perm[pos] is the operation token dispatched at position pos; the
+	// token's job is perm[pos] / m.
+	perm     []int32
+	makespan int32
+	// Decode scratch, reused across evaluations so the hot path stays
+	// allocation-free.
+	jobNext, jobReady, machReady []int32
+}
+
+// NewState creates a state with a random token permutation drawn from
+// seed.
+func NewState(ins *schedinst.JobShop, seed uint64) *State {
+	s := newState(ins)
+	r := rng.New(rng.Derive(seed, "jobshop.state"))
+	for i, v := range r.Perm(len(s.perm)) {
+		s.perm[i] = int32(v)
+	}
+	s.makespan = s.decode(-1, -1)
+	return s
+}
+
+// NewStateAt creates a state positioned at the token permutation snap.
+func NewStateAt(ins *schedinst.JobShop, snap []int32) (*State, error) {
+	s := newState(ins)
+	if err := s.Restore(snap); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func newState(ins *schedinst.JobShop) *State {
+	n, m := int32(ins.Jobs), int32(ins.Machines)
+	s := &State{
+		ins: ins, n: n, m: m,
+		mach:      make([]int32, int(n)*int(m)),
+		dur:       make([]int32, int(n)*int(m)),
+		perm:      make([]int32, int(n)*int(m)),
+		jobNext:   make([]int32, n),
+		jobReady:  make([]int32, n),
+		machReady: make([]int32, m),
+	}
+	for j := 0; j < ins.Jobs; j++ {
+		for o := 0; o < ins.Machines; o++ {
+			s.mach[j*int(m)+o] = int32(ins.Machine[j][o])
+			s.dur[j*int(m)+o] = int32(ins.Dur[j][o])
+		}
+	}
+	return s
+}
+
+// Instance returns the underlying instance.
+func (s *State) Instance() *schedinst.JobShop { return s.ins }
+
+// Cost returns the current makespan. Integral by construction, so the
+// float64 view is exact.
+func (s *State) Cost() float64 { return float64(s.makespan) }
+
+// Makespan returns the current makespan as the integer it is.
+func (s *State) Makespan() int { return int(s.makespan) }
+
+// Size returns the number of dispatch positions (n*m operations).
+func (s *State) Size() int32 { return s.n * s.m }
+
+// decode computes the makespan of the current permutation, reading
+// positions a and b exchanged when a >= 0 — the one full-decode kernel
+// behind Cost maintenance, DeltaSwap and the batch path. O(nm).
+func (s *State) decode(a, b int32) int32 {
+	for i := range s.jobNext {
+		s.jobNext[i] = 0
+		s.jobReady[i] = 0
+	}
+	for i := range s.machReady {
+		s.machReady[i] = 0
+	}
+	m := s.m
+	mk := int32(0)
+	for pos := int32(0); pos < int32(len(s.perm)); pos++ {
+		p := pos
+		switch pos {
+		case a:
+			p = b
+		case b:
+			p = a
+		}
+		j := s.perm[p] / m
+		o := s.jobNext[j]
+		s.jobNext[j] = o + 1
+		op := j*m + o
+		t := s.jobReady[j]
+		if mr := s.machReady[s.mach[op]]; mr > t {
+			t = mr
+		}
+		t += s.dur[op]
+		s.jobReady[j] = t
+		s.machReady[s.mach[op]] = t
+		if t > mk {
+			mk = t
+		}
+	}
+	return mk
+}
+
+// DeltaSwap returns the exact makespan change of exchanging the tokens
+// at positions a and b without applying it. Two tokens of the same job
+// leave the decoded schedule unchanged, so their swap is exactly zero;
+// anything else is an honest O(nm) re-decode.
+func (s *State) DeltaSwap(a, b int32) float64 {
+	if a == b || s.perm[a]/s.m == s.perm[b]/s.m {
+		return 0
+	}
+	return float64(s.decode(a, b) - s.makespan)
+}
+
+// DeltaSwapBatch evaluates a whole candidate batch in one call; out[i]
+// is bit-for-bit what DeltaSwap(cands[i].A, cands[i].B) would return.
+// Implements tabu.BatchEvaluator. There is no incremental shortcut for
+// this neighborhood, so the batch amortizes only call overhead and the
+// decode scratch — the honest recompute-on-delta end of the evaluator
+// boundary's spectrum.
+func (s *State) DeltaSwapBatch(cands []tabu.SwapCand, out []float64) {
+	for i, c := range cands {
+		if c.A == c.B || s.perm[c.A]/s.m == s.perm[c.B]/s.m {
+			out[i] = 0
+			continue
+		}
+		out[i] = float64(s.decode(c.A, c.B) - s.makespan)
+	}
+}
+
+// ApplySwap exchanges the tokens at positions a and b and updates the
+// makespan exactly.
+func (s *State) ApplySwap(a, b int32) {
+	if a == b {
+		return
+	}
+	sameJob := s.perm[a]/s.m == s.perm[b]/s.m
+	s.perm[a], s.perm[b] = s.perm[b], s.perm[a]
+	if !sameJob {
+		s.makespan = s.decode(-1, -1)
+	}
+}
+
+// Snapshot copies the current token permutation.
+func (s *State) Snapshot() []int32 { return append([]int32(nil), s.perm...) }
+
+// SnapshotInto copies the current token permutation into dst, reusing
+// its storage when large enough; the allocation-free variant the
+// parallel engine prefers.
+func (s *State) SnapshotInto(dst []int32) []int32 {
+	if cap(dst) < len(s.perm) {
+		dst = make([]int32, len(s.perm))
+	}
+	dst = dst[:len(s.perm)]
+	copy(dst, s.perm)
+	return dst
+}
+
+// Restore replaces the token permutation with a snapshot and recomputes
+// the makespan exactly.
+func (s *State) Restore(snap []int32) error {
+	if len(snap) != len(s.perm) {
+		return fmt.Errorf("jobshop: snapshot length %d != %d", len(snap), len(s.perm))
+	}
+	seen := make([]bool, len(s.perm))
+	for _, v := range snap {
+		if v < 0 || int(v) >= len(s.perm) || seen[v] {
+			return fmt.Errorf("jobshop: snapshot is not a permutation")
+		}
+		seen[v] = true
+	}
+	copy(s.perm, snap)
+	s.makespan = s.decode(-1, -1)
+	return nil
+}

@@ -1,0 +1,259 @@
+package jobshop
+
+import (
+	"math"
+	"testing"
+
+	"pts/internal/rng"
+	"pts/internal/schedinst"
+	"pts/internal/tabu"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("x", nil, nil); err == nil {
+		t.Error("empty routing accepted")
+	}
+	if _, err := New("x", [][]int{{0, 1}}, [][]int{{1}}); err == nil {
+		t.Error("ragged durations accepted")
+	}
+	if _, err := New("x", [][]int{{0, 2}}, [][]int{{1, 1}}); err == nil {
+		t.Error("out-of-range machine accepted")
+	}
+	if _, err := New("x", [][]int{{0, 0}}, [][]int{{1, 1}}); err == nil {
+		t.Error("repeated machine accepted")
+	}
+	if _, err := New("x", [][]int{{0, 1}}, [][]int{{1, -1}}); err == nil {
+		t.Error("negative duration accepted")
+	}
+	if _, err := New("x", [][]int{{0, 1}, {1, 0}}, [][]int{{1, 2}, {3, 4}}); err != nil {
+		t.Errorf("valid routing rejected: %v", err)
+	}
+}
+
+// jobSeq projects a token permutation to its decoded job dispatch
+// sequence, the MakespanSeq oracle's input.
+func jobSeq(s *State) []int32 {
+	out := make([]int32, len(s.perm))
+	for i, tok := range s.perm {
+		out[i] = tok / s.m
+	}
+	return out
+}
+
+// TestDecodeMatchesOracle drives the state through random swaps and
+// requires the incremental cost to match the from-scratch dispatch
+// oracle at every step.
+func TestDecodeMatchesOracle(t *testing.T) {
+	ins := Random(6, 4, 7)
+	s := NewState(ins, 3)
+	r := rng.New(9)
+	size := int(s.Size())
+	for i := 0; i < 1000; i++ {
+		a := int32(r.Intn(size))
+		b := int32(r.Intn(size))
+		predicted := s.DeltaSwap(a, b)
+		before := s.Cost()
+		s.ApplySwap(a, b)
+		want, err := MakespanSeq(ins, jobSeq(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Makespan() != want {
+			t.Fatalf("step %d: state makespan %d != oracle %d", i, s.Makespan(), want)
+		}
+		if got := s.Cost() - before; got != predicted {
+			t.Fatalf("step %d: delta %v != predicted %v", i, got, predicted)
+		}
+	}
+}
+
+// TestSameJobSwapNeutral pins the encoding property the zero-delta
+// shortcut relies on: exchanging two tokens of the same job never
+// changes the decoded schedule.
+func TestSameJobSwapNeutral(t *testing.T) {
+	ins := Random(5, 3, 2)
+	s := NewState(ins, 4)
+	r := rng.New(6)
+	size := int(s.Size())
+	checked := 0
+	for i := 0; i < 5000 && checked < 200; i++ {
+		a := int32(r.Intn(size))
+		b := int32(r.Intn(size))
+		if a == b || s.perm[a]/s.m != s.perm[b]/s.m {
+			continue
+		}
+		checked++
+		if d := s.DeltaSwap(a, b); d != 0 {
+			t.Fatalf("same-job swap (%d,%d) reports delta %v", a, b, d)
+		}
+		before := s.Makespan()
+		s.ApplySwap(a, b)
+		want, err := MakespanSeq(ins, jobSeq(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Makespan() != before || want != before {
+			t.Fatalf("same-job swap changed makespan %d -> %d (oracle %d)", before, s.Makespan(), want)
+		}
+	}
+	if checked == 0 {
+		t.Fatal("fuzz never found a same-job pair")
+	}
+}
+
+// TestDeltaSwapBatchMatchesScalar fuzzes the batched recompute kernel
+// against per-candidate DeltaSwap bit-for-bit, across many states,
+// batch sizes and degenerate candidates.
+func TestDeltaSwapBatchMatchesScalar(t *testing.T) {
+	ins := Random(6, 5, 6)
+	s := NewState(ins, 7)
+	r := rng.New(11)
+	size := int(s.Size())
+	const maxBatch = 48
+	cands := make([]tabu.SwapCand, 0, maxBatch)
+	out := make([]float64, maxBatch)
+	for batch := 0; batch < 600; batch++ {
+		n := 1 + r.Intn(maxBatch)
+		cands = cands[:0]
+		for i := 0; i < n; i++ {
+			cands = append(cands, tabu.SwapCand{
+				A: int32(r.Intn(size)),
+				B: int32(r.Intn(size)), // a == b allowed
+			})
+		}
+		s.DeltaSwapBatch(cands, out[:n])
+		for i, c := range cands {
+			want := s.DeltaSwap(c.A, c.B)
+			if math.Float64bits(out[i]) != math.Float64bits(want) {
+				t.Fatalf("batch %d cand %d (%d,%d): batch %v, scalar %v",
+					batch, i, c.A, c.B, out[i], want)
+			}
+		}
+		s.ApplySwap(int32(r.Intn(size)), int32(r.Intn(size)))
+	}
+}
+
+func TestApplySwapInvolution(t *testing.T) {
+	s := NewState(Random(4, 3, 2), 5)
+	before := s.Snapshot()
+	costBefore := s.Cost()
+	s.ApplySwap(2, 7)
+	s.ApplySwap(2, 7)
+	after := s.Snapshot()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("double swap changed permutation")
+		}
+	}
+	if s.Cost() != costBefore {
+		t.Fatalf("double swap changed cost: %v vs %v", s.Cost(), costBefore)
+	}
+}
+
+func TestRestoreValidation(t *testing.T) {
+	s := NewState(Random(2, 2, 4), 2)
+	if err := s.Restore([]int32{0, 1}); err == nil {
+		t.Error("short snapshot accepted")
+	}
+	if err := s.Restore([]int32{0, 1, 2, 9}); err == nil {
+		t.Error("out-of-range snapshot accepted")
+	}
+	if err := s.Restore([]int32{0, 1, 1, 2}); err == nil {
+		t.Error("duplicate snapshot accepted")
+	}
+	good := s.Snapshot()
+	if err := s.Restore(good); err != nil {
+		t.Errorf("valid snapshot rejected: %v", err)
+	}
+}
+
+// TestBruteForceBounds pins the oracle relationships on tiny random
+// instances: lower bound <= optimum <= every random dispatch.
+func TestBruteForceBounds(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		ins := Random(4, 3, seed)
+		opt := BruteForceOptimum(ins)
+		if lb := LowerBound(ins); lb > opt {
+			t.Fatalf("seed %d: lower bound %d above brute-force optimum %d", seed, lb, opt)
+		}
+		for trial := uint64(0); trial < 10; trial++ {
+			if s := NewState(ins, trial); s.Makespan() < opt {
+				t.Fatalf("seed %d: random dispatch %d beats brute-force optimum %d", seed, s.Makespan(), opt)
+			}
+		}
+	}
+}
+
+// TestEmbeddedInstanceIntegrity cross-checks the embedded OR-Library
+// instances against their published optima: random schedules must never
+// beat them, and the load lower bound must not exceed them. la01's
+// optimum sits exactly on the machine-load bound, which pins that
+// instance's data especially tightly.
+func TestEmbeddedInstanceIntegrity(t *testing.T) {
+	for _, tc := range []struct{ name string }{{"ft06"}, {"ft10"}, {"la01"}} {
+		ins, err := schedinst.JobShopByName(tc.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ins.Optimum == 0 {
+			t.Fatalf("%s: missing published optimum", tc.name)
+		}
+		if lb := LowerBound(ins); lb > ins.Optimum {
+			t.Fatalf("%s: load bound %d above published optimum %d (instance data drifted?)", tc.name, lb, ins.Optimum)
+		}
+		for seed := uint64(0); seed < 30; seed++ {
+			if s := NewState(ins, seed); s.Makespan() < ins.Optimum {
+				t.Fatalf("%s: random dispatch %d beats published optimum %d", tc.name, s.Makespan(), ins.Optimum)
+			}
+		}
+	}
+	la01, err := schedinst.JobShopByName("la01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb := LowerBound(la01); lb != la01.Optimum {
+		t.Fatalf("la01 load bound %d != published optimum %d", lb, la01.Optimum)
+	}
+}
+
+// TestDeltaSwapBatchAllocFree asserts the batched path allocates
+// nothing per call — the same 0 allocs/trial contract the other
+// workloads' kernels are held to in CI.
+func TestDeltaSwapBatchAllocFree(t *testing.T) {
+	ins := Random(10, 6, 1)
+	s := NewState(ins, 2)
+	r := rng.New(3)
+	size := int(s.Size())
+	cands := make([]tabu.SwapCand, 64)
+	out := make([]float64, 64)
+	for i := range cands {
+		cands[i] = tabu.SwapCand{A: int32(r.Intn(size)), B: int32(r.Intn(size))}
+	}
+	s.DeltaSwapBatch(cands, out)
+	if n := testing.AllocsPerRun(100, func() {
+		s.DeltaSwapBatch(cands, out)
+	}); n != 0 {
+		t.Fatalf("DeltaSwapBatch allocates %.1f per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		s.ApplySwap(cands[0].A, cands[0].B)
+	}); n != 0 {
+		t.Fatalf("ApplySwap allocates %.1f per call, want 0", n)
+	}
+}
+
+func BenchmarkDeltaSwapBatch(b *testing.B) {
+	ins := Random(10, 10, 1)
+	s := NewState(ins, 2)
+	r := rng.New(3)
+	size := int(s.Size())
+	cands := make([]tabu.SwapCand, 64)
+	for i := range cands {
+		cands[i] = tabu.SwapCand{A: int32(r.Intn(size)), B: int32(r.Intn(size))}
+	}
+	out := make([]float64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.DeltaSwapBatch(cands, out)
+	}
+}

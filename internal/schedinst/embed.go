@@ -1,0 +1,72 @@
+package schedinst
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+)
+
+// Embedded standard benchmark instances, so the scheduling workloads
+// need no external files: SPMD problem construction (every process
+// builds the problem from its own inputs) degenerates to "every binary
+// carries the same instance bytes".
+//
+//go:embed instances/*.txt
+var instancesFS embed.FS
+
+// flowShopFiles and jobShopFiles name the embedded instances per
+// family; the parser to apply is a property of the family, not the
+// file.
+var (
+	flowShopFiles = map[string]string{
+		"ta001": "instances/ta001.txt",
+	}
+	jobShopFiles = map[string]string{
+		"ft06": "instances/ft06.txt",
+		"ft10": "instances/ft10.txt",
+		"la01": "instances/la01.txt",
+	}
+)
+
+// FlowShopNames lists the embedded flow shop instances, sorted.
+func FlowShopNames() []string { return sortedKeys(flowShopFiles) }
+
+// JobShopNames lists the embedded job shop instances, sorted.
+func JobShopNames() []string { return sortedKeys(jobShopFiles) }
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FlowShopByName parses the embedded Taillard instance with this name.
+func FlowShopByName(name string) (*FlowShop, error) {
+	path, ok := flowShopFiles[name]
+	if !ok {
+		return nil, fmt.Errorf("schedinst: unknown flow shop instance %q (have %v)", name, FlowShopNames())
+	}
+	f, err := instancesFS.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("schedinst: opening embedded %s: %w", path, err)
+	}
+	defer f.Close()
+	return ParseTaillard(name, f)
+}
+
+// JobShopByName parses the embedded OR-Library instance with this name.
+func JobShopByName(name string) (*JobShop, error) {
+	path, ok := jobShopFiles[name]
+	if !ok {
+		return nil, fmt.Errorf("schedinst: unknown job shop instance %q (have %v)", name, JobShopNames())
+	}
+	f, err := instancesFS.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("schedinst: opening embedded %s: %w", path, err)
+	}
+	defer f.Close()
+	return ParseORLib(name, f)
+}

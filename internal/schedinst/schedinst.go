@@ -1,0 +1,283 @@
+// Package schedinst parses the classic scheduling benchmark instance
+// formats the flow-shop and job-shop workloads consume: Taillard's
+// permutation flow shop files and the OR-Library job shop format. A
+// small set of standard instances (ta001, ft06, ft10, la01) is embedded
+// in the binary so the benchmark workloads need no external files.
+//
+// Both parsers are strict: truncated files, wrong counts, negative
+// durations, out-of-range machine indices and trailing garbage are all
+// rejected with errors, never panics — the instance data is external
+// ground truth and a silently misparsed instance would invalidate every
+// test built on it.
+package schedinst
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// FlowShop is a permutation flow shop instance: Jobs jobs visit Machines
+// machines in the same machine order 0..Machines-1, and a solution is
+// one job sequence shared by all machines.
+type FlowShop struct {
+	// Name identifies the instance (file stem for embedded instances).
+	Name string
+	// Jobs and Machines are the instance dimensions.
+	Jobs, Machines int
+	// Proc[i][j] is the processing time of job j on machine i.
+	Proc [][]int
+	// Seed is the Taillard header's generator seed (0 when absent).
+	Seed int64
+	// Upper and Lower are the published upper and lower makespan bounds
+	// from the Taillard header (0 when absent). For solved instances
+	// Upper is the proven optimum.
+	Upper, Lower int
+}
+
+// JobShop is a job shop instance: each job is an ordered chain of
+// operations, one per machine, with per-operation machine and duration.
+type JobShop struct {
+	// Name identifies the instance (file stem for embedded instances).
+	Name string
+	// Jobs and Machines are the instance dimensions.
+	Jobs, Machines int
+	// Machine[j][o] is the machine of job j's o-th operation.
+	Machine [][]int
+	// Dur[j][o] is the duration of job j's o-th operation.
+	Dur [][]int
+	// Optimum is the published optimal makespan (0 = unknown).
+	Optimum int
+}
+
+// maxDim bounds instance dimensions, so a corrupt header cannot demand
+// a multi-gigabyte allocation before validation catches it.
+const maxDim = 10000
+
+// tokenizer streams whitespace-separated tokens line by line, skipping
+// '#' comments, and remembers how many tokens it has delivered for
+// error messages. Scanning whole lines (rather than words) lets the
+// header parsers ask whether the current line carries more values.
+type tokenizer struct {
+	sc      *bufio.Scanner
+	pending []string // remaining tokens of the current line
+	pos     int
+	count   int
+}
+
+func newTokenizer(r io.Reader) *tokenizer {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	return &tokenizer{sc: sc}
+}
+
+func (t *tokenizer) next() (string, bool) {
+	for {
+		if t.pending == nil || t.pos >= len(t.pending) {
+			if !t.sc.Scan() {
+				return "", false
+			}
+			line := t.sc.Text()
+			if i := strings.IndexByte(line, '#'); i >= 0 {
+				line = line[:i]
+			}
+			t.pending = strings.Fields(line)
+			t.pos = 0
+			continue
+		}
+		tok := t.pending[t.pos]
+		t.pos++
+		t.count++
+		return tok, true
+	}
+}
+
+func (t *tokenizer) err() error { return t.sc.Err() }
+
+// lineHasMore reports whether the current line still holds unread
+// tokens — how the parsers detect optional same-line header fields.
+func (t *tokenizer) lineHasMore() bool {
+	return t.pending != nil && t.pos < len(t.pending)
+}
+
+// Int returns the next token as an integer; what names it in errors.
+func (t *tokenizer) Int(what string) (int, error) {
+	tok, ok := t.next()
+	if !ok {
+		if err := t.err(); err != nil {
+			return 0, fmt.Errorf("schedinst: reading %s: %w", what, err)
+		}
+		return 0, fmt.Errorf("schedinst: truncated file: missing %s (after %d values)", what, t.count)
+	}
+	v, err := strconv.Atoi(tok)
+	if err != nil {
+		return 0, fmt.Errorf("schedinst: %s: %q is not an integer", what, tok)
+	}
+	return v, nil
+}
+
+// Done asserts the stream is exhausted (trailing garbage is an error).
+func (t *tokenizer) Done() error {
+	if tok, ok := t.next(); ok {
+		return fmt.Errorf("schedinst: trailing data %q after a complete instance", tok)
+	}
+	return t.err()
+}
+
+// checkDims validates the shared header invariants.
+func checkDims(jobs, machines int) error {
+	if jobs < 1 || machines < 1 {
+		return fmt.Errorf("schedinst: instance needs at least 1 job and 1 machine, got %dx%d", jobs, machines)
+	}
+	if jobs > maxDim || machines > maxDim {
+		return fmt.Errorf("schedinst: instance %dx%d exceeds the %d dimension bound", jobs, machines, maxDim)
+	}
+	return nil
+}
+
+// checkTotal guards the workloads' int32 schedule arithmetic: the sum of
+// all durations bounds every completion time.
+func checkTotal(total int64) error {
+	if total > math.MaxInt32 {
+		return fmt.Errorf("schedinst: total processing time %d overflows the schedule arithmetic", total)
+	}
+	return nil
+}
+
+// ParseTaillard reads a Taillard-format permutation flow shop instance:
+// a header line `jobs machines [seed upper lower]` followed by machines
+// rows of jobs processing times (machine-major, as published). '#'
+// starts a comment.
+func ParseTaillard(name string, r io.Reader) (*FlowShop, error) {
+	t := newTokenizer(r)
+	jobs, err := t.Int("job count")
+	if err != nil {
+		return nil, err
+	}
+	machines, err := t.Int("machine count")
+	if err != nil {
+		return nil, err
+	}
+	if err := checkDims(jobs, machines); err != nil {
+		return nil, err
+	}
+	ins := &FlowShop{Name: name, Jobs: jobs, Machines: machines}
+	// The three bound fields are optional as a group: a bare `jobs
+	// machines` header is accepted for hand-written instances. If the
+	// header line carries 5 numbers, the rest are seed/upper/lower.
+	if t.lineHasMore() {
+		seed, err := t.Int("header seed")
+		if err != nil {
+			return nil, err
+		}
+		upper, err := t.Int("header upper bound")
+		if err != nil {
+			return nil, err
+		}
+		lower, err := t.Int("header lower bound")
+		if err != nil {
+			return nil, err
+		}
+		if upper < 0 || lower < 0 || (upper > 0 && lower > upper) {
+			return nil, fmt.Errorf("schedinst: inconsistent bounds lower %d > upper %d", lower, upper)
+		}
+		ins.Seed, ins.Upper, ins.Lower = int64(seed), upper, lower
+	}
+	var total int64
+	ins.Proc = make([][]int, machines)
+	for i := 0; i < machines; i++ {
+		row := make([]int, jobs)
+		for j := 0; j < jobs; j++ {
+			v, err := t.Int(fmt.Sprintf("processing time of job %d on machine %d", j, i))
+			if err != nil {
+				return nil, err
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("schedinst: negative processing time %d (job %d, machine %d)", v, j, i)
+			}
+			row[j] = v
+			total += int64(v)
+		}
+		ins.Proc[i] = row
+	}
+	if err := checkTotal(total); err != nil {
+		return nil, err
+	}
+	if err := t.Done(); err != nil {
+		return nil, err
+	}
+	return ins, nil
+}
+
+// ParseORLib reads an OR-Library job shop instance: a header line `jobs
+// machines`, then jobs rows of machines (machine, duration) pairs in
+// each job's operation order. Every job must visit every machine exactly
+// once. '#' starts a comment; an optional third header value is the
+// published optimal makespan.
+func ParseORLib(name string, r io.Reader) (*JobShop, error) {
+	t := newTokenizer(r)
+	jobs, err := t.Int("job count")
+	if err != nil {
+		return nil, err
+	}
+	machines, err := t.Int("machine count")
+	if err != nil {
+		return nil, err
+	}
+	if err := checkDims(jobs, machines); err != nil {
+		return nil, err
+	}
+	ins := &JobShop{Name: name, Jobs: jobs, Machines: machines}
+	if t.lineHasMore() {
+		opt, err := t.Int("header optimum")
+		if err != nil {
+			return nil, err
+		}
+		if opt < 0 {
+			return nil, fmt.Errorf("schedinst: negative optimum %d", opt)
+		}
+		ins.Optimum = opt
+	}
+	var total int64
+	ins.Machine = make([][]int, jobs)
+	ins.Dur = make([][]int, jobs)
+	seen := make([]int, machines) // last job to visit each machine, offset by 1
+	for j := 0; j < jobs; j++ {
+		mrow := make([]int, machines)
+		drow := make([]int, machines)
+		for o := 0; o < machines; o++ {
+			m, err := t.Int(fmt.Sprintf("machine of job %d op %d", j, o))
+			if err != nil {
+				return nil, err
+			}
+			if m < 0 || m >= machines {
+				return nil, fmt.Errorf("schedinst: job %d op %d names machine %d, want [0,%d)", j, o, m, machines)
+			}
+			if seen[m] == j+1 {
+				return nil, fmt.Errorf("schedinst: job %d visits machine %d twice", j, m)
+			}
+			seen[m] = j + 1
+			d, err := t.Int(fmt.Sprintf("duration of job %d op %d", j, o))
+			if err != nil {
+				return nil, err
+			}
+			if d < 0 {
+				return nil, fmt.Errorf("schedinst: negative duration %d (job %d, op %d)", d, j, o)
+			}
+			mrow[o], drow[o] = m, d
+			total += int64(d)
+		}
+		ins.Machine[j] = mrow
+		ins.Dur[j] = drow
+	}
+	if err := checkTotal(total); err != nil {
+		return nil, err
+	}
+	if err := t.Done(); err != nil {
+		return nil, err
+	}
+	return ins, nil
+}

@@ -1,0 +1,140 @@
+package schedinst
+
+import (
+	"strings"
+	"testing"
+)
+
+const taGood = `# comment line
+3 2 999 50 40
+1 2 3
+4 5 6
+`
+
+func TestParseTaillardRoundTrip(t *testing.T) {
+	ins, err := ParseTaillard("t", strings.NewReader(taGood))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Jobs != 3 || ins.Machines != 2 {
+		t.Fatalf("dims %dx%d, want 3x2", ins.Jobs, ins.Machines)
+	}
+	if ins.Seed != 999 || ins.Upper != 50 || ins.Lower != 40 {
+		t.Fatalf("header %d/%d/%d, want 999/50/40", ins.Seed, ins.Upper, ins.Lower)
+	}
+	want := [][]int{{1, 2, 3}, {4, 5, 6}}
+	for i := range want {
+		for j := range want[i] {
+			if ins.Proc[i][j] != want[i][j] {
+				t.Fatalf("Proc[%d][%d] = %d, want %d", i, j, ins.Proc[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestParseTaillardBareHeader(t *testing.T) {
+	ins, err := ParseTaillard("t", strings.NewReader("2 2\n1 2\n3 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Seed != 0 || ins.Upper != 0 || ins.Lower != 0 {
+		t.Fatal("bare header must leave the bounds zero")
+	}
+}
+
+func TestParseTaillardMalformed(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty":             "",
+		"truncated header":  "3",
+		"truncated matrix":  "3 2\n1 2 3\n4 5\n",
+		"negative duration": "3 2\n1 2 3\n4 -5 6\n",
+		"non-integer":       "3 2\n1 2 3\n4 x 6\n",
+		"zero jobs":         "0 2\n",
+		"zero machines":     "3 0\n",
+		"huge dims":         "99999999 2\n",
+		"trailing garbage":  "3 2\n1 2 3\n4 5 6\n7\n",
+		"inverted bounds":   "3 2 1 40 50\n1 2 3\n4 5 6\n",
+	} {
+		if _, err := ParseTaillard("t", strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+const orGood = `# comment line
+2 2 9
+0 5 1 7
+1 4 0 6
+`
+
+func TestParseORLibRoundTrip(t *testing.T) {
+	ins, err := ParseORLib("j", strings.NewReader(orGood))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.Jobs != 2 || ins.Machines != 2 || ins.Optimum != 9 {
+		t.Fatalf("dims %dx%d opt %d, want 2x2 opt 9", ins.Jobs, ins.Machines, ins.Optimum)
+	}
+	if ins.Machine[0][0] != 0 || ins.Dur[0][0] != 5 || ins.Machine[1][0] != 1 || ins.Dur[1][1] != 6 {
+		t.Fatalf("routing misparsed: %v %v", ins.Machine, ins.Dur)
+	}
+}
+
+func TestParseORLibMalformed(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty":             "",
+		"truncated header":  "2",
+		"truncated rows":    "2 2\n0 5 1 7\n",
+		"truncated pairs":   "2 2\n0 5 1 7\n1 4 0\n",
+		"machine range":     "2 2\n0 5 2 7\n1 4 0 6\n",
+		"repeated machine":  "2 2\n0 5 0 7\n1 4 0 6\n",
+		"negative duration": "2 2\n0 5 1 -7\n1 4 0 6\n",
+		"negative optimum":  "2 2 -1\n0 5 1 7\n1 4 0 6\n",
+		"trailing garbage":  "2 2\n0 5 1 7\n1 4 0 6\n8\n",
+	} {
+		if _, err := ParseORLib("j", strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestEmbeddedInstancesParse loads every embedded instance through its
+// family's accessor, verifying the bytes baked into the binary always
+// parse and carry the published dimensions.
+func TestEmbeddedInstancesParse(t *testing.T) {
+	wantFS := map[string][2]int{"ta001": {20, 5}}
+	for _, name := range FlowShopNames() {
+		ins, err := FlowShopByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d, ok := wantFS[name]; ok && (ins.Jobs != d[0] || ins.Machines != d[1]) {
+			t.Fatalf("%s is %dx%d, want %dx%d", name, ins.Jobs, ins.Machines, d[0], d[1])
+		}
+	}
+	wantJS := map[string][3]int{
+		"ft06": {6, 6, 55},
+		"ft10": {10, 10, 930},
+		"la01": {10, 5, 666},
+	}
+	for _, name := range JobShopNames() {
+		ins, err := JobShopByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d, ok := wantJS[name]
+		if !ok {
+			continue
+		}
+		if ins.Jobs != d[0] || ins.Machines != d[1] || ins.Optimum != d[2] {
+			t.Fatalf("%s is %dx%d opt %d, want %dx%d opt %d",
+				name, ins.Jobs, ins.Machines, ins.Optimum, d[0], d[1], d[2])
+		}
+	}
+	if _, err := FlowShopByName("nope"); err == nil {
+		t.Error("unknown flow shop name accepted")
+	}
+	if _, err := JobShopByName("nope"); err == nil {
+		t.Error("unknown job shop name accepted")
+	}
+}

@@ -108,12 +108,15 @@ type submitPayload struct {
 }
 
 // problemPayload selects a workload: {"kind":"placement","circuit":
-// "c532"} or {"kind":"qap","n":30,"seed":7}.
+// "c532"}, {"kind":"qap","n":30,"seed":7}, or a scheduling benchmark
+// {"kind":"flowshop","instance":"ta001"} /
+// {"kind":"jobshop","instance":"ft06"}.
 type problemPayload struct {
-	Kind    string `json:"kind"`
-	Circuit string `json:"circuit,omitempty"`
-	N       int    `json:"n,omitempty"`
-	Seed    uint64 `json:"seed,omitempty"`
+	Kind     string `json:"kind"`
+	Circuit  string `json:"circuit,omitempty"`
+	N        int    `json:"n,omitempty"`
+	Seed     uint64 `json:"seed,omitempty"`
+	Instance string `json:"instance,omitempty"`
 }
 
 // configPayload is the JSON shape of the overridable search knobs.
@@ -191,10 +194,11 @@ func (a *API) submitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := a.s.Submit(Request{
 		Spec: core.ProblemSpec{
-			Kind:    p.Problem.Kind,
-			Circuit: p.Problem.Circuit,
-			QAPN:    p.Problem.N,
-			QAPSeed: p.Problem.Seed,
+			Kind:     p.Problem.Kind,
+			Circuit:  p.Problem.Circuit,
+			QAPN:     p.Problem.N,
+			QAPSeed:  p.Problem.Seed,
+			Instance: p.Problem.Instance,
 		},
 		Workers: p.Workers,
 		Cfg:     p.Config.buildConfig(),

@@ -455,8 +455,11 @@ func (s *Scheduler) Submit(req Request) (*Job, error) {
 
 // describeSpec renders a spec for log lines.
 func describeSpec(spec core.ProblemSpec) string {
-	if spec.Kind == "qap" {
+	switch spec.Kind {
+	case "qap":
 		return fmt.Sprintf("qap n=%d seed=%d", spec.QAPN, spec.QAPSeed)
+	case "flowshop", "jobshop":
+		return fmt.Sprintf("%s %s", spec.Kind, spec.Instance)
 	}
 	return fmt.Sprintf("%s %s", spec.Kind, spec.Circuit)
 }

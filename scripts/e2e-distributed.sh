@@ -84,6 +84,58 @@ done
 echo "PASS: distributed run reproduces the single-process best cost exactly"
 
 # ---------------------------------------------------------------------------
+# Job shop variant: the same master + 3 TCP workers protocol over the
+# ft06 scheduling workload, where swap deltas re-decode whole schedules
+# instead of O(1) table lookups. Every process constructs the instance
+# from its embedded name; the golden literal pins the fixed-seed
+# trajectory (which at this budget reaches ft06's proven optimum 55).
+echo "== distributed job shop run: 1 master + 3 TCP workers"
+JADDR="127.0.0.1:$((PORT + 3))"
+JFLAGS=(-jobshop ft06 -seed 7 -het=false -tsws 3 -clws 2 -global 4 -local 15)
+
+"$BIN" "${JFLAGS[@]}" -mode real -json "$OUT/jsingle.json" > "$OUT/jsingle.log"
+"$BIN" "${JFLAGS[@]}" -serve "$JADDR" -net-workers 3 -json "$OUT/jnet.json" > "$OUT/jmaster.log" 2>&1 &
+JMASTER=$!
+sleep 1
+for i in 1 2 3; do
+  case $i in
+    1) SPEED=1.0 ;;
+    2) SPEED=0.55 ;;
+    3) SPEED=0.3 ;;
+  esac
+  "$BIN" -jobshop ft06 -worker "$JADDR" -node-name "js$i" -speed "$SPEED" -jobs 1 \
+    > "$OUT/jsworker$i.log" 2>&1 &
+done
+
+if ! wait "$JMASTER"; then
+  echo "job shop master failed:"; cat "$OUT/jmaster.log"
+  exit 1
+fi
+wait
+
+JSINGLE=$(extract_cost "$OUT/jsingle.json")
+JDIST=$(extract_cost "$OUT/jnet.json")
+echo "single-process job shop makespan: $JSINGLE"
+echo "distributed  job shop makespan:   $JDIST"
+if [ -z "$JSINGLE" ] || [ "$JSINGLE" != "$JDIST" ]; then
+  echo "FAIL: distributed job shop makespan differs from the single-process run"
+  exit 1
+fi
+# The golden fixed-seed makespan — ft06's proven optimum, reached at
+# this budget when the workload landed.
+JGOLDEN=55
+if [ "$JSINGLE" != "$JGOLDEN" ]; then
+  echo "FAIL: job shop makespan $JSINGLE differs from the golden $JGOLDEN"
+  exit 1
+fi
+for i in 1 2 3; do
+  grep -q "job completed" "$OUT/jsworker$i.log" || {
+    echo "FAIL: job shop worker $i did not report a completed job"; cat "$OUT/jsworker$i.log"; exit 1
+  }
+done
+echo "PASS: distributed job shop run reproduces the golden optimum makespan $JGOLDEN"
+
+# ---------------------------------------------------------------------------
 # Adaptive variant: 1 master + 3 workers with declared speeds 4/1/1, one
 # slow CLW-hosting worker killed (-9) mid-run. Under -adaptive the run
 # must complete un-Interrupted over the full iteration budget, with the

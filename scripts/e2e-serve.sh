@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Multi-process end-to-end check of the serving daemon: build cmd/pts
 # and cmd/ptsd, start one ptsd over three loopback `pts -worker -any`
-# processes, and drive three concurrent jobs — two placement, one QAP —
-# through the HTTP front door.
+# processes, and drive four jobs — two placement, one QAP, one flow
+# shop — through the HTTP front door.
 #
 #  1. The two static fixed-seed placement jobs must reproduce their
 #     single-process `pts -mode real` best costs exactly (with
@@ -11,6 +11,10 @@
 #     Both sides run with a state dir: a durable run uses the
 #     checkpoint-relative RNG protocol, a deliberately different (but
 #     equally deterministic) trajectory than a storeless run.
+#     A ta001 flow shop job then proves the same identity for the
+#     scheduling workloads: the `-any` workers resolve the instance
+#     from its embedded name and the daemon's makespan must equal the
+#     single-process `pts -flowshop ta001` run bit for bit.
 #  2. While the long adaptive QAP job is still running, its leased
 #     worker — found via GET /v1/fleet busy flags — is killed -9. The
 #     job must still complete un-Interrupted (TSW resurrected from its
@@ -56,6 +60,7 @@ STATIC=(-mode real -het=false -tsws 1 -clws 2 -global 3 -local 8
 echo "== single-process baselines (durable, like the daemon's jobs)"
 "$PTS" -circuit highway "${STATIC[@]}" -state-dir "$OUT/base-state-hw" -json "$OUT/base-highway.json" > /dev/null
 "$PTS" -circuit c532 "${STATIC[@]}" -state-dir "$OUT/base-state-c532" -json "$OUT/base-c532.json" > /dev/null
+"$PTS" -flowshop ta001 "${STATIC[@]}" -state-dir "$OUT/base-state-fs" -json "$OUT/base-flowshop.json" > /dev/null
 
 echo "== start ptsd on $FLEET (http $BASE) + 3 any-workload workers"
 "$PTSD" -fleet "$FLEET" -http "$HTTP" -state-dir "$OUT/state" > "$OUT/ptsd.log" 2>&1 &
@@ -136,6 +141,23 @@ for pair in "highway:$J1" "c532:$J2"; do
   fi
 done
 echo "PASS: both placement jobs reproduce their single-process costs exactly"
+
+echo "== flow shop job through the daemon must match its baseline exactly"
+J6=$(submit "{\"problem\":{\"kind\":\"flowshop\",\"instance\":\"ta001\"},\"workers\":1,\"config\":{$CFG}}")
+[ -n "$J6" ] && [ "$J6" != null ] || { echo "FAIL: flow shop submit failed"; cat "$OUT/ptsd.log"; exit 1; }
+V6=$(wait_done "$J6" 60)
+st=$(echo "$V6" | jq -r '.status')
+intr=$(echo "$V6" | jq -r '.result.Interrupted')
+got=$(echo "$V6" | jq -r '.result.BestCost')
+want=$(jq -r '.BestCost' "$OUT/base-flowshop.json")
+echo "ta001: daemon makespan $got, single-process $want"
+if [ "$st" != done ] || [ "$intr" != false ]; then
+  echo "FAIL: flow shop job $J6 = $st (interrupted $intr)"; echo "$V6" | jq .; exit 1
+fi
+if [ "$got" != "$want" ]; then
+  echo "FAIL: daemon flow shop makespan differs from the single-process run"; exit 1
+fi
+echo "PASS: flow shop job reproduces the single-process makespan exactly"
 
 echo "== kill the worker leased by the running QAP job"
 st=$(curl -sf "$BASE/v1/jobs/$J3" | jq -r '.status')

@@ -283,3 +283,76 @@ func TestServerQAPJobMatchesSolve(t *testing.T) {
 			got.Result.BestCost, want.BestCost)
 	}
 }
+
+// TestServerFlowShopJobMatchesSolve pins the scheduling resolver path:
+// a flow shop job submitted over HTTP to a resolver-equipped fleet
+// returns bit-identically the plain Solve run of the same embedded
+// instance — the master and both workers each construct ta001 from its
+// name alone, and the fingerprint handshake proves they built the same
+// schedule matrix.
+func TestServerFlowShopJobMatchesSolve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed loopback run")
+	}
+	prob, err := FlowShopBenchmark("ta001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Solve(context.Background(), prob,
+		WithWorkers(2, 1), WithIterations(3, 10), WithSeed(4),
+		WithHalfSync(false), WithRealTime())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hts, stop := startServerFleet(t, 2)
+	defer stop()
+	id := submitJSON(t, hts, `{
+	  "problem": {"kind": "flowshop", "instance": "ta001"},
+	  "workers": 2,
+	  "config": {"tsws": 2, "clws": 1, "global_iters": 3, "local_iters": 10,
+	             "seed": 4, "half_sync": false}
+	}`)
+	got := waitJob(t, hts, id, time.Minute)
+	if got.Status != "done" || got.Result == nil {
+		t.Fatalf("daemon job = %+v, want done", got)
+	}
+	if got.Result.BestCost != want.BestCost || !reflect.DeepEqual(got.Result.BestPerm, want.Best) {
+		t.Errorf("daemon flow shop best %.0f differs from Solve %.0f (or permutation differs)",
+			got.Result.BestCost, want.BestCost)
+	}
+}
+
+// TestServerJobShopBadInstanceRefused covers the resolver's error path:
+// a submission naming a nonexistent embedded instance is refused at the
+// front door with the bad_spec envelope, before anything is queued.
+func TestServerJobShopBadInstanceRefused(t *testing.T) {
+	if testing.Short() {
+		t.Skip("distributed loopback run")
+	}
+	_, hts, stop := startServerFleet(t, 1)
+	defer stop()
+	resp, err := http.Post(hts.URL+"/v1/jobs", "application/json", strings.NewReader(`{
+	  "problem": {"kind": "jobshop", "instance": "zz99"},
+	  "workers": 0,
+	  "config": {"tsws": 2, "clws": 1, "global_iters": 1, "local_iters": 5}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusBadRequest || v.Error.Code != "bad_spec" {
+		t.Fatalf("unknown instance submission = %d %q, want 400 bad_spec", resp.StatusCode, v.Error.Code)
+	}
+	if !strings.Contains(v.Error.Message, "zz99") {
+		t.Errorf("refusal %q does not name the unknown instance", v.Error.Message)
+	}
+}

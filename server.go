@@ -141,7 +141,19 @@ func resolveSpec(spec core.ProblemSpec) (core.Problem, error) {
 			return nil, fmt.Errorf("pts: qap size %d < 2", spec.QAPN)
 		}
 		return adapt(RandomQAP(spec.QAPN, spec.QAPSeed)), nil
+	case "flowshop":
+		p, err := FlowShopBenchmark(spec.Instance)
+		if err != nil {
+			return nil, err
+		}
+		return adapt(p), nil
+	case "jobshop":
+		p, err := JobShopBenchmark(spec.Instance)
+		if err != nil {
+			return nil, err
+		}
+		return adapt(p), nil
 	default:
-		return nil, fmt.Errorf("pts: unknown problem kind %q (want \"placement\" or \"qap\")", spec.Kind)
+		return nil, fmt.Errorf("pts: unknown problem kind %q (want \"placement\", \"qap\", \"flowshop\" or \"jobshop\")", spec.Kind)
 	}
 }
